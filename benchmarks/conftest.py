@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark suite.
+
+Set ``REPRO_BENCH_QUICK=1`` to run the matrix over a 6-workload subset
+instead of all 20 (the full matrix is the faithful Figure 5/6
+reproduction; the subset keeps CI fast).
+"""
+
+import os
+
+import pytest
+
+from repro.eval import analysis_unit_for, apply_tool
+from repro.machine import run_module
+from repro.tools import TOOL_NAMES, get_tool
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+QUICK_SET = ("quick", "matrix", "li", "nqueens", "fileio", "crc")
+
+
+def bench_workloads() -> tuple[str, ...]:
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return QUICK_SET
+    return WORKLOAD_NAMES
+
+
+@pytest.fixture(scope="session")
+def workload_names():
+    return bench_workloads()
+
+
+@pytest.fixture(scope="session")
+def apps(workload_names):
+    """name -> linked executable (session-cached)."""
+    return {name: build_workload(name) for name in workload_names}
+
+
+@pytest.fixture(scope="session")
+def baselines(apps):
+    """name -> uninstrumented RunResult."""
+    return {name: run_module(module) for name, module in apps.items()}
+
+
+class InstrumentedMatrix:
+    """Lazily instruments (tool, workload) pairs and caches results."""
+
+    def __init__(self, apps):
+        self._apps = apps
+        self._cache = {}
+
+    def get(self, tool_name: str, workload: str):
+        key = (tool_name, workload)
+        if key not in self._cache:
+            tool = get_tool(tool_name)
+            self._cache[key] = apply_tool(self._apps[workload], tool)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def matrix(apps):
+    return InstrumentedMatrix(apps)
+
+
+@pytest.fixture(scope="session")
+def ratio_table():
+    """Shared container the Figure 6 benchmarks fill and print."""
+    return {}
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a result table and append it to benchmarks/latest_tables.txt
+    (so the figures survive pytest's output capture)."""
+    lines = [f"\n=== {title} ==="]
+    widths = [max(len(str(r[i])) for r in [header] + rows)
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    lines.append(line)
+    lines.append("-" * len(line))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print(text)
+    with open(os.path.join(os.path.dirname(__file__),
+                           "latest_tables.txt"), "a") as f:
+        f.write(text + "\n")

@@ -1,0 +1,71 @@
+"""Ablation: OM's link-time address-calculation optimization (ref [12]).
+
+ATOM is built on OM, whose day job is link-time optimization; the
+companion PLDI'94 paper optimizes address calculation on the 64-bit
+Alpha.  This bench applies the reproduced pass — literal-table loads of
+gp-reachable data rewritten to direct ``lda disp(gp)`` — to every
+workload and reports the cycle savings, plus the composition with ATOM
+(optimize, then instrument).
+"""
+
+import pytest
+
+from repro.eval import apply_tool
+from repro.machine import run_module
+from repro.om import build_ir, emit, optimize_address_calculation, optimize_got_loads
+from repro.tools import get_tool
+
+from conftest import print_table
+
+_rows: list[list] = []
+
+
+def test_address_calculation_savings(benchmark, apps, baselines):
+    def run_all():
+        total_rewrites = 0
+        for name, app in apps.items():
+            base = baselines[name]
+            prog = build_ir(app)
+            n = optimize_address_calculation(prog)
+            n += optimize_got_loads(prog)
+            result = run_module(emit(prog).module)
+            assert result.stdout == base.stdout, name
+            assert result.cycles <= base.cycles, name
+            saving = 100 * (base.cycles - result.cycles) / base.cycles
+            _rows.append([name, n, f"{saving:.2f}%"])
+            total_rewrites += n
+        return total_rewrites
+
+    benchmark.group = "ablation: OM address-calculation optimization"
+    total = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert total > 0
+
+
+def test_optimize_then_instrument(benchmark, apps, baselines):
+    """The link-time optimizer and ATOM compose."""
+    name = next(iter(apps))
+    app = apps[name]
+    base = baselines[name]
+
+    def pipeline():
+        prog = build_ir(app)
+        optimize_address_calculation(prog)
+        optimized = emit(prog).module
+        res = apply_tool(optimized, get_tool("malloc"))
+        return run_module(res.module)
+
+    benchmark.group = "ablation: OM address-calculation optimization"
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert result.stdout == base.stdout
+
+
+def test_om_opt_report(benchmark):
+    def noop():
+        return None
+    benchmark.group = "ablation: OM address-calculation optimization"
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("savings benchmark did not run")
+    print_table("OM link-time address-calculation optimization "
+                "(GOT loads -> lda disp(gp))",
+                ["workload", "loads rewritten", "cycles saved"], _rows)

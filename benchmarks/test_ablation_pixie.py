@@ -1,0 +1,70 @@
+"""Ablation: ATOM's dyninst tool versus the Pixie-style baseline.
+
+Same job — per-block execution counts — two generations of mechanism:
+Pixie steals three registers, shadows application uses of them through
+memory, and writes raw counts to a file for offline analysis; ATOM steals
+nothing and processes counts in-process through direct procedure calls.
+
+Both must agree exactly with the machine's ground-truth instruction count.
+"""
+
+import pytest
+
+from repro.baselines.pixie import pixie_instrument, read_counts
+from repro.eval import apply_tool
+from repro.machine import run_module
+from repro.om import build_ir
+from repro.tools import get_tool
+
+from conftest import print_table
+
+PIXIE_WORKLOADS = ("quick", "nqueens", "crc")
+
+_rows: list[list] = []
+
+
+@pytest.mark.parametrize("system", ["pixie", "atom"])
+def test_block_counting_systems(benchmark, apps, baselines, system):
+    names = [n for n in PIXIE_WORKLOADS if n in apps]
+
+    def run_all():
+        out = []
+        for name in names:
+            app = apps[name]
+            base = baselines[name]
+            if system == "pixie":
+                res = pixie_instrument(app)
+                result = run_module(res.module)
+                counts = read_counts(result, res)
+                prog = build_ir(app)
+                sizes = [len(b.insts)
+                         for p in prog.procs for b in p.blocks]
+                counted = sum(c * s for c, s in zip(counts, sizes))
+            else:
+                res = apply_tool(app, get_tool("dyninst"))
+                result = run_module(res.module)
+                text = result.files["dyninst.out"].decode()
+                counted = int(text.split("dynamic instructions: ")[1]
+                              .split("\n")[0])
+            assert result.stdout == base.stdout
+            assert counted == base.inst_count, (system, name)
+            out.append((name, result.cycles / base.cycles))
+        return out
+
+    benchmark.group = "ablation: pixie vs atom block counting"
+    benchmark.extra_info["system"] = system
+    ratios = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, ratio in ratios:
+        _rows.append([system, name, f"{ratio:.2f}x"])
+
+
+def test_pixie_report(benchmark):
+    def noop():
+        return None
+    benchmark.group = "ablation: pixie vs atom block counting"
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    if not _rows:
+        pytest.skip("system benchmarks did not run")
+    print_table("Pixie (register stealing, offline counts file) vs "
+                "ATOM dyninst (no stolen registers, in-process analysis)",
+                ["system", "workload", "cycle ratio"], sorted(_rows))

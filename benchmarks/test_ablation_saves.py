@@ -1,0 +1,70 @@
+"""Ablation: ATOM's register-save strategies (paper Section 4).
+
+Compares the four optimization levels on the same tool+workloads:
+
+* O0 — naive: wrappers save every caller-saved register;
+* O1 — the paper's default: data-flow summary + renaming + delayed saves;
+* O2 — in-frame saves (no wrapper indirection);
+* O3 — application liveness, inline saves, direct calls.
+
+The paper's claim: the summary-based saves are a real win over saving
+everything, and the in-frame/liveness refinements reduce overhead further.
+"""
+
+import pytest
+
+from repro.atom import OptLevel
+from repro.eval import apply_tool
+from repro.machine import run_module
+from repro.tools import get_tool
+
+from conftest import print_table
+
+ABLATION_WORKLOADS = ("quick", "li", "crc")
+LEVELS = (OptLevel.O0, OptLevel.O1, OptLevel.O2, OptLevel.O3)
+
+_cycles: dict[OptLevel, int] = {}
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_ablation_save_strategy(benchmark, apps, baselines, level):
+    tool = get_tool("dyninst")
+    names = [n for n in ABLATION_WORKLOADS if n in apps]
+
+    def instrument_and_run():
+        total = 0
+        for name in names:
+            res = apply_tool(apps[name], tool, opt=level)
+            result = run_module(res.module)
+            assert result.stdout == baselines[name].stdout
+            total += result.cycles
+        return total
+
+    benchmark.group = "ablation: register-save strategies"
+    benchmark.extra_info["level"] = level.name
+    total = benchmark.pedantic(instrument_and_run, rounds=1, iterations=1)
+    _cycles[level] = total
+    benchmark.extra_info["cycles"] = total
+
+
+def test_ablation_report(benchmark, apps, baselines):
+    def noop():
+        return None
+    benchmark.group = "ablation: register-save strategies"
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    if len(_cycles) < len(LEVELS):
+        pytest.skip("per-level benchmarks did not run")
+    base_total = sum(baselines[n].cycles for n in ABLATION_WORKLOADS
+                     if n in apps)
+    rows = []
+    for level in LEVELS:
+        rows.append([level.name, _cycles[level],
+                     f"{_cycles[level] / base_total:.2f}x"])
+    print_table("Ablation: dyninst tool under each save strategy",
+                ["level", "cycles", "ratio"], rows)
+    # The paper's shipped optimizations beat saving everything...
+    assert _cycles[OptLevel.O1] < _cycles[OptLevel.O0]
+    # ...and the in-frame option beats the wrapper path.
+    assert _cycles[OptLevel.O2] < _cycles[OptLevel.O1]
+    # Liveness-based saves are at least as good as the naive wrapper.
+    assert _cycles[OptLevel.O3] < _cycles[OptLevel.O0]

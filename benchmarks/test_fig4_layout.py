@@ -1,0 +1,82 @@
+"""Figure 4: the instrumented-program memory layout.
+
+Not a timing figure — a structural one.  This benchmark instruments every
+workload with a representative tool and verifies each Figure 4 invariant,
+then prints the memory map of one instrumented program in the figure's
+shape.
+"""
+
+import pytest
+
+from repro.machine import run_module
+from repro.objfile.sections import BSS, DATA, LITA, TEXT
+
+from conftest import print_table
+
+
+def test_fig4_layout_invariants(benchmark, apps, baselines, matrix):
+    def check_all():
+        failures = []
+        for name, app in apps.items():
+            res = matrix.get("dyninst", name)
+            mod = res.module
+            # Program data addresses unchanged.
+            for sec in (LITA, DATA, BSS):
+                if mod.section(sec).vaddr != app.section(sec).vaddr:
+                    failures.append((name, sec, "moved"))
+            # Program data bytes unchanged.
+            if bytes(mod.section(DATA).data) != \
+                    bytes(app.section(DATA).data):
+                failures.append((name, DATA, "contents changed"))
+            # Analysis segments inside the text-data gap.
+            gap_lo = app.section(TEXT).vaddr
+            gap_hi = app.section(LITA).vaddr
+            for seg_name, vaddr, blob in mod.extra_segments:
+                if not (gap_lo < vaddr and vaddr + len(blob) <= gap_hi):
+                    failures.append((name, seg_name, "outside gap"))
+            # Stack and heap anchors identical at run time.
+            base = baselines[name]
+            result = run_module(mod)
+            if result.heap_base != base.heap_base:
+                failures.append((name, "heap", "moved"))
+            if result.initial_sp != base.initial_sp:
+                failures.append((name, "stack", "moved"))
+        return failures
+
+    benchmark.group = "fig4: layout invariants"
+    failures = benchmark.pedantic(check_all, rounds=1, iterations=1)
+    assert failures == []
+
+
+def test_fig4_memory_map(benchmark, apps, matrix):
+    """Print the Figure 4 memory map for one instrumented workload."""
+    name = next(iter(apps))
+    app = apps[name]
+    res = matrix.get("dyninst", name)
+    mod = res.module
+
+    def build_map():
+        rows = []
+        text = mod.section(TEXT)
+        rows.append(["stack (grows down)", f"below {text.vaddr:#x}", ""])
+        rows.append([
+            "program+analysis text", f"{text.vaddr:#x}",
+            f"{text.vaddr + text.size:#x}"])
+        for seg_name, vaddr, blob in mod.extra_segments:
+            rows.append([f"analysis {seg_name}", f"{vaddr:#x}",
+                         f"{vaddr + len(blob):#x}"])
+        for sec in (LITA, DATA, BSS):
+            s = mod.section(sec)
+            rows.append([f"program {sec} (unmoved)", f"{s.vaddr:#x}",
+                         f"{s.vaddr + s.size:#x}"])
+        end = mod.symtab["__end"].value
+        rows.append(["heap (grows up)", f"{end:#x}", ""])
+        return rows
+
+    benchmark.group = "fig4: layout invariants"
+    rows = benchmark.pedantic(build_map, rounds=1, iterations=1)
+    print_table(f"Figure 4 memory layout: {name} instrumented with "
+                f"dyninst", ["region", "start", "end"], rows)
+    # Two gp values, as drawn in the figure.
+    assert mod.gp_value == app.gp_value
+    assert mod.analysis_gp not in (0, mod.gp_value)

@@ -1,0 +1,66 @@
+"""Figure 5: time taken by ATOM to instrument the workload suite.
+
+The paper reports, for each of the eleven tools, the total time to
+instrument 20 SPEC92 programs and the average per program; the pipe tool
+(static pipeline scheduling at instrumentation time) is the slowest and
+malloc (a single procedure instrumented) the fastest.
+
+One benchmark per tool: each instruments every workload once.  A summary
+row mirroring the paper's table is printed per tool.
+"""
+
+import pytest
+
+from repro.eval import apply_tool
+from repro.tools import TOOL_NAMES, get_tool
+
+from conftest import bench_workloads, print_table
+
+_results: dict[str, float] = {}
+
+
+@pytest.mark.parametrize("tool_name", TOOL_NAMES)
+def test_fig5_instrument_suite(benchmark, apps, tool_name):
+    tool = get_tool(tool_name)
+    names = list(apps)
+
+    def instrument_all():
+        for name in names:
+            apply_tool(apps[name], tool)
+
+    benchmark.group = "fig5: instrument workload suite"
+    benchmark.extra_info["tool"] = tool_name
+    benchmark.extra_info["description"] = tool.description
+    benchmark.extra_info["workloads"] = len(names)
+    result = benchmark.pedantic(instrument_all, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    _results[tool_name] = benchmark.stats.stats.mean
+
+
+def test_fig5_report(benchmark, apps):
+    """Prints the Figure 5 analogue and checks the headline shape:
+    pipe is the slowest tool to instrument with, malloc the fastest."""
+    def noop():
+        return None
+    benchmark.group = "fig5: instrument workload suite"
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    if len(_results) < len(TOOL_NAMES):
+        pytest.skip("per-tool benchmarks did not run")
+    nwork = len(apps)
+    rows = []
+    for name in TOOL_NAMES:
+        tool = get_tool(name)
+        total = _results[name]
+        rows.append([name, tool.description, f"{total:.2f}s",
+                     f"{total / nwork:.3f}s"])
+    print_table(
+        f"Figure 5: time to instrument {nwork} workload programs",
+        ["tool", "description", "total", "avg/program"], rows)
+    # Shape: pipe's static per-block scheduling makes it costlier to
+    # instrument with than every non-block-level tool, and malloc (a
+    # single instrumented procedure) sits in the cheapest tier.
+    for cheap in ("io", "syscall", "malloc", "inline", "branch"):
+        assert _results["pipe"] > _results[cheap], cheap
+    ordered = sorted(_results.values())
+    assert _results["malloc"] <= ordered[3], \
+        "malloc (one procedure) should be among the fastest to instrument"

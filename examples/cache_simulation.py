@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Cache simulation: sweep a direct-mapped cache over blocking factors.
+
+The paper's intro motivates ATOM with architects evaluating memory
+hierarchies.  This example instruments a matrix-multiply kernel with a
+*parameterized* cache tool (line size passed as a tool argument — the
+``atom prog inst.py anal.mlc -- args`` path) and shows how the miss rate
+responds to loop blocking, all without ever producing an address trace.
+"""
+
+from repro.atom import (EffAddrValue, InstBefore, InstTypeMemRef,
+                        ProgramAfter, ProgramBefore, instrument_executable)
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+
+KERNEL = r"""
+// The pads stagger the arrays' cache-index alignment: without them every
+// array base maps to the same direct-mapped line and conflict misses
+// drown the locality effects this study is about.
+long A[32][32];
+long padA[37];
+long B[32][32];
+long padB[53];
+long C[32][32];
+long n = 32;
+
+void plain(void) {
+    long i, j, k;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++) {
+            long acc = 0;
+            for (k = 0; k < n; k++) acc += A[i][k] * B[k][j];
+            C[i][j] = acc;
+        }
+}
+
+void blocked(long bs) {
+    long i0, j0, k0, i, j, k;
+    for (i0 = 0; i0 < n; i0 += bs)
+        for (k0 = 0; k0 < n; k0 += bs)
+            for (j0 = 0; j0 < n; j0 += bs)
+                for (i = i0; i < i0 + bs && i < n; i++)
+                    for (k = k0; k < k0 + bs && k < n; k++)
+                        for (j = j0; j < j0 + bs && j < n; j++)
+                            C[i][j] += A[i][k] * B[k][j];
+}
+
+int main(int argc, char **argv) {
+    long i, j, check = 0;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++) {
+            A[i][j] = (i + j) % 7;
+            B[i][j] = (i * j) % 5;
+            C[i][j] = 0;
+        }
+    if (argc > 1 && argv[1][0] == 'b') blocked(8);
+    else plain();
+    for (i = 0; i < n; i++) check += C[i][i];
+    printf("check=%d\n", check);
+    return 0;
+}
+"""
+
+CACHE_ANALYSIS = r"""
+long tags[4096];
+long valid[4096];
+long line_shift;
+long index_mask;
+long refs;
+long misses;
+
+void CacheInit(long cache_bytes, long line_bytes) {
+    long lines = cache_bytes / line_bytes;
+    line_shift = 0;
+    while ((1 << line_shift) < line_bytes) line_shift++;
+    index_mask = lines - 1;
+}
+
+void Reference(long addr) {
+    long line = addr >> line_shift;
+    long index = line & index_mask;
+    refs++;
+    if (!valid[index] || tags[index] != line) {
+        misses++;
+        tags[index] = line;
+        valid[index] = 1;
+    }
+}
+
+void CacheReport(void) {
+    FILE *f = fopen("cache.out", "w");
+    fprintf(f, "%d %d\n", refs, misses);
+    fclose(f);
+}
+"""
+
+
+def make_instrument(cache_bytes: int, line_bytes: int):
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("CacheInit(long, long)")
+        atom.AddCallProto("Reference(VALUE)")
+        atom.AddCallProto("CacheReport()")
+        atom.AddCallProgram(ProgramBefore, "CacheInit", cache_bytes,
+                            line_bytes)
+        for proc in atom.procs():
+            for inst in atom.insts(proc):
+                if atom.IsInstType(inst, InstTypeMemRef):
+                    atom.AddCallInst(inst, InstBefore, "Reference",
+                                     EffAddrValue)
+        atom.AddCallProgram(ProgramAfter, "CacheReport")
+    return Instrument
+
+
+def main() -> None:
+    app = build_executable([KERNEL], name="mm")
+    analysis = build_analysis_unit([CACHE_ANALYSIS])
+
+    print(f"{'variant':10s} {'cache':>8s} {'line':>5s} "
+          f"{'refs':>9s} {'misses':>8s} {'miss%':>6s}")
+    misses_at = {}
+    for variant, args in (("plain", ()), ("blocked", ("b",))):
+        for cache_bytes, line_bytes in ((1024, 32), (2048, 32),
+                                        (8192, 32)):
+            tool = make_instrument(cache_bytes, line_bytes)
+            result = instrument_executable(app, tool, analysis)
+            out = run_module(result.module, args=args)
+            refs, misses = map(int, out.files["cache.out"].split())
+            misses_at[(variant, cache_bytes)] = misses
+            print(f"{variant:10s} {cache_bytes:>8d} {line_bytes:>5d} "
+                  f"{refs:>9d} {misses:>8d} "
+                  f"{100.0 * misses / refs:>5.1f}%")
+    print("\nWhen the matrices dwarf the cache, the blocked variant "
+          "misses less\ndespite touching memory more; bigger caches "
+          "shrink misses for both.")
+    assert misses_at[("blocked", 1024)] < misses_at[("plain", 1024)]
+    assert misses_at[("plain", 8192)] < misses_at[("plain", 1024)]
+
+
+if __name__ == "__main__":
+    main()

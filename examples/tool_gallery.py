@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Tool gallery: run all eleven paper tools over one workload.
+
+Applies every tool from the paper's Figure 5 to a workload program and
+prints the head of each analysis report plus the cycle overhead — a
+miniature of the paper's whole evaluation in one command.
+
+Usage: python examples/tool_gallery.py [workload-name]
+"""
+
+import sys
+
+from repro.eval import apply_tool, run_instrumented, run_uninstrumented
+from repro.tools import all_tools
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "hashtab"
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {name!r}; "
+                         f"choose from {', '.join(WORKLOAD_NAMES)}")
+    app = build_workload(name)
+    base = run_uninstrumented(app)
+    print(f"workload {name}: {base.stdout.decode().strip()}  "
+          f"[{base.inst_count} insts, {base.cycles} cycles]\n")
+
+    for tool in all_tools():
+        result = apply_tool(app, tool)
+        out = run_instrumented(result)
+        assert out.stdout == base.stdout, tool.name
+        ratio = out.cycles / base.cycles
+        print(f"=== {tool.name}: {tool.description} "
+              f"[{ratio:.2f}x, {result.stats.calls_added} calls added] ===")
+        lines = out.files[tool.output_file].decode().splitlines()
+        for line in lines[:5]:
+            print("   " + line)
+        if len(lines) > 5:
+            print(f"   ... {len(lines) - 5} more lines")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "ATOM: A System for Building Customized Program
+Analysis Tools" (Srivastava & Eustace, PLDI 1994).
+
+Subpackages, bottom of the stack to the top:
+
+* :mod:`repro.isa` — the WRL-64 ISA (Alpha-like): encodings, assembler,
+  disassembler;
+* :mod:`repro.objfile` — the WOF object format and linker;
+* :mod:`repro.machine` — the simulated machine and its small OS;
+* :mod:`repro.mlc` — the mini-C compiler and runtime library;
+* :mod:`repro.om` — OM, the link-time code modification system;
+* :mod:`repro.atom` — ATOM itself, the paper's contribution;
+* :mod:`repro.tools` — the eleven tools of the paper's evaluation;
+* :mod:`repro.baselines` — Pixie-style counter and address tracer;
+* :mod:`repro.workloads` — twenty SPEC92-stand-in programs;
+* :mod:`repro.eval` — the benchmark harness glue.
+"""
+
+__version__ = "1.0.0"

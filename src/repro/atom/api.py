@@ -1,0 +1,368 @@
+"""The ATOM instrumentation API — the interface of paper Section 3.
+
+Instrumentation routines receive an :class:`AtomContext` whose methods
+carry the paper's names: ``GetFirstProc``/``GetNextProc`` walk the program,
+``GetFirstBlock``/``GetNextBlock`` walk a procedure, ``GetLastInst`` and
+``IsInstType`` inspect instructions, and the ``AddCall*`` primitives
+annotate instrumentation points.  A tool is a Python module defining::
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("CondBranch(int, VALUE)")
+        for p in atom.procs():          # or classic GetFirstProc loops
+            ...
+
+Calls added at one point are made in the order they were added, exactly as
+the paper specifies.
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import Enum
+
+from ..isa import registers as R
+from ..machine.costmodel import DEFAULT as DEFAULT_COSTS
+from ..om.ir import Action, IRBlock, IRInst, IRProc, IRProgram
+from .proto import ParamKind, Prototype, parse_proto
+
+
+class AtomError(Exception):
+    pass
+
+
+# ---- placement constants -----------------------------------------------------
+
+class Placement(Enum):
+    INST_BEFORE = "InstBefore"
+    INST_AFTER = "InstAfter"
+    BLOCK_BEFORE = "BlockBefore"
+    BLOCK_AFTER = "BlockAfter"
+    PROC_BEFORE = "ProcBefore"
+    PROC_AFTER = "ProcAfter"
+    PROGRAM_BEFORE = "ProgramBefore"
+    PROGRAM_AFTER = "ProgramAfter"
+
+
+InstBefore = Placement.INST_BEFORE
+InstAfter = Placement.INST_AFTER
+BlockBefore = Placement.BLOCK_BEFORE
+BlockAfter = Placement.BLOCK_AFTER
+ProcBefore = Placement.PROC_BEFORE
+ProcAfter = Placement.PROC_AFTER
+ProgramBefore = Placement.PROGRAM_BEFORE
+ProgramAfter = Placement.PROGRAM_AFTER
+
+
+# ---- VALUE sentinels -----------------------------------------------------------
+
+class _ValueSentinel:
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Effective address referenced by a load or store instruction.
+EffAddrValue = _ValueSentinel("EffAddrValue")
+#: Zero if the conditional branch will fall through, non-zero if taken.
+BrCondValue = _ValueSentinel("BrCondValue")
+
+
+# ---- instruction type predicates --------------------------------------------------
+
+class InstType(Enum):
+    COND_BR = "InstTypeCondBr"
+    UNCOND_BR = "InstTypeUncondBr"
+    LOAD = "InstTypeLoad"
+    STORE = "InstTypeStore"
+    MEM_REF = "InstTypeMemRef"
+    CALL = "InstTypeCall"
+    JUMP = "InstTypeJump"
+    RET = "InstTypeRet"
+    SYSCALL = "InstTypeSyscall"
+
+
+InstTypeCondBr = InstType.COND_BR
+InstTypeUncondBr = InstType.UNCOND_BR
+InstTypeLoad = InstType.LOAD
+InstTypeStore = InstType.STORE
+InstTypeMemRef = InstType.MEM_REF
+InstTypeCall = InstType.CALL
+InstTypeJump = InstType.JUMP
+InstTypeRet = InstType.RET
+InstTypeSyscall = InstType.SYSCALL
+
+_TYPE_TESTS = {
+    InstType.COND_BR: lambda i: i.is_cond_branch(),
+    InstType.UNCOND_BR: lambda i: i.is_uncond_branch(),
+    InstType.LOAD: lambda i: i.is_load(),
+    InstType.STORE: lambda i: i.is_store(),
+    InstType.MEM_REF: lambda i: i.is_memory_ref(),
+    InstType.CALL: lambda i: i.is_call(),
+    InstType.JUMP: lambda i: i.is_jump(),
+    InstType.RET: lambda i: i.is_ret(),
+    InstType.SYSCALL: lambda i: i.is_syscall(),
+}
+
+
+class AtomContext:
+    """The instrumentation-time view of one application program."""
+
+    def __init__(self, program: IRProgram):
+        self._program = program
+        self.protos: dict[str, Prototype] = {}
+
+    # ---- program traversal (paper names) ---------------------------------
+
+    def GetFirstProc(self) -> IRProc | None:
+        return self._program.procs[0] if self._program.procs else None
+
+    def GetNextProc(self, proc: IRProc) -> IRProc | None:
+        procs = self._program.procs
+        idx = procs.index(proc)
+        return procs[idx + 1] if idx + 1 < len(procs) else None
+
+    def GetNamedProc(self, name: str) -> IRProc | None:
+        return self._program.find_proc(name)
+
+    def GetFirstBlock(self, proc: IRProc) -> IRBlock | None:
+        return proc.blocks[0] if proc.blocks else None
+
+    def GetNextBlock(self, block: IRBlock) -> IRBlock | None:
+        blocks = block.proc.blocks
+        idx = blocks.index(block)
+        return blocks[idx + 1] if idx + 1 < len(blocks) else None
+
+    def GetFirstInst(self, block: IRBlock) -> IRInst | None:
+        return block.insts[0] if block.insts else None
+
+    def GetLastInst(self, block: IRBlock) -> IRInst | None:
+        return block.insts[-1] if block.insts else None
+
+    def GetNextInst(self, inst: IRInst) -> IRInst | None:
+        # Linear within the block.
+        for block in self._program.blocks():
+            if inst in block.insts:
+                idx = block.insts.index(inst)
+                if idx + 1 < len(block.insts):
+                    return block.insts[idx + 1]
+                return None
+        return None
+
+    # Pythonic iterators (conveniences beyond the paper's C API).
+
+    def procs(self):
+        yield from self._program.procs
+
+    def blocks(self, proc: IRProc | None = None):
+        if proc is not None:
+            yield from proc.blocks
+        else:
+            yield from self._program.blocks()
+
+    def insts(self, scope=None):
+        if scope is None:
+            yield from self._program.instructions()
+        elif isinstance(scope, IRProc):
+            yield from scope.instructions()
+        else:
+            yield from scope.insts
+
+    # ---- queries ------------------------------------------------------------
+
+    def IsInstType(self, inst: IRInst, itype: InstType) -> bool:
+        return _TYPE_TESTS[itype](inst.inst)
+
+    def InstPC(self, inst: IRInst) -> int:
+        """The instruction's *original* program counter.
+
+        Analysis routines always see uninstrumented text addresses: the
+        map from new to original addresses is static (paper Section 4).
+        """
+        if inst.orig_pc is None:
+            raise AtomError("instruction has no original address")
+        return inst.orig_pc
+
+    def InstOpcode(self, inst: IRInst) -> str:
+        return inst.inst.mnemonic
+
+    def InstCycles(self, inst: IRInst) -> int:
+        """Static cycle cost under the machine's cost model (pipe tool)."""
+        return DEFAULT_COSTS.cost(inst.inst.op)
+
+    def InstMemAccessSize(self, inst: IRInst) -> int:
+        if not inst.inst.is_memory_ref():
+            raise AtomError("InstMemAccessSize on a non-memory instruction")
+        return inst.inst.op.access_size
+
+    def InstMemBaseReg(self, inst: IRInst) -> int:
+        if not inst.inst.is_memory_ref():
+            raise AtomError("InstMemBaseReg on a non-memory instruction")
+        return inst.inst.rb
+
+    def InstMemDisp(self, inst: IRInst) -> int:
+        if not inst.inst.is_memory_ref():
+            raise AtomError("InstMemDisp on a non-memory instruction")
+        return inst.inst.disp
+
+    def InstBranchTarget(self, inst: IRInst) -> int | None:
+        """Original PC of a direct branch target, if statically known."""
+        if inst.target is None:
+            return None
+        kind, payload = inst.target
+        if kind == "block":
+            return payload.orig_pc
+        proc = self._program.find_proc(payload)
+        if proc is not None:
+            return proc.orig_addr
+        ir = self._program.text_labels.get(payload)
+        return ir.orig_pc if ir is not None else None
+
+    def InstRegDefs(self, inst: IRInst) -> frozenset[int]:
+        return inst.inst.defs()
+
+    def InstRegUses(self, inst: IRInst) -> frozenset[int]:
+        return inst.inst.uses()
+
+    def ProcName(self, proc: IRProc) -> str:
+        return proc.name
+
+    def ProcPC(self, proc: IRProc) -> int:
+        return proc.orig_addr
+
+    def BlockPC(self, block: IRBlock) -> int:
+        pc = block.orig_pc
+        if pc is None:
+            raise AtomError("block has no original address")
+        return pc
+
+    def GetBlockInstCount(self, block: IRBlock) -> int:
+        return len(block.insts)
+
+    def GetProcInstCount(self, proc: IRProc) -> int:
+        return proc.inst_count()
+
+    def GetProgramInstCount(self) -> int:
+        return self._program.inst_count()
+
+    # ---- AddCall primitives ------------------------------------------------------
+
+    def AddCallProto(self, text: str) -> None:
+        proto = parse_proto(text)
+        existing = self.protos.get(proto.name)
+        if existing is not None and existing != proto:
+            raise AtomError(f"conflicting prototype for {proto.name!r}")
+        self.protos[proto.name] = proto
+
+    def AddCallInst(self, inst: IRInst, where: Placement, name: str,
+                    *args) -> None:
+        if where not in (InstBefore, InstAfter):
+            raise AtomError("AddCallInst takes InstBefore or InstAfter")
+        if where is InstAfter and inst.inst.is_control_transfer():
+            raise AtomError(
+                "InstAfter on a control-transfer instruction is not "
+                "supported (the call would only run on fall-through)")
+        action = self._make_action(name, args, inst=inst)
+        (inst.before if where is InstBefore else inst.after).append(action)
+
+    def AddCallBlock(self, block: IRBlock, where: Placement, name: str,
+                     *args) -> None:
+        if where not in (BlockBefore, BlockAfter):
+            raise AtomError("AddCallBlock takes BlockBefore or BlockAfter")
+        action = self._make_action(name, args)
+        (block.before if where is BlockBefore else block.after).append(
+            action)
+
+    def AddCallProc(self, proc: IRProc, where: Placement, name: str,
+                    *args) -> None:
+        if where not in (ProcBefore, ProcAfter):
+            raise AtomError("AddCallProc takes ProcBefore or ProcAfter")
+        action = self._make_action(name, args)
+        (proc.before if where is ProcBefore else proc.after).append(action)
+
+    def AddCallProgram(self, where: Placement, name: str, *args) -> None:
+        if where not in (ProgramBefore, ProgramAfter):
+            raise AtomError(
+                "AddCallProgram takes ProgramBefore or ProgramAfter")
+        action = self._make_action(name, args)
+        target = self._program.before if where is ProgramBefore \
+            else self._program.after
+        target.append(action)
+
+    def AddCallEdge(self, *args) -> None:
+        # Paper, Section 4: "Currently, adding calls to edges is not
+        # implemented."
+        raise NotImplementedError(
+            "adding calls to edges is not implemented")
+
+    # ---- argument validation/lowering ----------------------------------------------
+
+    def _make_action(self, name: str, args: tuple,
+                     inst: IRInst | None = None) -> Action:
+        proto = self.protos.get(name)
+        if proto is None:
+            raise AtomError(f"no prototype for analysis procedure {name!r}"
+                            " (call AddCallProto first)")
+        if len(args) != proto.arg_count:
+            raise AtomError(
+                f"{name} expects {proto.arg_count} argument(s), "
+                f"got {len(args)}")
+        lowered = []
+        for i, (param, arg) in enumerate(zip(proto.params, args)):
+            lowered.append(self._lower_arg(name, i, param, arg, inst))
+        return Action(proc_name=name, args=tuple(lowered))
+
+    def _lower_arg(self, name: str, i: int, param, arg, inst):
+        kind = param.kind
+        if kind is ParamKind.INT:
+            if isinstance(arg, bool) or not isinstance(arg, int):
+                raise AtomError(f"{name} argument {i + 1}: expected an "
+                                f"integer, got {arg!r}")
+            return ("const", arg)
+        if kind is ParamKind.REGV:
+            if not isinstance(arg, int) or not 0 <= arg < R.NUM_REGS:
+                raise AtomError(f"{name} argument {i + 1}: REGV needs a "
+                                f"register number, got {arg!r}")
+            return ("regv", arg)
+        if kind is ParamKind.VALUE:
+            if arg is EffAddrValue:
+                if inst is None or not inst.inst.is_memory_ref():
+                    raise AtomError(
+                        f"{name} argument {i + 1}: EffAddrValue is only "
+                        f"valid on load/store instructions")
+                return ("effaddr",)
+            if arg is BrCondValue:
+                if inst is None or not inst.inst.is_cond_branch():
+                    raise AtomError(
+                        f"{name} argument {i + 1}: BrCondValue is only "
+                        f"valid on conditional branch instructions")
+                return ("brcond",)
+            raise AtomError(f"{name} argument {i + 1}: VALUE must be "
+                            f"EffAddrValue or BrCondValue")
+        if kind is ParamKind.STRING:
+            if isinstance(arg, str):
+                data = arg.encode() + b"\x00"
+            elif isinstance(arg, bytes):
+                data = arg + b"\x00"
+            else:
+                raise AtomError(f"{name} argument {i + 1}: expected a "
+                                f"string, got {arg!r}")
+            return ("data", data, 1)
+        if kind is ParamKind.ARRAY:
+            if isinstance(arg, (bytes, bytearray)):
+                return ("data", bytes(arg), param.elem_size)
+            if not isinstance(arg, (list, tuple)):
+                raise AtomError(f"{name} argument {i + 1}: expected a "
+                                f"list, got {arg!r}")
+            fmt = {1: "b", 2: "h", 4: "i", 8: "q"}[param.elem_size]
+            mask = (1 << (8 * param.elem_size)) - 1
+            half = 1 << (8 * param.elem_size - 1)
+            out = bytearray()
+            for v in arg:
+                v &= mask
+                if v >= half:
+                    v -= mask + 1
+                out += struct.pack("<" + fmt, v)
+            return ("data", bytes(out), param.elem_size)
+        raise AssertionError(kind)  # pragma: no cover

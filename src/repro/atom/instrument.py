@@ -1,0 +1,394 @@
+"""The ATOM instrumenter: application + instrumentation + analysis -> one
+instrumented executable.
+
+This is the paper's second step (Figure 1): the custom tool — OM machinery
+combined with the user's instrumentation routines — is applied to the
+application, and the analysis routines are linked into the same address
+space.  The final layout follows Figure 4:
+
+    text_base:  [instrumented application text][wrappers][veneer]
+                [analysis text]
+                [analysis lita][analysis data][analysis bss, zero-filled]
+                [instrumentation-time data (strings/arrays)]
+                ...gap...
+    data_base:  [application lita][data][bss]      <- UNMOVED
+                [heap ->]
+    stack:      below text_base, growing down      <- UNMOVED
+
+Program data, heap and stack addresses are identical to the uninstrumented
+run; program text addresses change but the static new->old map is recorded
+and every ``InstPC``-style constant was materialized from original
+addresses at instrumentation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import opcodes, registers as R
+from ..isa.instruction import Instruction
+from ..objfile.linker import relocate_unit
+from ..objfile.module import Module
+from ..objfile.relocs import Relocation, RelocType
+from ..objfile.sections import BSS, DATA, LITA, TEXT
+from ..objfile.symtab import SymBind, Symbol
+from ..om import build_ir, emit
+from ..om.dataflow import Liveness
+from ..om.ir import IRBlock, IRInst, IRProc, IRProgram
+from .api import AtomContext, AtomError
+from .lowering import ANAL_PREFIX, ATOM_DATA_SYMBOL, AtomData, Lowerer
+from .saves import OptLevel, SavePlans, build_wrapper_proc, compute_plans
+
+VENEER_NAME = "__atom_veneer"
+
+#: Text spans under this stay within bsr reach end to end.
+_BSR_SPAN_LIMIT = 4 * 1024 * 1024
+
+
+class LayoutError(AtomError):
+    pass
+
+
+@dataclass
+class InstrumentStats:
+    points: int = 0
+    calls_added: int = 0
+    snippet_insts: int = 0
+    wrappers: int = 0
+    save_set_sizes: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class InstrumentResult:
+    module: Module
+    stats: InstrumentStats
+    plans: SavePlans
+
+
+def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
+                          *, opt: OptLevel = OptLevel.O1,
+                          heap_mode: str = "linked",
+                          heap_offset: int = 0x10_0000,
+                          tool_args: tuple[str, ...] = (),
+                          force_far_calls: bool = False) -> InstrumentResult:
+    """Instrument ``app_exe`` with a tool.
+
+    ``instrument_fn(iargc, iargv, atom)`` is the tool's instrumentation
+    routine; ``analysis_unit`` is a linked analysis module (see
+    :func:`repro.mlc.build_analysis_unit`) or MLC source text.
+
+    ``heap_mode`` selects the two-sbrk scheme: "linked" (default — both
+    sbrks allocate from one kernel break, each continuing where the other
+    stopped) or "partitioned" (the analysis heap starts ``heap_offset``
+    bytes past the application heap base; as in the paper, nothing checks
+    that the application heap does not grow into it).
+    """
+    if heap_mode not in ("linked", "partitioned"):
+        raise AtomError(f"unknown heap mode {heap_mode!r}")
+
+    # Defensive copies: neither input module is mutated.
+    app = Module.from_bytes(app_exe.to_bytes())
+    anal = _as_analysis_module(analysis_unit)
+
+    anal_ir = build_ir(anal)
+    app_ir = build_ir(app)
+
+    # ---- step 1: run the user's instrumentation routines ----------------
+    ctx = AtomContext(app_ir)
+    argv = ("atom",) + tuple(tool_args)
+    instrument_fn(len(argv), argv, ctx)
+
+    stats = InstrumentStats()
+    targets = _collect_targets(app_ir, ctx, stats)
+
+    # ---- step 2: save plans + analysis-unit transformation ----------------
+    plans = compute_plans(anal_ir, targets, opt)
+    for name, plan in plans.plans.items():
+        stats.save_set_sizes[name] = len(plan.saves)
+    anal_module = emit(anal_ir).module
+
+    # ---- decide call strategy (bsr vs jsr to the analysis unit) ------------
+    anal_text_size = len(anal_module.section(TEXT).data)
+    worst_app = 4 * app_ir.inst_count() + 64 * max(stats.calls_added, 1) \
+        + 4096
+    in_bsr_range = (worst_app + anal_text_size) < _BSR_SPAN_LIMIT
+    if force_far_calls:
+        # Testing hook: exercise the paper's "load the procedure value and
+        # jsr" path without building a 4 MB application.
+        in_bsr_range = False
+
+    # ---- step 3: lower actions into snippets --------------------------------
+    lowerer = Lowerer(plans=plans, data=AtomData(),
+                      analysis_in_bsr_range=in_bsr_range)
+    liveness = {}
+    if opt == OptLevel.O3:
+        liveness = {p.name: Liveness(p) for p in app_ir.procs}
+    _splice_program_hooks(app_ir, lowerer)
+    for proc in app_ir.procs:
+        _splice_proc(proc, lowerer,
+                     liveness.get(proc.name) if opt == OptLevel.O3
+                     else None, stats)
+
+    # ---- wrappers and the veneer ----------------------------------------------
+    has_libc_init = anal_module.symtab.get("__libc_init") is not None
+    for name in sorted(plans.plans):
+        plan = plans.plan(name)
+        if plan.mode == "wrapper":
+            app_ir.procs.append(build_wrapper_proc(
+                plan, ANAL_PREFIX + name, far=not in_bsr_range))
+            stats.wrappers += 1
+    app_ir.procs.append(_build_veneer(app_ir, app, lowerer,
+                                      has_libc_init, in_bsr_range))
+
+    # ---- layout: place the analysis unit in the gap ------------------------------
+    text_base = app.section(TEXT).vaddr
+    app_text_size = 4 * app_ir.inst_count()
+    pad = (-app_text_size) % 16
+    anal_text_base = text_base + app_text_size + pad
+    anal_data_base = anal_text_base + anal_text_size + \
+        ((-anal_text_size) % 16)
+    relocate_unit(anal_module, anal_text_base, anal_data_base)
+
+    anal_bss = anal_module.section(BSS)
+    atomdata_base = (anal_bss.vaddr + anal_bss.size + 15) & ~15
+    atom_blob = lowerer.data.blob()
+    gap_end = app.section(LITA).vaddr
+    if atomdata_base + len(atom_blob) > gap_end:
+        raise LayoutError(
+            f"analysis unit does not fit in the text-data gap "
+            f"(needs through {atomdata_base + len(atom_blob):#x}, "
+            f"application data starts at {gap_end:#x})")
+
+    # ---- partition the symbol name space and resolve -----------------------------
+    for sym in anal_module.symtab:
+        if sym.bind is SymBind.GLOBAL and sym.defined:
+            injected = Symbol(name=ANAL_PREFIX + sym.name, is_abs=True,
+                              value=sym.value, bind=SymBind.GLOBAL)
+            if injected.name in app.symtab:
+                raise AtomError(
+                    f"symbol name collision: {injected.name!r}")
+            app.symtab.add(injected)
+    app.symtab.add(Symbol(name=ATOM_DATA_SYMBOL, is_abs=True,
+                          value=atomdata_base, bind=SymBind.GLOBAL))
+
+    emitted = emit(app_ir, text_base=text_base)
+    final = emitted.module
+    if final.section(TEXT).vaddr + len(final.section(TEXT).data) \
+            != anal_text_base - pad:
+        raise LayoutError("instrumented text size mismatch")  # paranoia
+
+    # ---- stitch the final executable ----------------------------------------------
+    final.section(TEXT).data += b"\x00" * pad
+    final.section(TEXT).data += bytes(anal_module.section(TEXT).data)
+    for name in (LITA, DATA):
+        sec = anal_module.section(name)
+        if sec.size:
+            final.extra_segments.append(
+                (f"anal{name}", sec.vaddr, bytes(sec.data)))
+    if anal_bss.size:
+        # Paper: "the uninitialized data of the analysis routines is
+        # converted to initialized data by initializing it with zero."
+        final.extra_segments.append(
+            ("anal.bss", anal_bss.vaddr, b"\x00" * anal_bss.size))
+    if atom_blob:
+        final.extra_segments.append(
+            ("atom.data", atomdata_base, atom_blob))
+
+    final.entry = final.addr_of(VENEER_NAME)
+    final.analysis_gp = anal_module.gp_value
+    final.meta["atom:anal_text_base"] = anal_text_base
+    final.meta["atom:anal_data_base"] = anal_data_base
+    final.meta["atom:atomdata_base"] = atomdata_base
+    final.meta["atom:opt_level"] = int(opt)
+    final.meta["atom:heap_partitioned"] = int(heap_mode == "partitioned")
+
+    if heap_mode == "partitioned":
+        _patch_partitioned_heap(final, anal_module, app, heap_offset)
+
+    stats.snippet_insts = app_ir.inst_count() - _orig_count(app_ir)
+    return InstrumentResult(module=final, stats=stats, plans=plans)
+
+
+def _as_analysis_module(analysis_unit) -> Module:
+    if isinstance(analysis_unit, Module):
+        return Module.from_bytes(analysis_unit.to_bytes())
+    from ..mlc import build_analysis_unit
+    if isinstance(analysis_unit, str):
+        return build_analysis_unit([analysis_unit])
+    return build_analysis_unit(list(analysis_unit))
+
+
+def _orig_count(app_ir: IRProgram) -> int:
+    return sum(1 for ir in app_ir.instructions() if ir.orig_pc is not None)
+
+
+def _collect_targets(app_ir: IRProgram, ctx: AtomContext,
+                     stats: InstrumentStats) -> dict[str, int]:
+    """Every analysis procedure referenced by any action, with arg counts."""
+    targets: dict[str, int] = {}
+
+    def note(actions):
+        if actions:
+            stats.points += 1
+        for action in actions:
+            stats.calls_added += 1
+            proto = ctx.protos[action.proc_name]
+            targets[action.proc_name] = proto.arg_count
+
+    note(app_ir.before)
+    note(app_ir.after)
+    for proc in app_ir.procs:
+        note(proc.before)
+        note(proc.after)
+        for block in proc.blocks:
+            note(block.before)
+            note(block.after)
+            for ir in block.insts:
+                note(ir.before)
+                note(ir.after)
+    return targets
+
+
+# ---- splicing --------------------------------------------------------------
+
+def _splice_proc(proc: IRProc, lowerer: Lowerer, liveness, stats) -> None:
+    for block in proc.blocks:
+        _splice_block(block, lowerer, liveness)
+    # Block-level hooks.
+    for block in proc.blocks:
+        if block.before:
+            live = liveness.live_in[block.index] if liveness else None
+            block.insts[:0] = lowerer.snippet(block.before, None, live)
+    # Procedure-level hooks: before -> entry; after -> before each ret.
+    if proc.after:
+        for block in proc.blocks:
+            for idx in range(len(block.insts) - 1, -1, -1):
+                if block.insts[idx].inst.is_ret():
+                    live = None
+                    block.insts[idx:idx] = lowerer.snippet(
+                        proc.after, None, live)
+    if proc.before:
+        entry = proc.blocks[0]
+        live = liveness.live_in[entry.index] if liveness else None
+        entry.insts[:0] = lowerer.snippet(proc.before, None, live)
+
+
+def _splice_block(block: IRBlock, lowerer: Lowerer, liveness) -> None:
+    # Plan first against original indices (liveness positions), then build.
+    plan: list[tuple[int, str, IRInst]] = []
+    for idx, ir in enumerate(block.insts):
+        if ir.before or ir.after:
+            plan.append((idx, "", ir))
+    has_block_after = bool(block.after)
+    if not plan and not has_block_after:
+        return
+    new_insts: list[IRInst] = []
+    for idx, ir in enumerate(block.insts):
+        if ir.before:
+            live = liveness.live_before(block, idx) if liveness else None
+            new_insts.extend(lowerer.snippet(ir.before, ir, live))
+        new_insts.append(ir)
+        if ir.after:
+            live = liveness.live_after(block, idx) if liveness else None
+            new_insts.extend(lowerer.snippet(ir.after, ir, live))
+    if has_block_after:
+        live = liveness.live_out[block.index] if liveness else None
+        snippet = lowerer.snippet(block.after, None, live)
+        if new_insts and new_insts[-1].inst.ends_block():
+            new_insts[-1:-1] = snippet
+        else:
+            new_insts.extend(snippet)
+    block.insts = new_insts
+
+
+def _splice_program_hooks(app_ir: IRProgram, lowerer: Lowerer) -> None:
+    """ProgramAfter calls run when the application terminates: ATOM hooks
+    the single termination point, the _exit procedure."""
+    if not app_ir.after:
+        return
+    exit_proc = app_ir.find_proc("_exit")
+    if exit_proc is None:
+        raise AtomError(
+            "ProgramAfter requires the application to terminate through "
+            "_exit, but no _exit procedure was found")
+    snippet = lowerer.snippet(app_ir.after, None)
+    exit_proc.blocks[0].insts[:0] = snippet
+    app_ir.after = []
+
+
+def _build_veneer(app_ir: IRProgram, app: Module, lowerer: Lowerer,
+                  has_libc_init: bool, in_bsr_range: bool) -> IRProc:
+    """New entry point: initialize the analysis libc, run ProgramBefore
+    calls, then transfer to the original entry."""
+    entry_proc = None
+    for proc in app_ir.procs:
+        if proc.orig_addr == app.entry:
+            entry_proc = proc
+            break
+    if entry_proc is None:
+        raise AtomError("cannot locate the application entry procedure")
+
+    insts: list[IRInst] = []
+
+    def mov(src, dst):
+        insts.append(IRInst(Instruction(opcodes.BIS, ra=src, rb=R.ZERO,
+                                        rc=dst)))
+
+    mov(R.A0, R.S0)
+    mov(R.A1, R.S1)
+    if has_libc_init:
+        target = ANAL_PREFIX + "__libc_init"
+        if in_bsr_range:
+            insts.append(IRInst(Instruction(opcodes.BSR, ra=R.RA),
+                                target=("symbol", target)))
+        else:
+            hi = IRInst(Instruction(opcodes.LDAH, ra=R.PV, rb=R.ZERO))
+            hi.relocs.append(Relocation(TEXT, 0, RelocType.HI16, target, 0))
+            lo = IRInst(Instruction(opcodes.LDA, ra=R.PV, rb=R.PV))
+            lo.relocs.append(Relocation(TEXT, 0, RelocType.LO16, target, 0))
+            insts.extend([hi, lo])
+            insts.append(IRInst(Instruction(opcodes.JSR, ra=R.RA,
+                                            rb=R.PV)))
+    insts.extend(lowerer.snippet(app_ir.before, None))
+    app_ir.before = []
+    mov(R.S0, R.A0)
+    mov(R.S1, R.A1)
+    insts.append(IRInst(Instruction(opcodes.BR, ra=R.ZERO),
+                        target=("symbol", entry_proc.name)))
+
+    block = IRBlock(index=-2)
+    block.insts = insts
+    proc = IRProc(name=VENEER_NAME, blocks=[block])
+    block.proc = proc
+    return proc
+
+
+def _patch_partitioned_heap(final: Module, anal_module: Module,
+                            app: Module, heap_offset: int) -> None:
+    """Route the analysis sbrk to the second break pointer.
+
+    Patches the *initial values* of the analysis libc's __sbrk_channel and
+    __sbrk2_base globals in the analysis data segment — exactly the
+    "ATOM modifies the sbrk in analysis routines" step of the paper.
+    """
+    channel = anal_module.symtab.get("__sbrk_channel")
+    base = anal_module.symtab.get("__sbrk2_base")
+    if channel is None or base is None or not channel.defined:
+        raise AtomError("partitioned heap requires the analysis unit to "
+                        "link the standard sbrk (libc)")
+    end_sym = app.symtab.get("__end")
+    app_heap_base = (end_sym.value + 7) & ~7 if end_sym else 0
+    heap2_base = app_heap_base + heap_offset
+
+    data_sec = anal_module.section(DATA)
+    patched = []
+    for name, vaddr, blob in final.extra_segments:
+        if name == f"anal{DATA}":
+            blob = bytearray(blob)
+            for sym, value in ((channel, 1), (base, heap2_base)):
+                off = sym.value - data_sec.vaddr
+                blob[off:off + 8] = value.to_bytes(8, "little")
+            blob = bytes(blob)
+        patched.append((name, vaddr, blob))
+    final.extra_segments = patched
+    final.meta["atom:heap2_base"] = heap2_base

@@ -1,0 +1,110 @@
+"""AddCallProto: the analysis-procedure prototype language.
+
+Before an instrumentation routine may request a call to an analysis
+procedure, it must declare the procedure's prototype, e.g.::
+
+    AddCallProto("CondBranch(int, VALUE)")
+    AddCallProto("OpenFile(int)")
+    AddCallProto("Log(char *, REGV, long[])")
+
+Types are the standard C scalar types plus the paper's two special ones:
+
+* ``REGV`` — the instrumentation-time argument is a *register number*; at
+  run time the register's contents are passed;
+* ``VALUE`` — the instrumentation-time argument is one of the sentinels
+  ``EffAddrValue`` (the memory address a load/store references) or
+  ``BrCondValue`` (zero when the conditional branch will fall through,
+  non-zero when it will be taken).
+
+``char *`` passes a string and ``T[]`` an array: ATOM copies the data into
+the analysis data region and passes its address (footnote 4 of the paper:
+"ATOM allows passing of arrays as arguments").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ProtoError(Exception):
+    pass
+
+
+class ParamKind(Enum):
+    INT = "int"          # any integer scalar, materialized as a constant
+    STRING = "string"    # char *
+    ARRAY = "array"      # T[]
+    REGV = "regv"        # register contents at run time
+    VALUE = "value"      # EffAddrValue / BrCondValue
+
+
+@dataclass(frozen=True)
+class Param:
+    kind: ParamKind
+    #: element size in bytes for ARRAY params
+    elem_size: int = 8
+    #: original type spelling, for error messages
+    spelling: str = ""
+
+
+@dataclass(frozen=True)
+class Prototype:
+    name: str
+    params: tuple[Param, ...]
+
+    @property
+    def arg_count(self) -> int:
+        return len(self.params)
+
+
+_INT_TYPES = {
+    "char": 1, "short": 2, "int": 4, "long": 8,
+    "unsigned": 4, "unsigned char": 1, "unsigned short": 2,
+    "unsigned int": 4, "unsigned long": 8, "long long": 8,
+}
+
+_PROTO_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*\(\s*(.*?)\s*\)\s*$",
+                       re.DOTALL)
+
+
+def parse_proto(text: str) -> Prototype:
+    """Parse a prototype string into a :class:`Prototype`."""
+    m = _PROTO_RE.match(text)
+    if not m:
+        raise ProtoError(f"malformed prototype: {text!r}")
+    name, body = m.group(1), m.group(2)
+    params: list[Param] = []
+    if body and body != "void":
+        for piece in body.split(","):
+            params.append(_parse_param(piece.strip(), text))
+    return Prototype(name, tuple(params))
+
+
+def _parse_param(spelling: str, ctx: str) -> Param:
+    if not spelling:
+        raise ProtoError(f"empty parameter in {ctx!r}")
+    if spelling == "REGV":
+        return Param(ParamKind.REGV, spelling=spelling)
+    if spelling == "VALUE":
+        return Param(ParamKind.VALUE, spelling=spelling)
+    # Arrays: "T[]" or "T []"
+    m = re.match(r"^(.+?)\s*\[\s*\]$", spelling)
+    if m:
+        base = m.group(1).strip()
+        size = _INT_TYPES.get(base)
+        if size is None:
+            raise ProtoError(f"unsupported array element type {base!r} "
+                             f"in {ctx!r}")
+        return Param(ParamKind.ARRAY, elem_size=size, spelling=spelling)
+    # Pointers: char * is a string; anything else passes as an integer.
+    m = re.match(r"^(.+?)\s*\*+$", spelling)
+    if m:
+        base = m.group(1).strip()
+        if base == "char":
+            return Param(ParamKind.STRING, spelling=spelling)
+        return Param(ParamKind.INT, spelling=spelling)
+    if spelling in _INT_TYPES:
+        return Param(ParamKind.INT, spelling=spelling)
+    raise ProtoError(f"unsupported parameter type {spelling!r} in {ctx!r}")

@@ -1,0 +1,5 @@
+"""Baseline rewriters the paper compares ATOM against."""
+
+from .pixie import pixie_instrument
+
+__all__ = ["pixie_instrument"]

@@ -1,0 +1,233 @@
+"""A Pixie-style basic-block counting rewriter.
+
+Pixie is the paper's canonical prior tool (footnote 6): it *steals three
+registers* from the application for its own use, keeps three memory
+locations holding the application's values of those registers, and
+replaces application uses of the registers with uses of the memory
+locations.  Counts are written to a file at exit and analyzed offline —
+the exact data-collection/analysis split ATOM eliminates.
+
+This implementation mirrors that design on WRL-64:
+
+* steals t9/t10/t11 (t9 = counter-array base, t10/t11 = scratch);
+* prepends a three-instruction counter increment to every basic block;
+* shadows application uses of the stolen registers through memory;
+* dumps the counter array to ``pixie.counts`` when the program exits.
+
+It exists as the comparison baseline for the ablation benchmarks: same
+job as ATOM's dyninst tool, prior-generation mechanism.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..isa import const, opcodes, registers as R
+from ..isa.instruction import Instruction
+from ..objfile.module import Module
+from ..objfile.sections import LITA, TEXT
+from ..om import build_ir, emit
+from ..om.ir import IRInst
+
+#: The three stolen registers.
+STOLEN = (R.T9, R.T10, R.T11)
+BASE_REG, SCRATCH1, SCRATCH2 = STOLEN
+
+COUNTS_FILE = "pixie.counts"
+
+
+@dataclass
+class PixieResult:
+    module: Module
+    nblocks: int
+    #: block index -> original block PC (for offline analysis)
+    block_pcs: list[int]
+
+
+def pixie_instrument(app_exe: Module) -> PixieResult:
+    """Rewrite ``app_exe`` into a block-counting executable."""
+    app = Module.from_bytes(app_exe.to_bytes())
+    program = build_ir(app)
+
+    # Pixie data region lives in the text-data gap: shadow slots for the
+    # three stolen registers, then one 8-byte counter per block, then the
+    # output file name.
+    gap_base = _gap_base(app)
+    shadow_addr = {reg: gap_base + 8 * i for i, reg in enumerate(STOLEN)}
+    counters_base = gap_base + 8 * len(STOLEN)
+
+    blocks = [b for proc in program.procs for b in proc.blocks]
+    nblocks = len(blocks)
+    block_pcs = [b.orig_pc or 0 for b in blocks]
+    name_addr = counters_base + 8 * nblocks
+    name_bytes = COUNTS_FILE.encode() + b"\x00"
+
+    exit_proc = program.find_proc("_exit")
+
+    # Rewrite application instructions that touch stolen registers.
+    for proc in program.procs:
+        for block in proc.blocks:
+            block.insts = _shadow_stolen(block.insts, shadow_addr,
+                                         counters_base)
+
+    # Dump counters at program exit.  Inserted before the bumps are
+    # prepended so _exit's own block bump executes first and the dumped
+    # counts include it.
+    if exit_proc is not None:
+        exit_proc.blocks[0].insts[:0] = _dump(name_addr, counters_base,
+                                              nblocks)
+
+    # Prepend the counter bump to every block (after shadowing, so the
+    # bump itself is not rewritten).
+    for index, block in enumerate(blocks):
+        block.insts[:0] = _bump(index)
+
+    # Establish pixie's counter base at process entry.
+    entry_proc = None
+    for proc in program.procs:
+        if proc.orig_addr == app.entry:
+            entry_proc = proc
+    if entry_proc is None:
+        raise ValueError("cannot locate the entry procedure")
+    entry_proc.blocks[0].insts[:0] = _materialize(counters_base, BASE_REG)
+
+    result = emit(program)
+    out = result.module
+    blob = bytearray(8 * len(STOLEN))                   # shadow slots
+    blob += b"\x00" * (8 * nblocks)                     # counters
+    blob += name_bytes
+    out.extra_segments.append(("pixie.data", gap_base, bytes(blob)))
+    out.meta["pixie:counters_base"] = counters_base
+    out.meta["pixie:nblocks"] = nblocks
+    return PixieResult(module=out, nblocks=nblocks, block_pcs=block_pcs)
+
+
+def read_counts(run_result, result: PixieResult) -> list[int]:
+    """Offline analysis: parse the counts file a pixified program wrote."""
+    blob = run_result.files[COUNTS_FILE]
+    return [v for (v,) in struct.iter_unpack("<Q", blob)]
+
+
+def _gap_base(app: Module) -> int:
+    text = app.section(TEXT)
+    # Leave generous room for the fattened text.
+    base = text.vaddr + 4 * len(text.data) + 0x40_000
+    limit = app.section(LITA).vaddr
+    if base >= limit:
+        raise ValueError("no room for pixie data in the text-data gap")
+    return (base + 15) & ~15
+
+
+def _materialize(value: int, reg: int) -> list[IRInst]:
+    return [IRInst(i) for i in const.materialize(value, reg)]
+
+
+def _bump(index: int) -> list[IRInst]:
+    """ldq t10, 8*index(t9); addq t10, 1, t10; stq t10, 8*index(t9)."""
+    disp = 8 * index
+    if disp <= 0x7FFF:
+        return [
+            IRInst(Instruction(opcodes.LDQ, ra=SCRATCH1, rb=BASE_REG,
+                               disp=disp)),
+            IRInst(Instruction(opcodes.ADDQ, ra=SCRATCH1, lit=1,
+                               is_lit=True, rc=SCRATCH1)),
+            IRInst(Instruction(opcodes.STQ, ra=SCRATCH1, rb=BASE_REG,
+                               disp=disp)),
+        ]
+    # Far counters: compute the slot address in the second scratch.
+    out = _materialize(disp, SCRATCH2)
+    out.append(IRInst(Instruction(opcodes.ADDQ, ra=SCRATCH2, rb=BASE_REG,
+                                  rc=SCRATCH2)))
+    out.append(IRInst(Instruction(opcodes.LDQ, ra=SCRATCH1, rb=SCRATCH2,
+                                  disp=0)))
+    out.append(IRInst(Instruction(opcodes.ADDQ, ra=SCRATCH1, lit=1,
+                                  is_lit=True, rc=SCRATCH1)))
+    out.append(IRInst(Instruction(opcodes.STQ, ra=SCRATCH1, rb=SCRATCH2,
+                                  disp=0)))
+    return out
+
+
+def _shadow_stolen(insts: list[IRInst], shadow_addr: dict[int, int],
+                   counters_base: int) -> list[IRInst]:
+    """Replace application uses of stolen registers with memory shadows.
+
+    Before an instruction that reads a stolen register, its value is
+    loaded from the shadow slot; after one that writes it, the result is
+    stored back and pixie's own state (t9 = counter base) is re-derived.
+    """
+    out: list[IRInst] = []
+    stolen = set(STOLEN)
+    for ir in insts:
+        inst = ir.inst
+        uses = inst.uses() & stolen
+        defs = inst.defs() & stolen
+        if not uses and not defs:
+            out.append(ir)
+            continue
+        if inst.is_control_transfer() and uses:
+            # A branch/jump testing a stolen register: its app value is
+            # loaded into a scratch and the register field rewritten, so
+            # pixie's base register survives on *both* outgoing paths.
+            (reg,) = uses
+            scratch = SCRATCH1 if reg != SCRATCH1 else SCRATCH2
+            out.extend(_materialize(shadow_addr[reg], scratch))
+            out.append(IRInst(Instruction(opcodes.LDQ, ra=scratch,
+                                          rb=scratch, disp=0)))
+            new_inst = inst.copy()
+            if inst.op.format is opcodes.Format.BRANCH:
+                new_inst.ra = scratch
+            else:
+                new_inst.rb = scratch
+            ir.inst = new_inst
+            out.append(ir)
+            continue
+        for reg in sorted(uses):
+            out.extend(_materialize(shadow_addr[reg], reg))
+            out.append(IRInst(Instruction(opcodes.LDQ, ra=reg, rb=reg,
+                                          disp=0)))
+        out.append(ir)
+        for reg in sorted(defs):
+            # Store the app's new value via the *other* scratch register.
+            helper = SCRATCH1 if reg != SCRATCH1 else SCRATCH2
+            out.extend(_materialize(shadow_addr[reg], helper))
+            out.append(IRInst(Instruction(opcodes.STQ, ra=reg, rb=helper,
+                                          disp=0)))
+        if BASE_REG in uses or BASE_REG in defs:
+            # Pixie's counter base was clobbered: re-derive it.
+            out.extend(_materialize(counters_base, BASE_REG))
+    return out
+
+
+def _dump(name_addr: int, counters_base: int, nblocks: int) -> list[IRInst]:
+    """open(name, O_WRONLY); write(fd, counters, 8*n); close(fd).
+
+    Runs at _exit entry: every register is dead, so the sequence uses the
+    argument registers freely.
+    """
+    from ..machine.syscalls import SYS_CLOSE, SYS_OPEN, SYS_WRITE
+
+    def sys(num: int) -> list[IRInst]:
+        return (_materialize(num, R.V0)
+                + [IRInst(Instruction(opcodes.SYS))])
+
+    out: list[IRInst] = []
+    # a0 holds _exit's status argument: preserve it in s0.
+    out.append(IRInst(Instruction(opcodes.BIS, ra=R.A0, rb=R.ZERO,
+                                  rc=R.S0)))
+    out += _materialize(name_addr, R.A0)
+    out += _materialize(1, R.A1)                    # O_WRONLY
+    out += sys(SYS_OPEN)
+    out.append(IRInst(Instruction(opcodes.BIS, ra=R.V0, rb=R.ZERO,
+                                  rc=R.A0)))        # fd
+    out.append(IRInst(Instruction(opcodes.BIS, ra=R.A0, rb=R.ZERO,
+                                  rc=R.S1)))        # keep fd for close
+    out += _materialize(counters_base, R.A1)
+    out += _materialize(8 * nblocks, R.A2)
+    out += sys(SYS_WRITE)
+    out.append(IRInst(Instruction(opcodes.BIS, ra=R.S1, rb=R.ZERO,
+                                  rc=R.A0)))
+    out += sys(SYS_CLOSE)
+    out.append(IRInst(Instruction(opcodes.BIS, ra=R.S0, rb=R.ZERO,
+                                  rc=R.A0)))        # restore exit status
+    return out

@@ -1,0 +1,72 @@
+"""An address-tracing tool, for the paper's motivating comparison.
+
+The introduction's second complaint about prior systems: address-tracing
+tools compute *everything* and ship it out — "the instruction and address
+traces are extremely large even for small programs and typically run into
+gigabytes" — and the data still has to cross into the analysis through
+IPC or files.  ATOM's answer is to run the analysis in-process and keep
+only the answer.
+
+This module builds both sides of that comparison *with ATOM itself*:
+
+* :func:`trace_instrument` — a tool whose analysis routines append every
+  memory-reference address to a buffered trace file (the old world);
+* the ordinary ``cache`` tool consumes the same stream in-process and
+  keeps 2 KB of tags (the ATOM world).
+
+The bench in ``benchmarks/test_ablation_tracing.py`` measures the trace
+bytes an offline pipeline would have to move versus the size of the cache
+tool's finished answer.
+"""
+
+from __future__ import annotations
+
+from ..atom import EffAddrValue, InstBefore, InstTypeMemRef, ProgramAfter, ProgramBefore
+
+TRACE_FILE = "addr.trace"
+
+TRACE_ANALYSIS = r"""
+// Buffered address tracer: the data-collection half of a classic
+// trace-driven pipeline.  8 bytes per reference, flushed in 64 KB runs.
+
+long *trace_buf;
+long trace_n;
+FILE *trace_f;
+long trace_total;
+
+void TraceInit(void) {
+    trace_buf = (long *)malloc(8192 * sizeof(long));
+    trace_f = fopen("addr.trace", "w");
+    trace_n = 0;
+}
+
+void TraceRef(long addr) {
+    trace_buf[trace_n++] = addr;
+    trace_total++;
+    if (trace_n == 8192) {
+        fwrite(trace_buf, sizeof(long), trace_n, trace_f);
+        trace_n = 0;
+    }
+}
+
+void TraceDone(void) {
+    if (trace_n) {
+        fwrite(trace_buf, sizeof(long), trace_n, trace_f);
+    }
+    fclose(trace_f);
+}
+"""
+
+
+def trace_instrument(iargc, iargv, atom):
+    """Instrumentation routine: trace every memory reference."""
+    atom.AddCallProto("TraceInit()")
+    atom.AddCallProto("TraceRef(VALUE)")
+    atom.AddCallProto("TraceDone()")
+    atom.AddCallProgram(ProgramBefore, "TraceInit")
+    for proc in atom.procs():
+        for inst in atom.insts(proc):
+            if atom.IsInstType(inst, InstTypeMemRef):
+                atom.AddCallInst(inst, InstBefore, "TraceRef",
+                                 EffAddrValue)
+    atom.AddCallProgram(ProgramAfter, "TraceDone")

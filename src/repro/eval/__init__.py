@@ -1,0 +1,7 @@
+"""Shared evaluation harness for the benchmark suite."""
+
+from .runner import (apply_tool, analysis_unit_for, run_instrumented,
+                     run_uninstrumented)
+
+__all__ = ["apply_tool", "analysis_unit_for", "run_instrumented",
+           "run_uninstrumented"]

@@ -1,0 +1,50 @@
+"""Applying tools to executables and running the results.
+
+This is the glue the benchmarks and examples share: build (and cache) each
+tool's analysis unit, instrument an application with it, and run either
+version on the simulated machine collecting cycle counts.
+"""
+
+from __future__ import annotations
+
+from ..atom import OptLevel, instrument_executable
+from ..atom.instrument import InstrumentResult
+from ..machine import RunResult, run_module
+from ..mlc import build_analysis_unit
+from ..objfile.module import Module
+from ..tools import Tool
+
+_analysis_cache: dict[str, bytes] = {}
+
+
+def analysis_unit_for(tool: Tool) -> Module:
+    """Compile the tool's analysis routines into a linked unit (cached)."""
+    blob = _analysis_cache.get(tool.name)
+    if blob is None:
+        unit = build_analysis_unit([tool.analysis_source],
+                                   name=f"{tool.name}-analysis")
+        blob = unit.to_bytes()
+        _analysis_cache[tool.name] = blob
+    return Module.from_bytes(blob)
+
+
+def apply_tool(app: Module, tool: Tool, *,
+               opt: OptLevel = OptLevel.O1,
+               heap_mode: str = "linked",
+               tool_args: tuple[str, ...] = ()) -> InstrumentResult:
+    """Instrument ``app`` with ``tool`` (the paper's step 2)."""
+    return instrument_executable(app, tool.instrument,
+                                 analysis_unit_for(tool), opt=opt,
+                                 heap_mode=heap_mode, tool_args=tool_args)
+
+
+def run_uninstrumented(app: Module, *, args=(), stdin=b"",
+                       max_insts: int = 500_000_000) -> RunResult:
+    return run_module(app, args=tuple(args), stdin=stdin,
+                      max_insts=max_insts)
+
+
+def run_instrumented(result: InstrumentResult, *, args=(), stdin=b"",
+                     max_insts: int = 2_000_000_000) -> RunResult:
+    return run_module(result.module, args=tuple(args), stdin=stdin,
+                      max_insts=max_insts)

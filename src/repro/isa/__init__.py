@@ -1,0 +1,6 @@
+"""WRL-64: the synthetic Alpha-like ISA this reproduction targets."""
+
+from . import const, encoding, opcodes, registers
+from .instruction import Instruction, nop
+
+__all__ = ["const", "encoding", "opcodes", "registers", "Instruction", "nop"]

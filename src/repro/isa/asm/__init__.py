@@ -1,0 +1,6 @@
+"""Two-pass assembler for WRL-64 assembly source."""
+
+from .assembler import AsmError, assemble
+from .parser import AsmSyntaxError
+
+__all__ = ["assemble", "AsmError", "AsmSyntaxError"]

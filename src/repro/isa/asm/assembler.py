@@ -1,0 +1,494 @@
+"""The WRL-64 two-phase assembler.
+
+Phase one walks the source, expanding pseudo-instructions, appending
+encoded words and data bytes to the module's sections, defining labels,
+and recording fixups for forward or external references.  Phase two
+resolves branch fixups whose targets are local ``.text`` labels and turns
+every other fixup into a relocation record for the linker.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .. import const, encoding, opcodes, registers
+from ...objfile.module import Module
+from ...objfile.relocs import Relocation, RelocType
+from ...objfile.sections import BSS, TEXT
+from ...objfile.symtab import SymBind, SymKind
+from ..instruction import Instruction
+from .parser import (AsmSyntaxError, Line, Operand, parse_expr,
+                     parse_line)
+
+
+class AsmError(AsmSyntaxError):
+    """Semantic assembly error."""
+
+
+def assemble(source: str, name: str = "<asm>") -> Module:
+    """Assemble source text into a relocatable :class:`Module`."""
+    return _Assembler(name).run(source)
+
+
+class _Fixup:
+    __slots__ = ("section", "offset", "type", "symbol", "addend", "line_no")
+
+    def __init__(self, section: str, offset: int, type_: RelocType,
+                 symbol: str, addend: int, line_no: int):
+        self.section = section
+        self.offset = offset
+        self.type = type_
+        self.symbol = symbol
+        self.addend = addend
+        self.line_no = line_no
+
+
+class _Assembler:
+    def __init__(self, name: str):
+        self.module = Module(name=name)
+        self.cur = TEXT
+        self.fixups: list[_Fixup] = []
+        self.globals: set[str] = set()
+        self.pending_ents: dict[str, int] = {}   # proc name -> start offset
+        self.line_no = 0
+
+    # ---- driver ----------------------------------------------------------
+
+    def run(self, source: str) -> Module:
+        for number, raw in enumerate(source.splitlines(), start=1):
+            self.line_no = number
+            for line in parse_line(raw, number):
+                self._statement(line)
+        self._finalize()
+        return self.module
+
+    def _statement(self, line: Line) -> None:
+        if line.label:
+            self._define_label(line.label)
+        if line.mnemonic is None:
+            return
+        if line.mnemonic.startswith("."):
+            self._directive(line)
+        else:
+            self._instruction(line)
+
+    def _err(self, msg: str) -> AsmError:
+        return AsmError(msg, self.line_no)
+
+    # ---- symbols & sections ----------------------------------------------
+
+    def _sec(self):
+        return self.module.section(self.cur)
+
+    def _define_label(self, name: str) -> None:
+        kind = SymKind.FUNC if (self.cur == TEXT and name in self.pending_ents) \
+            else (SymKind.NOTYPE if self.cur == TEXT else SymKind.OBJECT)
+        try:
+            sym = self.module.symtab.define(name, self.cur, self._sec().size,
+                                            kind=kind)
+        except ValueError as exc:
+            raise self._err(str(exc)) from None
+        if name in self.globals:
+            sym.bind = SymBind.GLOBAL
+
+    # ---- directives --------------------------------------------------------
+
+    def _directive(self, line: Line) -> None:
+        name = line.mnemonic
+        args = line.raw_args.strip()
+        if name in (".text", ".data", ".bss"):
+            self.cur = name
+        elif name == ".globl" or name == ".global":
+            for part in args.split(","):
+                symname = part.strip()
+                if not symname:
+                    continue
+                self.globals.add(symname)
+                sym = self.module.symtab.get(symname)
+                if sym is not None:
+                    sym.bind = SymBind.GLOBAL
+        elif name == ".ent":
+            if self.cur != TEXT:
+                raise self._err(".ent outside .text")
+            self.pending_ents[args] = self._sec().size
+            self._cur_proc = args
+        elif name == ".frame":
+            # .frame <framesize>, <outgoing-arg-bytes> — frame-layout
+            # metadata (the analogue of OSF/1 procedure descriptors) used
+            # by ATOM's in-frame register-save optimization.
+            proc = getattr(self, "_cur_proc", None)
+            if proc is None:
+                raise self._err(".frame outside a .ent/.end bracket")
+            parts = [p.strip() for p in args.split(",")]
+            if len(parts) != 2:
+                raise self._err(".frame needs framesize, outgoing")
+            self.module.meta[f"frame:{proc}"] = int(parts[0], 0)
+            self.module.meta[f"outgoing:{proc}"] = int(parts[1], 0)
+        elif name == ".end":
+            self._end_proc(args)
+        elif name == ".align":
+            power = int(args, 0)
+            self._sec().align_to(1 << power)
+        elif name in (".space", ".skip"):
+            self._sec().reserve(int(args, 0))
+        elif name == ".byte":
+            self._data_ints(args, 1)
+        elif name in (".word", ".short"):
+            self._data_ints(args, 2)
+        elif name == ".long":
+            self._data_ints(args, 4)
+        elif name == ".quad":
+            self._data_ints(args, 8)
+        elif name == ".ascii":
+            self._sec().append(_parse_string(args, self.line_no))
+        elif name == ".asciiz":
+            self._sec().append(_parse_string(args, self.line_no) + b"\x00")
+        elif name == ".comm":
+            self._comm(args)
+        else:
+            raise self._err(f"unknown directive {name}")
+
+    def _end_proc(self, name: str) -> None:
+        self._cur_proc = None
+        start = self.pending_ents.pop(name, None)
+        if start is None:
+            raise self._err(f".end without .ent: {name}")
+        sym = self.module.symtab.get(name)
+        if sym is None or sym.section != TEXT:
+            raise self._err(f".end {name}: procedure label not defined in .text")
+        sym.kind = SymKind.FUNC
+        sym.size = self._sec().size - sym.value
+
+    def _comm(self, args: str) -> None:
+        parts = [p.strip() for p in args.split(",")]
+        if len(parts) not in (2, 3):
+            raise self._err(".comm needs name, size[, align]")
+        name, size = parts[0], int(parts[1], 0)
+        align = int(parts[2], 0) if len(parts) == 3 else 8
+        bss = self.module.section(BSS)
+        bss.align_to(align)
+        offset = bss.reserve(size)
+        sym = self.module.symtab.define(name, BSS, offset,
+                                        kind=SymKind.OBJECT, size=size)
+        sym.bind = SymBind.GLOBAL
+
+    def _data_ints(self, args: str, width: int) -> None:
+        sec = self._sec()
+        if self.cur == BSS:
+            raise self._err("initialized data in .bss")
+        for part in _split_top(args):
+            expr = parse_expr(part)
+            if expr.is_const:
+                value = expr.addend & ((1 << (8 * width)) - 1)
+                sec.append(value.to_bytes(width, "little"))
+            else:
+                if width == 8:
+                    rtype = RelocType.QUAD64
+                elif width == 4:
+                    rtype = RelocType.LONG32
+                else:
+                    raise self._err(
+                        f"symbol reference needs .long or .quad: {part}")
+                offset = sec.append(b"\x00" * width)
+                self.fixups.append(_Fixup(self.cur, offset, rtype,
+                                          expr.symbol, expr.addend,
+                                          self.line_no))
+
+    # ---- instructions -----------------------------------------------------
+
+    def _instruction(self, line: Line) -> None:
+        if self.cur != TEXT:
+            raise self._err("instruction outside .text")
+        for inst, fixup in self._expand(line):
+            self._emit(inst, fixup)
+
+    def _emit(self, inst: Instruction,
+              fixup: tuple[RelocType, str, int] | None) -> None:
+        sec = self._sec()
+        offset = sec.append(struct.pack("<I", encoding.encode(inst)))
+        if fixup is not None:
+            rtype, symbol, addend = fixup
+            self.fixups.append(_Fixup(TEXT, offset, rtype, symbol, addend,
+                                      self.line_no))
+
+    # Expansion returns (instruction, optional fixup) pairs.
+    def _expand(self, line: Line):
+        mn = line.mnemonic
+        ops = line.operands
+        handler = _PSEUDOS.get(mn)
+        if handler is not None:
+            yield from handler(self, ops)
+            return
+        try:
+            info = opcodes.lookup(mn)
+        except ValueError:
+            raise self._err(f"unknown mnemonic {mn!r}") from None
+        yield from self._expand_real(info, ops)
+
+    def _expand_real(self, info, ops: list[Operand]):
+        fmt = info.format
+        if fmt is opcodes.Format.MEMORY:
+            yield self._memory(info, ops)
+        elif fmt is opcodes.Format.BRANCH:
+            yield self._branch(info, ops)
+        elif fmt is opcodes.Format.JUMP:
+            yield self._jump(info, ops)
+        elif fmt is opcodes.Format.OPERATE:
+            yield from self._operate(info, ops)
+        elif fmt is opcodes.Format.SYSTEM:
+            imm = 0
+            if ops:
+                imm = self._const_expr(ops[0])
+            yield Instruction(info, imm=imm), None
+
+    def _memory(self, info, ops: list[Operand]):
+        if len(ops) != 2 or ops[0].kind != "reg":
+            raise self._err(f"{info.mnemonic} needs 'reg, addr' operands")
+        ra = ops[0].reg
+        addr = ops[1]
+        if addr.kind == "mem":
+            expr, base = addr.expr, addr.base
+        elif addr.kind == "expr":
+            expr, base = addr.expr, registers.ZERO
+        else:
+            raise self._err(f"bad address operand for {info.mnemonic}")
+        inst = Instruction(info, ra=ra, rb=base, disp=0)
+        if expr.is_const and expr.modifier is None:
+            if not const.fits_signed(expr.addend, 16):
+                raise self._err(f"displacement out of range: {expr.addend}")
+            return inst.copy(disp=expr.addend), None
+        rtype = {None: None, "hi": RelocType.HI16, "lo": RelocType.LO16,
+                 "got": RelocType.GOT16}[expr.modifier]
+        if rtype is None:
+            raise self._err(
+                f"symbolic displacement needs %hi/%lo/%got: {expr}")
+        if rtype is RelocType.GOT16 and base != registers.GP:
+            raise self._err("%got displacement requires gp base register")
+        return inst, (rtype, expr.symbol, expr.addend)
+
+    def _branch(self, info, ops: list[Operand]):
+        # Accept "bxx target" and "bxx reg, target".
+        if len(ops) == 1:
+            ra = registers.RA if info is opcodes.BSR else registers.ZERO
+            target = ops[0]
+        elif len(ops) == 2 and ops[0].kind == "reg":
+            ra, target = ops[0].reg, ops[1]
+        else:
+            raise self._err(f"bad operands for {info.mnemonic}")
+        if target.kind != "expr" or target.expr.modifier:
+            raise self._err(f"bad branch target for {info.mnemonic}")
+        expr = target.expr
+        inst = Instruction(info, ra=ra, disp=0)
+        if expr.is_const:
+            return inst.copy(disp=expr.addend), None
+        return inst, (RelocType.BRANCH21, expr.symbol, expr.addend)
+
+    def _jump(self, info, ops: list[Operand]):
+        if info is opcodes.RET and not ops:
+            return Instruction(info, ra=registers.ZERO, rb=registers.RA), None
+        if len(ops) == 1:
+            link = registers.RA if info is opcodes.JSR else registers.ZERO
+            target = ops[0]
+        elif len(ops) == 2:
+            if ops[0].kind != "reg":
+                raise self._err(f"bad link register for {info.mnemonic}")
+            link, target = ops[0].reg, ops[1]
+        else:
+            raise self._err(f"bad operands for {info.mnemonic}")
+        if target.kind == "mem" and (target.expr.is_const
+                                     and target.expr.addend == 0):
+            rb = target.base
+        elif target.kind == "reg":
+            rb = target.reg
+        else:
+            raise self._err(f"bad target for {info.mnemonic}")
+        return Instruction(info, ra=link, rb=rb), None
+
+    def _operate(self, info, ops: list[Operand]):
+        # Sign-extension ops take a two-operand form: sextl rs, rd.
+        if info.mnemonic in ("sextb", "sextw", "sextl") and len(ops) == 2:
+            rs, rd = _need_regs(ops, 2, info.mnemonic)
+            yield Instruction(info, ra=registers.ZERO, rb=rs, rc=rd), None
+            return
+        if len(ops) != 3 or ops[0].kind != "reg" or ops[2].kind != "reg":
+            raise self._err(f"{info.mnemonic} needs 'reg, reg|imm, reg'")
+        ra, rc = ops[0].reg, ops[2].reg
+        src2 = ops[1]
+        if src2.kind == "reg":
+            yield Instruction(info, ra=ra, rb=src2.reg, rc=rc), None
+            return
+        value = self._const_expr(src2)
+        # Convenience: fold negative addq/subq literals into the dual op.
+        if value < 0 and info in (opcodes.ADDQ, opcodes.SUBQ):
+            info = opcodes.SUBQ if info is opcodes.ADDQ else opcodes.ADDQ
+            value = -value
+        if 0 <= value <= encoding.LIT_MAX:
+            yield Instruction(info, ra=ra, lit=value, is_lit=True, rc=rc), None
+            return
+        # Materialize oversized literals through the assembler temporary.
+        for inst in const.materialize(value, registers.AT):
+            yield inst, None
+        yield Instruction(info, ra=ra, rb=registers.AT, rc=rc), None
+
+    def _const_expr(self, op: Operand) -> int:
+        if op.kind != "expr" or not op.expr.is_const or op.expr.modifier:
+            raise self._err("constant expression expected")
+        return op.expr.addend
+
+    # ---- finalize -----------------------------------------------------------
+
+    def _finalize(self) -> None:
+        if self.pending_ents:
+            raise AsmError(f".ent without .end: {sorted(self.pending_ents)}")
+        for name in self.globals:
+            self.module.symtab.refer(name).bind = SymBind.GLOBAL
+        text = self.module.section(TEXT)
+        for fix in self.fixups:
+            sym = self.module.symtab.get(fix.symbol) if fix.symbol else None
+            local_text = (fix.type is RelocType.BRANCH21 and sym is not None
+                          and sym.section == TEXT)
+            if local_text:
+                disp = (sym.value + fix.addend - (fix.offset + 4)) // 4
+                if not encoding.branch_reach_ok(disp):
+                    raise AsmError(
+                        f"branch out of range to {fix.symbol}", fix.line_no)
+                word = struct.unpack_from("<I", text.data, fix.offset)[0]
+                word = (word & ~0x1FFFFF) | (disp & 0x1FFFFF)
+                struct.pack_into("<I", text.data, fix.offset, word)
+            else:
+                self.module.symtab.refer(fix.symbol)
+                self.module.relocs.append(Relocation(
+                    section=fix.section, offset=fix.offset, type=fix.type,
+                    symbol=fix.symbol, addend=fix.addend))
+
+
+# ---- pseudo-instructions ---------------------------------------------------
+
+def _need_regs(ops: list[Operand], n: int, what: str) -> list[int]:
+    if len(ops) != n or any(o.kind != "reg" for o in ops):
+        raise AsmSyntaxError(f"{what} expects {n} register operand(s)")
+    return [o.reg for o in ops]
+
+
+def _p_nop(asm: _Assembler, ops):
+    yield Instruction(opcodes.BIS, ra=registers.ZERO, rb=registers.ZERO,
+                      rc=registers.ZERO), None
+
+
+def _p_mov(asm: _Assembler, ops):
+    if len(ops) == 2 and ops[0].kind == "expr":
+        yield from _p_li(asm, [ops[1], ops[0]])
+        return
+    rs, rd = _need_regs(ops, 2, "mov")
+    yield Instruction(opcodes.BIS, ra=rs, rb=registers.ZERO, rc=rd), None
+
+
+def _p_clr(asm: _Assembler, ops):
+    (rd,) = _need_regs(ops, 1, "clr")
+    yield Instruction(opcodes.BIS, ra=registers.ZERO, rb=registers.ZERO,
+                      rc=rd), None
+
+
+def _p_li(asm: _Assembler, ops):
+    if len(ops) != 2 or ops[0].kind != "reg":
+        raise asm._err("li expects 'reg, constant'")
+    value = asm._const_expr(ops[1])
+    for inst in const.materialize(value, ops[0].reg):
+        yield inst, None
+
+
+def _p_la(asm: _Assembler, ops):
+    if len(ops) != 2 or ops[0].kind != "reg" or ops[1].kind != "expr":
+        raise asm._err("la expects 'reg, symbol'")
+    expr = ops[1].expr
+    if expr.modifier:
+        raise asm._err("la takes a bare symbol")
+    yield (Instruction(opcodes.LDQ, ra=ops[0].reg, rb=registers.GP),
+           (RelocType.GOT16, expr.symbol or "", expr.addend))
+
+
+def _p_laa(asm: _Assembler, ops):
+    if len(ops) != 2 or ops[0].kind != "reg" or ops[1].kind != "expr":
+        raise asm._err("laa expects 'reg, symbol'")
+    expr = ops[1].expr
+    rd = ops[0].reg
+    if expr.is_const:
+        for inst in const.materialize(expr.addend, rd):
+            yield inst, None
+        return
+    yield (Instruction(opcodes.LDAH, ra=rd, rb=registers.ZERO),
+           (RelocType.HI16, expr.symbol, expr.addend))
+    yield (Instruction(opcodes.LDA, ra=rd, rb=rd),
+           (RelocType.LO16, expr.symbol, expr.addend))
+
+
+def _p_ldgp(asm: _Assembler, ops):
+    yield (Instruction(opcodes.LDAH, ra=registers.GP, rb=registers.ZERO),
+           (RelocType.GPHI16, "_gp", 0))
+    yield (Instruction(opcodes.LDA, ra=registers.GP, rb=registers.GP),
+           (RelocType.GPLO16, "_gp", 0))
+
+
+def _p_call(asm: _Assembler, ops):
+    if len(ops) != 1 or ops[0].kind != "expr" or ops[0].expr.is_const:
+        raise asm._err("call expects a symbol")
+    expr = ops[0].expr
+    yield (Instruction(opcodes.BSR, ra=registers.RA),
+           (RelocType.BRANCH21, expr.symbol, expr.addend))
+
+
+def _p_negq(asm: _Assembler, ops):
+    rs, rd = _need_regs(ops, 2, "negq")
+    yield Instruction(opcodes.SUBQ, ra=registers.ZERO, rb=rs, rc=rd), None
+
+
+def _p_not(asm: _Assembler, ops):
+    rs, rd = _need_regs(ops, 2, "not")
+    yield Instruction(opcodes.ORNOT, ra=registers.ZERO, rb=rs, rc=rd), None
+
+
+_PSEUDOS = {
+    "nop": _p_nop,
+    "mov": _p_mov,
+    "clr": _p_clr,
+    "li": _p_li,
+    "la": _p_la,
+    "laa": _p_laa,
+    "ldgp": _p_ldgp,
+    "call": _p_call,
+    "negq": _p_negq,
+    "not": _p_not,
+}
+
+
+def _split_top(args: str) -> list[str]:
+    from .parser import _split_operands
+    return _split_operands(args)
+
+
+def _parse_string(args: str, line_no: int) -> bytes:
+    args = args.strip()
+    if len(args) < 2 or args[0] != '"' or args[-1] != '"':
+        raise AsmSyntaxError("string literal expected", line_no)
+    body = args[1:-1]
+    out = bytearray()
+    i = 0
+    escapes = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, '"': 34, "'": 39}
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise AsmSyntaxError("dangling escape in string", line_no)
+            nxt = body[i + 1]
+            if nxt == "x":
+                out.append(int(body[i + 2:i + 4], 16))
+                i += 4
+                continue
+            if nxt not in escapes:
+                raise AsmSyntaxError(f"bad escape \\{nxt}", line_no)
+            out.append(escapes[nxt])
+            i += 2
+        else:
+            out.append(ord(ch))
+            i += 1
+    return bytes(out)

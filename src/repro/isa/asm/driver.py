@@ -1,0 +1,30 @@
+"""``wrl-as``: command-line front end for the assembler."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .assembler import assemble
+from .parser import AsmSyntaxError
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="wrl-as",
+                                 description="WRL-64 assembler")
+    ap.add_argument("source", help="assembly source file")
+    ap.add_argument("-o", "--output", required=True, help="output WOF module")
+    args = ap.parse_args(argv)
+    with open(args.source) as f:
+        text = f.read()
+    try:
+        module = assemble(text, name=args.source)
+    except AsmSyntaxError as exc:
+        print(f"wrl-as: {args.source}: {exc}", file=sys.stderr)
+        return 1
+    module.save(args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

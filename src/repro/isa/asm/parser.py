@@ -1,0 +1,216 @@
+"""Line-level parsing for the WRL-64 assembler.
+
+Assembly is line oriented: ``[label:] [mnemonic operand, ...] [# comment]``.
+Operands are registers, expressions (integers, character literals, symbols,
+``sym+const``, ``%hi(sym)``/``%lo(sym)``/``%got(sym)``), or memory operands
+``expr(reg)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .. import registers
+
+
+class AsmSyntaxError(Exception):
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        super().__init__(f"line {line_no}: {message}" if line_no else message)
+
+
+@dataclass
+class ExprRef:
+    """A symbolic expression: ``symbol + addend`` with an optional %-modifier."""
+
+    symbol: str | None = None
+    addend: int = 0
+    modifier: str | None = None   # "hi" | "lo" | "got" | None
+
+    @property
+    def is_const(self) -> bool:
+        return self.symbol is None
+
+    def __str__(self) -> str:
+        base = self.symbol or ""
+        if self.addend or not base:
+            base += f"+{self.addend}" if base else str(self.addend)
+        return f"%{self.modifier}({base})" if self.modifier else base
+
+
+@dataclass
+class Operand:
+    """One parsed operand."""
+
+    kind: str                     # "reg" | "expr" | "mem"
+    reg: int = 0
+    expr: ExprRef | None = None
+    base: int = registers.ZERO    # base register for "mem"
+
+
+@dataclass
+class Line:
+    """One parsed source line."""
+
+    number: int
+    label: str | None = None
+    mnemonic: str | None = None
+    operands: list[Operand] = field(default_factory=list)
+    #: Raw argument text for directives that parse their own payload.
+    raw_args: str = ""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_CHAR_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+                 "'": "'", '"': '"'}
+
+
+def parse_int(text: str) -> int:
+    """Parse an integer literal: decimal, 0x hex, 0o octal, or 'c' char."""
+    text = text.strip()
+    if len(text) >= 3 and text[0] == "'" and text[-1] == "'":
+        body = text[1:-1]
+        if body.startswith("\\"):
+            if len(body) == 2 and body[1] in _CHAR_ESCAPES:
+                return ord(_CHAR_ESCAPES[body[1]])
+            raise ValueError(f"bad character escape: {text}")
+        if len(body) == 1:
+            return ord(body)
+        raise ValueError(f"bad character literal: {text}")
+    return int(text, 0)
+
+
+def parse_expr(text: str) -> ExprRef:
+    """Parse an expression operand into an :class:`ExprRef`."""
+    text = text.strip()
+    modifier = None
+    m = re.match(r"^%(hi|lo|got)\((.+)\)$", text)
+    if m:
+        modifier = m.group(1)
+        text = m.group(2).strip()
+    # Try a plain integer first.
+    try:
+        return ExprRef(addend=parse_int(text), modifier=modifier)
+    except ValueError:
+        pass
+    # symbol, symbol+const, symbol-const
+    m = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*.+)?$", text)
+    if not m:
+        raise ValueError(f"bad expression: {text!r}")
+    symbol = m.group(1)
+    addend = 0
+    if m.group(2):
+        addend = parse_int(m.group(2).replace(" ", ""))
+    return ExprRef(symbol=symbol, addend=addend, modifier=modifier)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas not inside parens or quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    cur: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if quote:
+            cur.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                cur.append(text[i + 1])
+                i += 1
+            elif ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            cur.append(ch)
+        elif ch == "(":
+            depth += 1
+            cur.append(ch)
+        elif ch == ")":
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(ch)
+        i += 1
+    last = "".join(cur).strip()
+    if last:
+        parts.append(last)
+    return parts
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse one operand of an instruction."""
+    text = text.strip()
+    # Register?
+    try:
+        return Operand("reg", reg=registers.reg_number(text))
+    except ValueError:
+        pass
+    # Memory operand expr(reg) -- including bare (reg) and %got(sym)(reg).
+    m = re.match(r"^(.*)\(\s*([A-Za-z$][\w]*)\s*\)$", text)
+    if m:
+        try:
+            base = registers.reg_number(m.group(2))
+        except ValueError:
+            base = None
+        if base is not None:
+            inner = m.group(1).strip()
+            expr = parse_expr(inner) if inner else ExprRef()
+            return Operand("mem", expr=expr, base=base)
+    return Operand("expr", expr=parse_expr(text))
+
+
+def strip_comment(line: str) -> str:
+    """Remove ``#`` / ``;`` comments, respecting string and char literals."""
+    out: list[str] = []
+    quote: str | None = None
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if quote:
+            out.append(ch)
+            if ch == "\\" and i + 1 < len(line):
+                out.append(line[i + 1])
+                i += 1
+            elif ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+        elif ch in "#;":
+            break
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_line(raw: str, number: int) -> list[Line]:
+    """Parse one raw source line (may carry a label plus a statement)."""
+    text = strip_comment(raw).strip()
+    if not text:
+        return []
+    lines: list[Line] = []
+    m = _LABEL_RE.match(text)
+    label = None
+    if m:
+        label = m.group(1)
+        text = m.group(2).strip()
+    if not text:
+        return [Line(number, label=label)]
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    line = Line(number, label=label, mnemonic=mnemonic, raw_args=rest)
+    if not mnemonic.startswith("."):
+        try:
+            line.operands = [parse_operand(p) for p in _split_operands(rest)]
+        except ValueError as exc:
+            raise AsmSyntaxError(str(exc), number, raw) from None
+    lines.append(line)
+    return lines

@@ -1,0 +1,93 @@
+"""Materializing integer constants into registers.
+
+The paper prices argument setup by constant width: a 16-bit constant takes
+one instruction, a 32-bit constant two, a 64-bit program counter three, and
+so on.  This module implements that ladder for WRL-64 (``lda``,
+``ldah``+``lda``, then a shifted high half) and is shared by the
+assembler's ``li`` pseudo-instruction and ATOM's call-site lowering.
+"""
+
+from __future__ import annotations
+
+from . import opcodes, registers
+from .instruction import Instruction
+
+_MASK64 = (1 << 64) - 1
+
+
+def sext16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def split_hi_lo(value: int) -> tuple[int, int]:
+    """Split a signed-32-bit-representable value for an ldah/lda pair.
+
+    Returns (hi, lo) with ``(hi << 16) + sext16(lo) == value`` where both
+    halves fit their signed 16-bit fields.  The +0x8000 carry adjustment
+    compensates for lda sign-extending its displacement.
+    """
+    if not -(1 << 31) <= value < (1 << 31):
+        raise ValueError(f"value does not fit in 32 signed bits: {value}")
+    lo = sext16(value)
+    hi = (value - lo) >> 16
+    if not -(1 << 15) <= hi < (1 << 15):
+        raise ValueError(f"no hi16/lo16 split for {value:#x}")
+    return hi, lo
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def to_signed64(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def materialize(value: int, rd: int) -> list[Instruction]:
+    """Return the shortest instruction sequence setting ``rd = value``.
+
+    ``value`` may be given signed or as a raw 64-bit pattern; it is
+    canonicalized to the signed interpretation of its low 64 bits.
+    """
+    value = to_signed64(value)
+    if fits_signed(value, 16):
+        return [Instruction(opcodes.LDA, ra=rd, rb=registers.ZERO, disp=value)]
+    if fits_signed(value, 32):
+        try:
+            hi, lo = split_hi_lo(value)
+        except ValueError:
+            # Values just under 2**31 (e.g. 0x7fffffff) have no signed
+            # hi16/lo16 split; fall through to the general ladder.
+            pass
+        else:
+            out = [Instruction(opcodes.LDAH, ra=rd, rb=registers.ZERO,
+                               disp=hi)]
+            if lo:
+                out.append(Instruction(opcodes.LDA, ra=rd, rb=rd, disp=lo))
+            return out
+    # General 64-bit: peel the low 32 bits as ldah/lda addends, build the
+    # remaining high part, shift it up, then apply the addends.
+    lo = sext16(value)
+    v1 = value - lo
+    hi = sext16((v1 >> 16) & 0xFFFF)
+    v2 = v1 - (hi << 16)
+    assert v2 & 0xFFFF_FFFF == 0
+    # Only the low 32 bits of the high half matter mod 2**64, so wrap them
+    # into signed-32 range (the lda/ldah addends may have carried past it).
+    top = (v2 >> 32) & 0xFFFF_FFFF
+    if top & 0x8000_0000:
+        top -= 1 << 32
+    out = materialize(top, rd)
+    out.append(Instruction(opcodes.SLL, ra=rd, lit=32, is_lit=True, rc=rd))
+    if hi:
+        out.append(Instruction(opcodes.LDAH, ra=rd, rb=rd, disp=hi))
+    if lo:
+        out.append(Instruction(opcodes.LDA, ra=rd, rb=rd, disp=lo))
+    return out
+
+
+def cost(value: int) -> int:
+    """Number of instructions :func:`materialize` would emit."""
+    return len(materialize(value, registers.AT))

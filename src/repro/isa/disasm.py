@@ -1,0 +1,57 @@
+"""Disassembler for WRL-64 text segments.
+
+Used by the CLI tools, by test diagnostics, and by ATOM's debug dumps of
+instrumented executables.  When given a symbol map, branch targets and
+procedure entries are annotated with names.
+"""
+
+from __future__ import annotations
+
+from . import encoding, registers
+from .instruction import Instruction
+from .opcodes import Format, InstClass
+
+
+def branch_target(inst: Instruction, pc: int) -> int | None:
+    """Absolute target of a pc-relative branch at address ``pc``."""
+    if inst.op.format is Format.BRANCH:
+        return pc + 4 + 4 * inst.disp
+    return None
+
+
+def render(inst: Instruction, pc: int,
+           symbols: dict[int, str] | None = None) -> str:
+    """Render one instruction at ``pc`` as assembly text."""
+    r = registers.reg_name
+    op = inst.op
+    if op.format is Format.BRANCH:
+        target = branch_target(inst, pc)
+        label = ""
+        if symbols and target in symbols:
+            label = f" <{symbols[target]}>"
+        if inst.ra == registers.ZERO and op.inst_class is not InstClass.CALL:
+            return f"{op.mnemonic} {target:#x}{label}"
+        return f"{op.mnemonic} {r(inst.ra)}, {target:#x}{label}"
+    return str(inst)
+
+
+def disassemble(text: bytes, base: int,
+                symbols: dict[int, str] | None = None) -> list[str]:
+    """Disassemble a text segment into annotated lines."""
+    lines = []
+    for i, inst in enumerate(encoding.decode_stream(text)):
+        pc = base + 4 * i
+        prefix = ""
+        if symbols and pc in symbols:
+            prefix = f"{symbols[pc]}:\n"
+        lines.append(f"{prefix}  {pc:#010x}:  {render(inst, pc, symbols)}")
+    return lines
+
+
+def symbol_map(module) -> dict[int, str]:
+    """Build an address -> name map from a linked module's symbol table."""
+    out: dict[int, str] = {}
+    for sym in module.symtab:
+        if sym.defined and not sym.is_abs:
+            out.setdefault(sym.value, sym.name)
+    return out

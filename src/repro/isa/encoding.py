@@ -1,0 +1,137 @@
+"""Binary encoding and decoding of WRL-64 instructions.
+
+Every instruction is one little-endian 32-bit word:
+
+=========  =======================================================
+format     bit layout (msb..lsb)
+=========  =======================================================
+memory     opcode[31:26] ra[25:21] rb[20:16] disp[15:0]
+branch     opcode[31:26] ra[25:21] disp[20:0]
+jump       opcode[31:26] ra[25:21] rb[20:16] hint[15:0]
+operate    opcode[31:26] ra[25:21] rb[20:16] lit-or-zero[15:13]
+           islit[12] func[11:5] rc[4:0]
+           (when islit, the 8-bit literal occupies bits [20:13])
+system     opcode[31:26] imm[25:0]
+=========  =======================================================
+
+Displacements are signed two's complement.  Branch displacements are in
+units of instruction words relative to the updated pc (pc + 4), exactly as
+on the Alpha; the signed 21-bit field gives a +/-4 MB reach, which is why
+ATOM must choose between a pc-relative ``bsr`` and a full-address ``jsr``
+when it inserts analysis calls.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from . import opcodes
+from .instruction import Instruction
+from .opcodes import Format
+
+INST_SIZE = 4
+
+BRANCH_DISP_BITS = 21
+BRANCH_DISP_MIN = -(1 << (BRANCH_DISP_BITS - 1))
+BRANCH_DISP_MAX = (1 << (BRANCH_DISP_BITS - 1)) - 1
+
+MEM_DISP_BITS = 16
+MEM_DISP_MIN = -(1 << (MEM_DISP_BITS - 1))
+MEM_DISP_MAX = (1 << (MEM_DISP_BITS - 1)) - 1
+
+LIT_MAX = 0xFF
+
+
+class EncodingError(ValueError):
+    """An instruction's fields do not fit its encoding."""
+
+
+def _signed(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value``."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _check_signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def branch_reach_ok(disp_words: int) -> bool:
+    """True when a branch-format word displacement fits the 21-bit field."""
+    return BRANCH_DISP_MIN <= disp_words <= BRANCH_DISP_MAX
+
+
+def encode(inst: Instruction) -> int:
+    """Pack an :class:`Instruction` into its 32-bit word."""
+    op = inst.op
+    word = op.opcode << 26
+    if op.format is Format.MEMORY:
+        word |= (inst.ra & 31) << 21
+        word |= (inst.rb & 31) << 16
+        word |= _check_signed(inst.disp, 16, "memory displacement")
+    elif op.format is Format.BRANCH:
+        word |= (inst.ra & 31) << 21
+        word |= _check_signed(inst.disp, 21, "branch displacement")
+    elif op.format is Format.JUMP:
+        word |= (inst.ra & 31) << 21
+        word |= (inst.rb & 31) << 16
+    elif op.format is Format.OPERATE:
+        word |= (inst.ra & 31) << 21
+        word |= (inst.rc & 31)
+        if inst.is_lit:
+            if not 0 <= inst.lit <= LIT_MAX:
+                raise EncodingError(f"literal {inst.lit} does not fit in 8 bits")
+            word |= (inst.lit & 0xFF) << 13
+            word |= 1 << 12
+        else:
+            word |= (inst.rb & 31) << 16
+    elif op.format is Format.SYSTEM:
+        if not 0 <= inst.imm < (1 << 26):
+            raise EncodingError(f"system immediate {inst.imm} out of range")
+        word |= inst.imm
+    else:  # pragma: no cover - exhaustive over Format
+        raise AssertionError(op.format)
+    return word
+
+
+def decode(word: int) -> Instruction:
+    """Unpack a 32-bit word into an :class:`Instruction`."""
+    opcode = (word >> 26) & 0x3F
+    op = opcodes.BY_OPCODE.get(opcode)
+    if op is None:
+        raise EncodingError(f"illegal opcode 0x{opcode:02x} in word 0x{word:08x}")
+    ra = (word >> 21) & 31
+    if op.format is Format.MEMORY:
+        return Instruction(op, ra=ra, rb=(word >> 16) & 31,
+                           disp=_signed(word, 16))
+    if op.format is Format.BRANCH:
+        return Instruction(op, ra=ra, disp=_signed(word, 21))
+    if op.format is Format.JUMP:
+        return Instruction(op, ra=ra, rb=(word >> 16) & 31)
+    if op.format is Format.OPERATE:
+        rc = word & 31
+        if word & (1 << 12):
+            return Instruction(op, ra=ra, lit=(word >> 13) & 0xFF,
+                               is_lit=True, rc=rc)
+        return Instruction(op, ra=ra, rb=(word >> 16) & 31, rc=rc)
+    if op.format is Format.SYSTEM:
+        return Instruction(op, imm=word & ((1 << 26) - 1))
+    raise AssertionError(op.format)  # pragma: no cover
+
+
+def encode_stream(insts: list[Instruction]) -> bytes:
+    """Encode a sequence of instructions into little-endian bytes."""
+    return b"".join(struct.pack("<I", encode(i)) for i in insts)
+
+
+def decode_stream(data: bytes) -> list[Instruction]:
+    """Decode little-endian bytes into instructions."""
+    if len(data) % INST_SIZE:
+        raise EncodingError("text length is not a multiple of 4 bytes")
+    return [decode(w) for (w,) in struct.iter_unpack("<I", data)]

@@ -1,0 +1,171 @@
+"""The :class:`Instruction` value type shared by every layer of the system.
+
+The assembler produces them, the encoder packs them into 32-bit words, the
+machine decodes words back into them, and OM's symbolic IR annotates them.
+An instruction is a small immutable-by-convention record whose meaning is
+given by its :class:`~repro.isa.opcodes.OpInfo`.
+
+Register def/use sets are computed here because both OM's data-flow
+analyses and ATOM's register-save machinery need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from . import opcodes, registers
+from .opcodes import Format, InstClass, OpInfo
+
+# Syscall argument registers examined by the SYS def/use approximation.
+_SYS_USES = frozenset({registers.V0, *registers.ARG_REGS})
+_SYS_DEFS = frozenset({registers.V0})
+
+
+@dataclass
+class Instruction:
+    """One WRL-64 instruction.
+
+    Field use by format:
+
+    * memory:  ``op ra, disp(rb)``
+    * branch:  ``op ra, disp`` (signed word displacement from pc+4)
+    * jump:    ``op ra, (rb)``
+    * operate: ``op ra, rb, rc`` or ``op ra, #lit, rc`` when ``is_lit``
+    * system:  ``op imm``
+    """
+
+    op: OpInfo
+    ra: int = registers.ZERO
+    rb: int = registers.ZERO
+    rc: int = registers.ZERO
+    disp: int = 0
+    lit: int = 0
+    is_lit: bool = False
+    imm: int = 0
+
+    # ---- classification helpers ----------------------------------------
+
+    @property
+    def mnemonic(self) -> str:
+        return self.op.mnemonic
+
+    @property
+    def inst_class(self) -> InstClass:
+        return self.op.inst_class
+
+    def is_load(self) -> bool:
+        return self.op.inst_class is InstClass.LOAD
+
+    def is_store(self) -> bool:
+        return self.op.inst_class is InstClass.STORE
+
+    def is_memory_ref(self) -> bool:
+        """True for instructions that access memory (loads and stores)."""
+        return self.is_load() or self.is_store()
+
+    def is_cond_branch(self) -> bool:
+        return self.op.inst_class is InstClass.COND_BRANCH
+
+    def is_uncond_branch(self) -> bool:
+        return self.op.inst_class is InstClass.UNCOND_BRANCH
+
+    def is_call(self) -> bool:
+        return self.op.inst_class is InstClass.CALL
+
+    def is_ret(self) -> bool:
+        return self.op.inst_class is InstClass.RET
+
+    def is_jump(self) -> bool:
+        return self.op.inst_class is InstClass.JUMP
+
+    def is_syscall(self) -> bool:
+        return self.op.inst_class is InstClass.SYSCALL
+
+    def ends_block(self) -> bool:
+        """True when the instruction terminates a basic block.
+
+        Matching Pixie-era tools (and ATOM's view of a block as a run of
+        instructions executed together), calls and syscalls end blocks in
+        addition to branches, jumps and returns.
+        """
+        return self.op.inst_class in (
+            InstClass.COND_BRANCH, InstClass.UNCOND_BRANCH, InstClass.CALL,
+            InstClass.JUMP, InstClass.RET, InstClass.SYSCALL, InstClass.HALT,
+        )
+
+    def is_control_transfer(self) -> bool:
+        return self.ends_block() and self.op.inst_class not in (
+            InstClass.SYSCALL, InstClass.HALT)
+
+    # ---- register def/use -----------------------------------------------
+
+    def defs(self) -> frozenset[int]:
+        """Registers written by this instruction (never includes ``zero``)."""
+        op = self.op
+        out: set[int] = set()
+        if op.format is Format.MEMORY:
+            if op.inst_class in (InstClass.LOAD, InstClass.LOAD_ADDRESS):
+                out.add(self.ra)
+        elif op.format is Format.BRANCH:
+            if op.inst_class in (InstClass.UNCOND_BRANCH, InstClass.CALL):
+                out.add(self.ra)   # link register (zero for a plain br)
+        elif op.format is Format.JUMP:
+            if op.inst_class in (InstClass.CALL, InstClass.JUMP):
+                out.add(self.ra)
+        elif op.format is Format.OPERATE:
+            out.add(self.rc)
+        elif op.format is Format.SYSTEM:
+            if op.inst_class is InstClass.SYSCALL:
+                out.update(_SYS_DEFS)
+        out.discard(registers.ZERO)
+        return frozenset(out)
+
+    def uses(self) -> frozenset[int]:
+        """Registers read by this instruction (never includes ``zero``)."""
+        op = self.op
+        out: set[int] = set()
+        if op.format is Format.MEMORY:
+            out.add(self.rb)
+            if op.inst_class is InstClass.STORE:
+                out.add(self.ra)
+        elif op.format is Format.BRANCH:
+            if op.inst_class is InstClass.COND_BRANCH:
+                out.add(self.ra)
+        elif op.format is Format.JUMP:
+            out.add(self.rb)
+        elif op.format is Format.OPERATE:
+            out.add(self.ra)
+            if not self.is_lit:
+                out.add(self.rb)
+            if op.mnemonic in ("cmoveq", "cmovne"):
+                out.add(self.rc)   # conditional move may keep the old value
+        elif op.format is Format.SYSTEM:
+            if op.inst_class is InstClass.SYSCALL:
+                out.update(_SYS_USES)
+        out.discard(registers.ZERO)
+        return frozenset(out)
+
+    # ---- misc -------------------------------------------------------------
+
+    def copy(self, **changes) -> "Instruction":
+        return replace(self, **changes)
+
+    def __str__(self) -> str:  # assembly-ish rendering, no symbols
+        r = registers.reg_name
+        op = self.op
+        if op.format is Format.MEMORY:
+            return f"{op.mnemonic} {r(self.ra)}, {self.disp}({r(self.rb)})"
+        if op.format is Format.BRANCH:
+            return f"{op.mnemonic} {r(self.ra)}, .{self.disp:+d}"
+        if op.format is Format.JUMP:
+            return f"{op.mnemonic} {r(self.ra)}, ({r(self.rb)})"
+        if op.format is Format.OPERATE:
+            src2 = f"#{self.lit}" if self.is_lit else r(self.rb)
+            return f"{op.mnemonic} {r(self.ra)}, {src2}, {r(self.rc)}"
+        return f"{op.mnemonic} {self.imm}" if op is opcodes.SYS else op.mnemonic
+
+
+def nop() -> Instruction:
+    """The canonical no-op: ``bis zero, zero, zero``."""
+    return Instruction(opcodes.BIS, ra=registers.ZERO, rb=registers.ZERO,
+                       rc=registers.ZERO)

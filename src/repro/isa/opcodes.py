@@ -1,0 +1,147 @@
+"""Opcode table and instruction classification for WRL-64.
+
+Every instruction has a unique 6-bit primary opcode and belongs to one of
+four encoding formats (memory, branch, jump, operate) plus the system
+format.  The classification mirrors the ``InstType*`` predicates of the
+ATOM API: conditional branch, unconditional branch, subroutine call, load,
+store, and so on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """Instruction encoding format."""
+
+    MEMORY = "memory"     # op ra, disp16(rb)
+    BRANCH = "branch"     # op ra, disp21   (pc-relative, word displacement)
+    JUMP = "jump"         # op ra, (rb)
+    OPERATE = "operate"   # op ra, rb|#lit8, rc
+    SYSTEM = "system"     # op imm26
+
+
+class InstClass(enum.Enum):
+    """Semantic class, the basis of ATOM's ``IsInstType`` queries."""
+
+    LOAD = "load"
+    STORE = "store"
+    LOAD_ADDRESS = "load_address"   # lda / ldah: address arithmetic
+    COND_BRANCH = "cond_branch"
+    UNCOND_BRANCH = "uncond_branch"  # br
+    CALL = "call"                    # bsr / jsr
+    JUMP = "jump"                    # jmp (indirect, non-call)
+    RET = "ret"
+    OPERATE = "operate"
+    SYSCALL = "syscall"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    opcode: int
+    format: Format
+    inst_class: InstClass
+    #: For memory-class ops, the access size in bytes (0 for lda/ldah).
+    access_size: int = 0
+    #: True for loads/stores whose value is sign-extended (ldl) vs zero (ldbu).
+    sign_extend: bool = False
+    #: Base execution cost in cycles under the default cost model.
+    cycles: int = 1
+
+
+_TABLE: list[OpInfo] = []
+
+
+def _op(mnemonic: str, opcode: int, fmt: Format, cls: InstClass, **kw) -> OpInfo:
+    info = OpInfo(mnemonic, opcode, fmt, cls, **kw)
+    _TABLE.append(info)
+    return info
+
+
+# --- Memory format -------------------------------------------------------
+LDA = _op("lda", 0x08, Format.MEMORY, InstClass.LOAD_ADDRESS)
+LDAH = _op("ldah", 0x09, Format.MEMORY, InstClass.LOAD_ADDRESS)
+LDBU = _op("ldbu", 0x0A, Format.MEMORY, InstClass.LOAD, access_size=1, cycles=2)
+LDWU = _op("ldwu", 0x0C, Format.MEMORY, InstClass.LOAD, access_size=2, cycles=2)
+LDL = _op("ldl", 0x28, Format.MEMORY, InstClass.LOAD, access_size=4,
+          sign_extend=True, cycles=2)
+LDQ = _op("ldq", 0x29, Format.MEMORY, InstClass.LOAD, access_size=8, cycles=2)
+STB = _op("stb", 0x0E, Format.MEMORY, InstClass.STORE, access_size=1)
+STW = _op("stw", 0x0D, Format.MEMORY, InstClass.STORE, access_size=2)
+STL = _op("stl", 0x2C, Format.MEMORY, InstClass.STORE, access_size=4)
+STQ = _op("stq", 0x2D, Format.MEMORY, InstClass.STORE, access_size=8)
+
+# --- Branch format -------------------------------------------------------
+BR = _op("br", 0x30, Format.BRANCH, InstClass.UNCOND_BRANCH)
+BSR = _op("bsr", 0x34, Format.BRANCH, InstClass.CALL)
+BEQ = _op("beq", 0x39, Format.BRANCH, InstClass.COND_BRANCH)
+BNE = _op("bne", 0x3D, Format.BRANCH, InstClass.COND_BRANCH)
+BLT = _op("blt", 0x3A, Format.BRANCH, InstClass.COND_BRANCH)
+BLE = _op("ble", 0x3B, Format.BRANCH, InstClass.COND_BRANCH)
+BGT = _op("bgt", 0x3F, Format.BRANCH, InstClass.COND_BRANCH)
+BGE = _op("bge", 0x3E, Format.BRANCH, InstClass.COND_BRANCH)
+BLBC = _op("blbc", 0x38, Format.BRANCH, InstClass.COND_BRANCH)
+BLBS = _op("blbs", 0x3C, Format.BRANCH, InstClass.COND_BRANCH)
+
+# --- Jump format ---------------------------------------------------------
+JMP = _op("jmp", 0x1A, Format.JUMP, InstClass.JUMP)
+JSR = _op("jsr", 0x1B, Format.JUMP, InstClass.CALL)
+RET = _op("ret", 0x1C, Format.JUMP, InstClass.RET)
+
+# --- Operate format ------------------------------------------------------
+ADDQ = _op("addq", 0x10, Format.OPERATE, InstClass.OPERATE)
+SUBQ = _op("subq", 0x11, Format.OPERATE, InstClass.OPERATE)
+MULQ = _op("mulq", 0x12, Format.OPERATE, InstClass.OPERATE, cycles=8)
+DIVQ = _op("divq", 0x13, Format.OPERATE, InstClass.OPERATE, cycles=16)
+REMQ = _op("remq", 0x14, Format.OPERATE, InstClass.OPERATE, cycles=16)
+AND = _op("and", 0x15, Format.OPERATE, InstClass.OPERATE)
+BIS = _op("bis", 0x16, Format.OPERATE, InstClass.OPERATE)   # logical OR
+XOR = _op("xor", 0x17, Format.OPERATE, InstClass.OPERATE)
+BIC = _op("bic", 0x18, Format.OPERATE, InstClass.OPERATE)   # a AND NOT b
+ORNOT = _op("ornot", 0x19, Format.OPERATE, InstClass.OPERATE)
+SLL = _op("sll", 0x20, Format.OPERATE, InstClass.OPERATE)
+SRL = _op("srl", 0x21, Format.OPERATE, InstClass.OPERATE)
+SRA = _op("sra", 0x22, Format.OPERATE, InstClass.OPERATE)
+CMPEQ = _op("cmpeq", 0x23, Format.OPERATE, InstClass.OPERATE)
+CMPLT = _op("cmplt", 0x24, Format.OPERATE, InstClass.OPERATE)
+CMPLE = _op("cmple", 0x25, Format.OPERATE, InstClass.OPERATE)
+CMPULT = _op("cmpult", 0x26, Format.OPERATE, InstClass.OPERATE)
+CMPULE = _op("cmpule", 0x27, Format.OPERATE, InstClass.OPERATE)
+CMOVEQ = _op("cmoveq", 0x2A, Format.OPERATE, InstClass.OPERATE)
+CMOVNE = _op("cmovne", 0x2B, Format.OPERATE, InstClass.OPERATE)
+SEXTB = _op("sextb", 0x2E, Format.OPERATE, InstClass.OPERATE)
+SEXTW = _op("sextw", 0x2F, Format.OPERATE, InstClass.OPERATE)
+SEXTL = _op("sextl", 0x31, Format.OPERATE, InstClass.OPERATE)
+UMULH = _op("umulh", 0x32, Format.OPERATE, InstClass.OPERATE, cycles=8)
+
+# --- System format -------------------------------------------------------
+SYS = _op("sys", 0x00, Format.SYSTEM, InstClass.SYSCALL, cycles=50)
+HALT = _op("halt", 0x01, Format.SYSTEM, InstClass.HALT)
+
+# Lookup tables.
+BY_MNEMONIC: dict[str, OpInfo] = {o.mnemonic: o for o in _TABLE}
+BY_OPCODE: dict[int, OpInfo] = {}
+for _o in _TABLE:
+    if _o.opcode in BY_OPCODE:
+        raise AssertionError(f"duplicate opcode 0x{_o.opcode:02x}")
+    BY_OPCODE[_o.opcode] = _o
+
+ALL_OPS: tuple[OpInfo, ...] = tuple(_TABLE)
+
+COND_BRANCH_OPS = tuple(o for o in _TABLE if o.inst_class is InstClass.COND_BRANCH)
+LOAD_OPS = tuple(o for o in _TABLE if o.inst_class is InstClass.LOAD)
+STORE_OPS = tuple(o for o in _TABLE if o.inst_class is InstClass.STORE)
+
+
+def lookup(mnemonic: str) -> OpInfo:
+    """Return the :class:`OpInfo` for a mnemonic, raising on unknown names."""
+    try:
+        return BY_MNEMONIC[mnemonic]
+    except KeyError:
+        raise ValueError(f"unknown mnemonic: {mnemonic!r}") from None

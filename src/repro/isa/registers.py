@@ -1,0 +1,94 @@
+"""Register file and calling conventions of the WRL-64 ISA.
+
+WRL-64 is the synthetic 64-bit RISC architecture this reproduction targets.
+It is modeled closely on the Alpha AXP running OSF/1 (the paper's platform):
+32 integer registers, six argument registers, a caller/callee-save split, a
+dedicated return-address register, a global pointer, and a hard-wired zero
+register.  The register conventions drive everything ATOM does to preserve
+the application's execution state around calls to analysis routines.
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+# Canonical software names, indexed by register number.
+REG_NAMES = (
+    "v0",                                   # r0  - function return value
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",   # r1-r8 - temporaries
+    "s0", "s1", "s2", "s3", "s4", "s5",     # r9-r14 - callee-saved
+    "fp",                                   # r15 - frame pointer (callee-saved)
+    "a0", "a1", "a2", "a3", "a4", "a5",     # r16-r21 - argument registers
+    "t8", "t9", "t10", "t11",               # r22-r25 - more temporaries
+    "ra",                                   # r26 - return address
+    "pv",                                   # r27 - procedure value (indirect-call target)
+    "at",                                   # r28 - assembler temporary
+    "gp",                                   # r29 - global pointer
+    "sp",                                   # r30 - stack pointer
+    "zero",                                 # r31 - hard-wired zero
+)
+
+# Number lookup from any accepted spelling ("a0", "$16", "r16", "$a0").
+REG_NUMBERS: dict[str, int] = {}
+for _n, _name in enumerate(REG_NAMES):
+    REG_NUMBERS[_name] = _n
+    REG_NUMBERS[f"${_name}"] = _n
+    REG_NUMBERS[f"r{_n}"] = _n
+    REG_NUMBERS[f"${_n}"] = _n
+
+# Friendly constants for code that builds instructions programmatically.
+V0 = 0
+T0, T1, T2, T3, T4, T5, T6, T7 = range(1, 9)
+S0, S1, S2, S3, S4, S5 = range(9, 15)
+FP = 15
+A0, A1, A2, A3, A4, A5 = range(16, 22)
+T8, T9, T10, T11 = range(22, 26)
+RA = 26
+PV = 27
+AT = 28
+GP = 29
+SP = 30
+ZERO = 31
+
+ARG_REGS = (A0, A1, A2, A3, A4, A5)
+NUM_ARG_REGS = len(ARG_REGS)
+
+# Caller-saved registers are not preserved across procedure calls; ATOM must
+# save any of these that the analysis routines may modify.  The global
+# pointer is handled specially (each link group has its own gp) and the
+# stack pointer is preserved by construction, so neither appears here.
+CALLER_SAVED = frozenset(
+    {V0, T0, T1, T2, T3, T4, T5, T6, T7, A0, A1, A2, A3, A4, A5,
+     T8, T9, T10, T11, RA, PV, AT}
+)
+
+# Callee-saved registers are preserved by any convention-following callee.
+CALLEE_SAVED = frozenset({S0, S1, S2, S3, S4, S5, FP, SP})
+
+# Registers the register-renaming optimization may use as rename targets,
+# ordered by preference (low temporaries first so the caller-save footprint
+# of analysis code stays as small and as dense as possible).
+RENAME_POOL = (T0, T1, T2, T3, T4, T5, T6, T7, T8, T9, T10, T11)
+
+
+def reg_name(num: int) -> str:
+    """Return the canonical software name of register ``num``."""
+    if not 0 <= num < NUM_REGS:
+        raise ValueError(f"register number out of range: {num}")
+    return REG_NAMES[num]
+
+
+def reg_number(name: str) -> int:
+    """Parse a register name in any accepted spelling to its number."""
+    try:
+        return REG_NUMBERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+def is_caller_saved(num: int) -> bool:
+    return num in CALLER_SAVED
+
+
+def is_callee_saved(num: int) -> bool:
+    return num in CALLEE_SAVED

@@ -1,0 +1,48 @@
+"""``wrl-run``: load and execute a WOF executable from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..objfile.module import Module
+from .cpu import MachineError
+from .loader import run_module
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="wrl-run",
+                                 description="run a WOF executable")
+    ap.add_argument("executable")
+    ap.add_argument("args", nargs="*", help="program arguments")
+    ap.add_argument("--stats", action="store_true",
+                    help="print cycle/instruction counts to stderr")
+    ap.add_argument("--dump-files", action="store_true",
+                    help="print virtual-filesystem outputs to stderr")
+    args = ap.parse_args(argv)
+    module = Module.load(args.executable)
+    try:
+        stdin = b""
+        if not sys.stdin.isatty():
+            stdin = sys.stdin.buffer.read()
+    except (OSError, ValueError, AttributeError):
+        stdin = b""      # no usable stdin (e.g. under a test harness)
+    try:
+        result = run_module(module, args=tuple(args.args), stdin=stdin)
+    except MachineError as exc:
+        print(f"wrl-run: {exc}", file=sys.stderr)
+        return 125
+    sys.stdout.buffer.write(result.stdout)
+    sys.stderr.buffer.write(result.stderr)
+    if args.stats:
+        print(f"[cycles={result.cycles} insts={result.inst_count}]",
+              file=sys.stderr)
+    if args.dump_files:
+        for name, content in sorted(result.files.items()):
+            print(f"--- {name} ---", file=sys.stderr)
+            sys.stderr.write(content.decode("utf-8", "replace"))
+    return result.status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Deterministic cycle cost model for the WRL-64 machine.
+
+The paper reports instrumented-vs-uninstrumented *wall-clock* ratios on an
+Alpha 3000/400.  Our stand-in for silicon charges a fixed cycle cost per
+opcode, so the Figure 6 reproduction compares cycle counts instead —
+deterministic, and sensitive to exactly the overheads ATOM adds (register
+saves, argument setup, wrapper indirection, analysis work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import ALL_OPS, OpInfo
+
+
+@dataclass
+class CostModel:
+    """Cycles charged per executed instruction, by mnemonic."""
+
+    overrides: dict[str, int] = field(default_factory=dict)
+
+    def table(self) -> dict[int, int]:
+        """Opcode-number -> cycles, with overrides applied."""
+        out: dict[int, int] = {}
+        for op in ALL_OPS:
+            out[op.opcode] = self.overrides.get(op.mnemonic, op.cycles)
+        return out
+
+    def cost(self, op: OpInfo) -> int:
+        return self.overrides.get(op.mnemonic, op.cycles)
+
+
+DEFAULT = CostModel()

@@ -1,0 +1,295 @@
+"""The WRL-64 interpreter core.
+
+The text segment is pre-decoded once into per-instruction closures (the
+machine never self-modifies code), so the dispatch loop is a tight
+``i = code[i]()``.  Each closure charges its cycle cost, updates registers
+or memory, and returns the index of the next instruction.
+
+This simulator is the reproduction's stand-in for Alpha silicon.  ATOM
+itself uses *no* simulation — the instrumented executable is ordinary
+machine code that runs here natively, analysis routines and all.
+"""
+
+from __future__ import annotations
+
+from ..isa import encoding, opcodes, registers
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Format, InstClass
+from .costmodel import CostModel, DEFAULT
+from .memory import Memory, MemoryFault
+from .syscalls import ExitProgram, Kernel
+
+MASK = (1 << 64) - 1
+SIGN = 1 << 63
+
+
+class MachineError(Exception):
+    """A trap: illegal jump, division by zero, halt, memory fault, ..."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        self.pc = pc
+        if pc is not None:
+            message = f"pc={pc:#x}: {message}"
+        super().__init__(message)
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & SIGN else value
+
+
+class Cpu:
+    """Decoder + dispatch loop over a fixed text segment."""
+
+    def __init__(self, memory: Memory, kernel: Kernel, text_base: int,
+                 text: bytes, cost_model: CostModel = DEFAULT):
+        self.memory = memory
+        self.kernel = kernel
+        self.text_base = text_base
+        self.regs: list[int] = [0] * 32
+        #: stats[0] = cycles, stats[1] = instructions executed
+        self.stats = [0, 0]
+        self._insts = encoding.decode_stream(text)
+        self._code = [self._compile(inst, i, cost_model.cost(inst.op))
+                      for i, inst in enumerate(self._insts)]
+
+    # ---- public API -------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.stats[0]
+
+    @property
+    def inst_count(self) -> int:
+        return self.stats[1]
+
+    def run(self, entry: int, max_insts: int = 2_000_000_000) -> int:
+        """Run from ``entry`` until the program exits; returns exit status."""
+        index = self._index_of(entry)
+        code = self._code
+        stats = self.stats
+        try:
+            while True:
+                index = code[index]()
+                if stats[1] > max_insts:
+                    raise MachineError("instruction budget exhausted",
+                                       self.text_base + 4 * index)
+        except ExitProgram as exc:
+            return exc.status
+        except IndexError:
+            raise MachineError("control left the text segment",
+                               self.text_base + 4 * index) from None
+        except MemoryFault as exc:
+            raise MachineError(str(exc), self.text_base + 4 * index) from None
+
+    def _index_of(self, addr: int) -> int:
+        offset = addr - self.text_base
+        if offset % 4 or not 0 <= offset < 4 * len(self._insts):
+            raise MachineError(f"bad text address {addr:#x}")
+        return offset >> 2
+
+    # ---- per-instruction compilation ------------------------------------------
+
+    def _compile(self, inst: Instruction, index: int, cost: int):
+        op = inst.op
+        regs = self.regs
+        stats = self.stats
+        nxt = index + 1
+        pc_addr = self.text_base + 4 * index
+
+        if op.format is Format.MEMORY:
+            return self._compile_memory(inst, nxt, cost)
+        if op.format is Format.BRANCH:
+            return self._compile_branch(inst, index, nxt, cost)
+        if op.format is Format.JUMP:
+            return self._compile_jump(inst, nxt, cost, pc_addr)
+        if op.format is Format.OPERATE:
+            return self._compile_operate(inst, nxt, cost)
+        if op is opcodes.SYS:
+            kernel = self.kernel
+
+            def do_sys():
+                stats[0] += cost
+                stats[1] += 1
+                result = kernel.syscall(
+                    regs[0],
+                    (regs[16], regs[17], regs[18], regs[19], regs[20],
+                     regs[21]),
+                    stats[0])
+                regs[0] = result & MASK
+                return nxt
+            return do_sys
+
+        def do_halt():
+            raise MachineError("halt executed", pc_addr)
+        return do_halt
+
+    def _compile_memory(self, inst: Instruction, nxt: int, cost: int):
+        regs, stats, mem = self.regs, self.stats, self.memory
+        op, ra, rb, disp = inst.op, inst.ra, inst.rb, inst.disp
+        if op is opcodes.LDA or op is opcodes.LDAH:
+            add = disp if op is opcodes.LDA else (disp << 16)
+            if ra == 31:
+                def do_nop():
+                    stats[0] += cost
+                    stats[1] += 1
+                    return nxt
+                return do_nop
+
+            def do_lda():
+                stats[0] += cost
+                stats[1] += 1
+                regs[ra] = (regs[rb] + add) & MASK
+                return nxt
+            return do_lda
+
+        size = op.access_size
+        read_uint = mem.read_uint
+        write_uint = mem.write_uint
+        if op.inst_class is InstClass.LOAD:
+            sign = op.sign_extend
+            top = 1 << (8 * size - 1)
+            wrap = 1 << (8 * size)
+
+            def do_load():
+                stats[0] += cost
+                stats[1] += 1
+                value = read_uint((regs[rb] + disp) & MASK, size)
+                if sign and value & top:
+                    value -= wrap
+                if ra != 31:
+                    regs[ra] = value & MASK
+                return nxt
+            return do_load
+
+        def do_store():
+            stats[0] += cost
+            stats[1] += 1
+            write_uint((regs[rb] + disp) & MASK, regs[ra], size)
+            return nxt
+        return do_store
+
+    def _compile_branch(self, inst: Instruction, index: int, nxt: int,
+                        cost: int):
+        regs, stats = self.regs, self.stats
+        op, ra = inst.op, inst.ra
+        target = index + 1 + inst.disp
+        retaddr = (self.text_base + 4 * (index + 1)) & MASK
+
+        if op.inst_class in (InstClass.UNCOND_BRANCH, InstClass.CALL):
+            def do_br():
+                stats[0] += cost
+                stats[1] += 1
+                if ra != 31:
+                    regs[ra] = retaddr
+                return target
+            return do_br
+
+        test = _BRANCH_TESTS[op.mnemonic]
+
+        def do_bcc():
+            stats[0] += cost
+            stats[1] += 1
+            return target if test(regs[ra]) else nxt
+        return do_bcc
+
+    def _compile_jump(self, inst: Instruction, nxt: int, cost: int,
+                      pc_addr: int):
+        regs, stats = self.regs, self.stats
+        ra, rb = inst.ra, inst.rb
+        base = self.text_base
+        retaddr = (pc_addr + 4) & MASK
+        is_link = inst.op.inst_class in (InstClass.CALL, InstClass.JUMP)
+
+        def do_jump():
+            stats[0] += cost
+            stats[1] += 1
+            dest = regs[rb] & ~3
+            if is_link and ra != 31:
+                regs[ra] = retaddr
+            offset = dest - base
+            if offset < 0:
+                raise MachineError(f"jump to {dest:#x} outside text", pc_addr)
+            return offset >> 2
+        return do_jump
+
+    def _compile_operate(self, inst: Instruction, nxt: int, cost: int):
+        regs, stats = self.regs, self.stats
+        op, ra, rc = inst.op, inst.ra, inst.rc
+        fn = _ALU[op.mnemonic]
+        if inst.is_lit:
+            lit = inst.lit
+
+            def do_op_lit():
+                stats[0] += cost
+                stats[1] += 1
+                if rc != 31:
+                    regs[rc] = fn(regs[ra], lit, regs[rc])
+                return nxt
+            return do_op_lit
+        rb = inst.rb
+
+        def do_op_reg():
+            stats[0] += cost
+            stats[1] += 1
+            if rc != 31:
+                regs[rc] = fn(regs[ra], regs[rb], regs[rc])
+            return nxt
+        return do_op_reg
+
+
+_BRANCH_TESTS = {
+    "beq": lambda v: v == 0,
+    "bne": lambda v: v != 0,
+    "blt": lambda v: bool(v & SIGN),
+    "ble": lambda v: v == 0 or bool(v & SIGN),
+    "bgt": lambda v: v != 0 and not v & SIGN,
+    "bge": lambda v: not v & SIGN,
+    "blbc": lambda v: not v & 1,
+    "blbs": lambda v: bool(v & 1),
+}
+
+
+def _divq(a: int, b: int, old: int) -> int:
+    if b == 0:
+        raise MachineError("integer division by zero")
+    sa, sb = _signed(a), _signed(b)
+    return (abs(sa) // abs(sb) * (1 if (sa < 0) == (sb < 0) else -1)) & MASK
+
+
+def _remq(a: int, b: int, old: int) -> int:
+    if b == 0:
+        raise MachineError("integer remainder by zero")
+    sa, sb = _signed(a), _signed(b)
+    return (sa - sb * (abs(sa) // abs(sb) * (1 if (sa < 0) == (sb < 0)
+                                             else -1))) & MASK
+
+
+_ALU = {
+    "addq": lambda a, b, c: (a + b) & MASK,
+    "subq": lambda a, b, c: (a - b) & MASK,
+    "mulq": lambda a, b, c: (a * b) & MASK,
+    "divq": _divq,
+    "remq": _remq,
+    "and": lambda a, b, c: a & b,
+    "bis": lambda a, b, c: a | b,
+    "xor": lambda a, b, c: a ^ b,
+    "bic": lambda a, b, c: a & ~b & MASK,
+    "ornot": lambda a, b, c: (a | ~b) & MASK,
+    "sll": lambda a, b, c: (a << (b & 63)) & MASK,
+    "srl": lambda a, b, c: a >> (b & 63),
+    "sra": lambda a, b, c: (_signed(a) >> (b & 63)) & MASK,
+    "cmpeq": lambda a, b, c: 1 if a == b else 0,
+    "cmplt": lambda a, b, c: 1 if _signed(a) < _signed(b) else 0,
+    "cmple": lambda a, b, c: 1 if _signed(a) <= _signed(b) else 0,
+    "cmpult": lambda a, b, c: 1 if a < b else 0,
+    "cmpule": lambda a, b, c: 1 if a <= b else 0,
+    "cmoveq": lambda a, b, c: b if a == 0 else c,
+    "cmovne": lambda a, b, c: b if a != 0 else c,
+    "sextb": lambda a, b, c: (b & 0xFF) - 0x100 & MASK
+        if b & 0x80 else b & 0xFF,
+    "sextw": lambda a, b, c: ((b & 0xFFFF) - 0x10000) & MASK
+        if b & 0x8000 else b & 0xFFFF,
+    "sextl": lambda a, b, c: ((b & 0xFFFFFFFF) - 0x100000000) & MASK
+        if b & 0x80000000 else b & 0xFFFFFFFF,
+    "umulh": lambda a, b, c: (a * b) >> 64,
+}

@@ -1,0 +1,189 @@
+"""The machine's OS surface: syscall numbers and the kernel model.
+
+A deliberately small OSF/1-flavoured set.  File descriptors live in an
+in-memory virtual filesystem so instrumented-program output (for example
+the branch tool's ``btaken.out``) is captured per run instead of touching
+the host.
+
+Two break pointers exist: the ordinary ``SBRK`` used by the application's
+libc (and, in ATOM's default *linked-sbrk* mode, by the analysis libc too —
+both bump the same kernel break, so "each starts where the other left
+off"), and ``SBRK2`` for ATOM's *partitioned-heap* mode, where the analysis
+heap starts at a user-chosen offset and — exactly as the paper warns —
+nothing checks that the application heap does not grow into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .memory import Memory, PAGE_SIZE
+
+SYS_EXIT = 1
+SYS_WRITE = 2
+SYS_READ = 3
+SYS_OPEN = 4
+SYS_CLOSE = 5
+SYS_SBRK = 6
+SYS_SBRK2 = 7
+SYS_CYCLES = 8
+
+O_RDONLY = 0
+O_WRONLY = 1
+O_APPEND = 2
+
+
+class ExitProgram(Exception):
+    def __init__(self, status: int):
+        self.status = status
+        super().__init__(f"program exited with status {status}")
+
+
+class SyscallError(Exception):
+    pass
+
+
+@dataclass
+class _OpenFile:
+    name: str
+    mode: int
+    pos: int = 0
+
+
+@dataclass
+class Kernel:
+    """Kernel state: virtual filesystem, descriptors, break pointers."""
+
+    memory: Memory
+    stdin: bytes = b""
+    stdout: bytearray = field(default_factory=bytearray)
+    stderr: bytearray = field(default_factory=bytearray)
+    files: dict[str, bytearray] = field(default_factory=dict)
+    brk: int = 0
+    brk2: int = 0
+    exit_status: int | None = None
+
+    def __post_init__(self) -> None:
+        self._fds: dict[int, _OpenFile] = {}
+        self._next_fd = 3
+        self._stdin_pos = 0
+
+    # ---- dispatch ----------------------------------------------------------
+
+    def syscall(self, num: int, args: tuple[int, ...], cycles: int) -> int:
+        """Execute syscall ``num``; returns the v0 result value."""
+        if num == SYS_EXIT:
+            self.exit_status = args[0] & 0xFF
+            raise ExitProgram(self.exit_status)
+        if num == SYS_WRITE:
+            return self._write(args[0], args[1], args[2])
+        if num == SYS_READ:
+            return self._read(args[0], args[1], args[2])
+        if num == SYS_OPEN:
+            return self._open(args[0], args[1])
+        if num == SYS_CLOSE:
+            return self._close(args[0])
+        if num == SYS_SBRK:
+            return self._sbrk(args[0])
+        if num == SYS_SBRK2:
+            return self._sbrk2(args[0], args[1])
+        if num == SYS_CYCLES:
+            return cycles
+        raise SyscallError(f"unknown syscall number {num}")
+
+    # ---- files --------------------------------------------------------------
+
+    def _open(self, path_ptr: int, flags: int) -> int:
+        name = self.memory.read_cstring(path_ptr).decode("utf-8",
+                                                         "replace")
+        if flags == O_RDONLY:
+            if name not in self.files:
+                return _neg(1)   # ENOENT
+        elif flags == O_WRONLY:
+            self.files[name] = bytearray()
+        elif flags == O_APPEND:
+            self.files.setdefault(name, bytearray())
+        else:
+            return _neg(22)      # EINVAL
+        fd = self._next_fd
+        self._next_fd += 1
+        pos = len(self.files[name]) if flags == O_APPEND else 0
+        self._fds[fd] = _OpenFile(name, flags, pos)
+        return fd
+
+    def _close(self, fd: int) -> int:
+        if fd in self._fds:
+            del self._fds[fd]
+            return 0
+        return 0 if fd in (0, 1, 2) else _neg(9)   # EBADF
+
+    def _write(self, fd: int, buf: int, count: int) -> int:
+        data = self.memory.read(buf, count)
+        if fd == 1:
+            self.stdout.extend(data)
+            return count
+        if fd == 2:
+            self.stderr.extend(data)
+            return count
+        open_file = self._fds.get(fd)
+        if open_file is None or open_file.mode == O_RDONLY:
+            return _neg(9)
+        content = self.files[open_file.name]
+        end = open_file.pos + count
+        if end > len(content):
+            content.extend(b"\x00" * (end - len(content)))
+        content[open_file.pos:end] = data
+        open_file.pos = end
+        return count
+
+    def _read(self, fd: int, buf: int, count: int) -> int:
+        if fd == 0:
+            chunk = self.stdin[self._stdin_pos:self._stdin_pos + count]
+            self._stdin_pos += len(chunk)
+            self.memory.write(buf, chunk)
+            return len(chunk)
+        open_file = self._fds.get(fd)
+        if open_file is None:
+            return _neg(9)
+        content = self.files.get(open_file.name, bytearray())
+        chunk = bytes(content[open_file.pos:open_file.pos + count])
+        open_file.pos += len(chunk)
+        if chunk:
+            self.memory.write(buf, chunk)
+        return len(chunk)
+
+    # ---- heap -----------------------------------------------------------------
+
+    def _sbrk(self, incr: int) -> int:
+        incr = _signed64(incr)
+        old = self.brk
+        new = old + incr
+        if incr > 0:
+            self.memory.extend_region("heap",
+                                      (new + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1))
+        self.brk = new
+        return old
+
+    def _sbrk2(self, incr: int, base: int) -> int:
+        """The analysis-heap break for ATOM's partitioned mode."""
+        incr = _signed64(incr)
+        if self.brk2 == 0:
+            self.brk2 = base
+            # A fresh region; deliberately no overlap check with "heap".
+            self.memory.map_region(base, 0, "heap2")
+        old = self.brk2
+        new = old + incr
+        if incr > 0:
+            self.memory.extend_region("heap2",
+                                      (new + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1))
+        self.brk2 = new
+        return old
+
+
+def _neg(errno: int) -> int:
+    return (-errno) & 0xFFFF_FFFF_FFFF_FFFF
+
+
+def _signed64(value: int) -> int:
+    value &= 0xFFFF_FFFF_FFFF_FFFF
+    return value - (1 << 64) if value & (1 << 63) else value

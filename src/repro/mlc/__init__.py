@@ -1,0 +1,10 @@
+"""MLC: the mini-C compiler targeting WRL-64."""
+
+from .driver import (MlcError, build_analysis_unit, build_executable,
+                     compile_source, compile_to_asm)
+from .runtime import PRELUDE, runtime_archive
+
+__all__ = [
+    "MlcError", "build_analysis_unit", "build_executable",
+    "compile_source", "compile_to_asm", "PRELUDE", "runtime_archive",
+]

@@ -1,0 +1,228 @@
+"""AST node definitions for MLC.
+
+Expression nodes carry a ``type`` attribute filled in by the checker;
+identifier nodes additionally get a ``symbol`` binding.  Nodes are plain
+mutable dataclasses — the tree is built once, annotated once, and walked
+once by the code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .types import Type
+
+# ---------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    type: Optional[Type] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    data: bytes = b""
+    #: label assigned by codegen when the literal is materialized
+    label: Optional[str] = None
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    symbol: object = None     # bound by the checker
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""               # - ! ~ * & ++ --
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""               # + - * / % << >> < <= > >= == != & | ^ && ||
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="              # = += -= *= /= %= &= |= ^= <<= >>=
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Cond(Expr):
+    cond: Expr = None
+    then: Expr = None
+    els: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    func: Expr = None
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Member(Expr):
+    base: Expr = None
+    name: str = ""
+    arrow: bool = False
+    member: object = None      # StructMember, bound by the checker
+
+
+@dataclass
+class Cast(Expr):
+    to: Type = None
+    expr: Expr = None
+
+
+@dataclass
+class SizeofType(Expr):
+    of: Type = None
+
+
+@dataclass
+class PostIncDec(Expr):
+    op: str = "++"
+    target: Expr = None
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str = ""
+    var_type: Type = None
+    init: Optional[Expr] = None
+    symbol: object = None      # bound by the checker
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    els: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None      # LocalDecl or ExprStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class SwitchCase:
+    value: Optional[int]             # None for default
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    expr: Expr = None
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ------------------------------------------------------------- top level
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: Type
+    params: list[Param]
+    variadic: bool
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    var_type: Type
+    init: object = None        # int | bytes | list | Expr | None
+    extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class FuncDecl:
+    """A prototype without a body (including extern)."""
+
+    name: str
+    ret: Type
+    params: list[Param]
+    variadic: bool
+    line: int = 0
+
+
+@dataclass
+class Program:
+    decls: list[object] = field(default_factory=list)

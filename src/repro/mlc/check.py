@@ -1,0 +1,500 @@
+"""Semantic analysis for MLC: name binding and type annotation.
+
+Walks the parsed tree, binds identifiers to :class:`Symbol` objects, and
+fills every expression's ``type``.  The rules are deliberately loose C:
+integers convert freely, pointers and integers interconvert by cast or
+assignment, arrays decay, and functions decay to pointers outside calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import astnodes as A
+from . import types as T
+
+
+class CheckError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)
+
+
+@dataclass
+class Symbol:
+    name: str
+    type: T.Type
+    storage: str               # "global" | "func" | "local" | "param"
+    defined: bool = False
+    extern: bool = False
+    init: object = None
+    #: frame offset for locals/params, assigned by codegen
+    frame_offset: int | None = None
+    variadic: bool = False
+    param_count: int = 0
+
+
+@dataclass
+class CheckedFunction:
+    node: A.FuncDef
+    symbol: Symbol
+    locals: list[Symbol] = field(default_factory=list)
+    params: list[Symbol] = field(default_factory=list)
+    uses_va_start: bool = False
+
+
+@dataclass
+class CheckedProgram:
+    functions: list[CheckedFunction] = field(default_factory=list)
+    globals: list[Symbol] = field(default_factory=list)
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+
+def check(program: A.Program) -> CheckedProgram:
+    return _Checker().run(program)
+
+
+class _Checker:
+    def __init__(self) -> None:
+        self.out = CheckedProgram()
+        self.scopes: list[dict[str, Symbol]] = []
+        self.current: CheckedFunction | None = None
+        self.loop_depth = 0
+
+    # ---- symbol management --------------------------------------------------
+
+    def global_sym(self, name: str) -> Symbol | None:
+        return self.out.symbols.get(name)
+
+    def lookup(self, name: str, line: int) -> Symbol:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        sym = self.global_sym(name)
+        if sym is None:
+            raise CheckError(f"undeclared identifier {name!r}", line)
+        return sym
+
+    def declare_local(self, name: str, type_: T.Type, line: int,
+                      storage: str = "local") -> Symbol:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CheckError(f"redeclaration of {name!r}", line)
+        if isinstance(type_, T.StructType) and not type_.complete:
+            raise CheckError(f"variable of incomplete {type_}", line)
+        sym = Symbol(name, type_, storage, defined=True)
+        scope[name] = sym
+        if self.current is not None:
+            if storage == "param":
+                self.current.params.append(sym)
+            else:
+                self.current.locals.append(sym)
+        return sym
+
+    # ---- top level --------------------------------------------------------------
+
+    def run(self, program: A.Program) -> CheckedProgram:
+        # First pass: register every global name so forward calls work.
+        for decl in program.decls:
+            if isinstance(decl, A.FuncDef):
+                self._register_func(decl.name,
+                                    T.FuncType(decl.ret,
+                                               tuple(p.type
+                                                     for p in decl.params),
+                                               decl.variadic),
+                                    defined=True, line=decl.line)
+            elif isinstance(decl, A.FuncDecl):
+                self._register_func(decl.name,
+                                    T.FuncType(decl.ret,
+                                               tuple(p.type
+                                                     for p in decl.params),
+                                               decl.variadic),
+                                    defined=False, line=decl.line)
+            elif isinstance(decl, A.GlobalVar):
+                self._register_global(decl)
+        # Second pass: check function bodies.
+        for decl in program.decls:
+            if isinstance(decl, A.FuncDef):
+                self._check_function(decl)
+        return self.out
+
+    def _register_func(self, name: str, ftype: T.FuncType, defined: bool,
+                       line: int) -> None:
+        sym = self.global_sym(name)
+        if sym is None:
+            sym = Symbol(name, ftype, "func", defined=defined,
+                         variadic=ftype.variadic,
+                         param_count=len(ftype.params))
+            self.out.symbols[name] = sym
+            return
+        if sym.storage != "func":
+            raise CheckError(f"{name!r} redeclared as a function", line)
+        if sym.defined and defined:
+            raise CheckError(f"function {name!r} redefined", line)
+        sym.defined = sym.defined or defined
+        sym.type = ftype
+        sym.variadic = ftype.variadic
+        sym.param_count = len(ftype.params)
+
+    def _register_global(self, decl: A.GlobalVar) -> None:
+        sym = self.global_sym(decl.name)
+        if isinstance(decl.var_type, T.StructType) \
+                and not decl.var_type.complete and not decl.extern:
+            raise CheckError(f"global of incomplete {decl.var_type}",
+                             decl.line)
+        if sym is None:
+            sym = Symbol(decl.name, decl.var_type, "global",
+                         defined=not decl.extern, extern=decl.extern,
+                         init=decl.init)
+            self.out.symbols[decl.name] = sym
+            self.out.globals.append(sym)
+            return
+        if sym.storage != "global":
+            raise CheckError(f"{decl.name!r} redeclared as a variable",
+                             decl.line)
+        if sym.defined and not decl.extern:
+            raise CheckError(f"global {decl.name!r} redefined", decl.line)
+        if not decl.extern:
+            sym.defined = True
+            sym.extern = False
+            sym.init = decl.init
+            sym.type = decl.var_type
+
+    # ---- functions -------------------------------------------------------------
+
+    def _check_function(self, node: A.FuncDef) -> None:
+        sym = self.out.symbols[node.name]
+        self.current = CheckedFunction(node, sym)
+        self.scopes = [{}]
+        for param in node.params:
+            if not param.name:
+                raise CheckError("unnamed parameter in definition",
+                                 node.line)
+            self.declare_local(param.name, T.decay(param.type), node.line,
+                               storage="param")
+        self._stmt(node.body)
+        self.out.functions.append(self.current)
+        self.current = None
+        self.scopes = []
+
+    # ---- statements ---------------------------------------------------------------
+
+    def _stmt(self, stmt: A.Stmt) -> None:
+        method = getattr(self, f"_s_{type(stmt).__name__}")
+        method(stmt)
+
+    def _s_Block(self, node: A.Block) -> None:
+        self.scopes.append({})
+        for s in node.stmts:
+            self._stmt(s)
+        self.scopes.pop()
+
+    def _s_LocalDecl(self, node: A.LocalDecl) -> None:
+        node.symbol = self.declare_local(node.name, node.var_type, node.line)
+        if node.init is not None:
+            if not T.decay(node.var_type).is_scalar() or \
+                    isinstance(node.var_type, T.ArrayType):
+                raise CheckError("only scalar locals may have initializers",
+                                 node.line)
+            itype = self._expr(node.init)
+            if not T.compatible_assign(node.var_type, itype):
+                raise CheckError(
+                    f"cannot initialize {node.var_type} from {itype}",
+                    node.line)
+
+    def _s_ExprStmt(self, node: A.ExprStmt) -> None:
+        self._expr(node.expr)
+
+    def _s_If(self, node: A.If) -> None:
+        self._scalar(node.cond)
+        self._stmt(node.then)
+        if node.els is not None:
+            self._stmt(node.els)
+
+    def _s_While(self, node: A.While) -> None:
+        self._scalar(node.cond)
+        self.loop_depth += 1
+        self._stmt(node.body)
+        self.loop_depth -= 1
+
+    def _s_DoWhile(self, node: A.DoWhile) -> None:
+        self.loop_depth += 1
+        self._stmt(node.body)
+        self.loop_depth -= 1
+        self._scalar(node.cond)
+
+    def _s_For(self, node: A.For) -> None:
+        self.scopes.append({})
+        if node.init is not None:
+            if isinstance(node.init, A.Block):
+                # for (long i = ...; ...) — declarations scope to the loop.
+                for s in node.init.stmts:
+                    self._stmt(s)
+            else:
+                self._stmt(node.init)
+        if node.cond is not None:
+            self._scalar(node.cond)
+        if node.step is not None:
+            self._expr(node.step)
+        self.loop_depth += 1
+        self._stmt(node.body)
+        self.loop_depth -= 1
+        self.scopes.pop()
+
+    def _s_Switch(self, node: A.Switch) -> None:
+        t = self._expr(node.expr)
+        if not t.is_integer():
+            raise CheckError("switch expression must be integer", node.line)
+        seen: set[int | None] = set()
+        self.loop_depth += 1    # break works inside switch
+        for case in node.cases:
+            if case.value in seen:
+                raise CheckError("duplicate case label", node.line)
+            seen.add(case.value)
+            for s in case.stmts:
+                self._stmt(s)
+        self.loop_depth -= 1
+
+    def _s_Return(self, node: A.Return) -> None:
+        ret = self.current.node.ret
+        if node.expr is None:
+            if not ret.is_void():
+                raise CheckError("return without a value", node.line)
+            return
+        t = self._expr(node.expr)
+        if ret.is_void():
+            raise CheckError("return with a value in void function",
+                             node.line)
+        if not T.compatible_assign(ret, t):
+            raise CheckError(f"cannot return {t} as {ret}", node.line)
+
+    def _s_Break(self, node: A.Break) -> None:
+        if self.loop_depth == 0:
+            raise CheckError("break outside loop or switch", node.line)
+
+    def _s_Continue(self, node: A.Continue) -> None:
+        if self.loop_depth == 0:
+            raise CheckError("continue outside loop", node.line)
+
+    # ---- expressions ------------------------------------------------------------------
+
+    def _scalar(self, expr: A.Expr) -> None:
+        t = self._expr(expr)
+        if not T.decay(t).is_scalar():
+            raise CheckError(f"scalar required, got {t}", expr.line)
+
+    def _expr(self, expr: A.Expr) -> T.Type:
+        method = getattr(self, f"_e_{type(expr).__name__}")
+        t = method(expr)
+        expr.type = t
+        return t
+
+    def _e_IntLit(self, node: A.IntLit) -> T.Type:
+        return T.LONG
+
+    def _e_StrLit(self, node: A.StrLit) -> T.Type:
+        return T.CHAR_PTR
+
+    def _e_Ident(self, node: A.Ident) -> T.Type:
+        if node.name == "__va_start":
+            raise CheckError("__va_start must be called", node.line)
+        sym = self.lookup(node.name, node.line)
+        node.symbol = sym
+        if sym.storage == "func":
+            return T.PointerType(sym.type)   # decay; Call special-cases
+        return sym.type
+
+    def _e_Unary(self, node: A.Unary) -> T.Type:
+        if node.op == "sizeof":
+            t = self._expr(node.operand)
+            node.size_value = t.size
+            return T.LONG
+        if node.op == "&":
+            t = self._expr(node.operand)
+            if isinstance(node.operand, A.Ident) \
+                    and node.operand.symbol.storage == "func":
+                return t    # already a function pointer
+            self._require_lvalue(node.operand)
+            return T.PointerType(t)
+        t = T.decay(self._expr(node.operand))
+        if node.op == "*":
+            if not t.is_pointer():
+                raise CheckError(f"cannot dereference {t}", node.line)
+            target = t.target
+            if target.is_void():
+                raise CheckError("cannot dereference void*", node.line)
+            return target
+        if node.op == "!":
+            if not t.is_scalar():
+                raise CheckError(f"! on {t}", node.line)
+            return T.LONG
+        if node.op in ("-", "~"):
+            if not t.is_integer():
+                raise CheckError(f"{node.op} on {t}", node.line)
+            return T.usual_arith(t, t)
+        if node.op in ("++", "--"):
+            self._require_lvalue(node.operand)
+            if not t.is_scalar():
+                raise CheckError(f"{node.op} on {t}", node.line)
+            return t
+        raise AssertionError(node.op)
+
+    def _e_PostIncDec(self, node: A.PostIncDec) -> T.Type:
+        t = T.decay(self._expr(node.target))
+        self._require_lvalue(node.target)
+        if not t.is_scalar():
+            raise CheckError(f"{node.op} on {t}", node.line)
+        return t
+
+    def _e_Binary(self, node: A.Binary) -> T.Type:
+        if node.op == ",":
+            self._expr(node.left)
+            return T.decay(self._expr(node.right))
+        lt = T.decay(self._expr(node.left))
+        rt = T.decay(self._expr(node.right))
+        op = node.op
+        if op in ("&&", "||"):
+            if not (lt.is_scalar() and rt.is_scalar()):
+                raise CheckError(f"{op} needs scalars", node.line)
+            return T.LONG
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_pointer() or rt.is_pointer():
+                return T.LONG
+            T.usual_arith(lt, rt)
+            return T.LONG
+        if op == "+":
+            if lt.is_pointer() and rt.is_integer():
+                return lt
+            if lt.is_integer() and rt.is_pointer():
+                return rt
+            return T.usual_arith(lt, rt)
+        if op == "-":
+            if lt.is_pointer() and rt.is_integer():
+                return lt
+            if lt.is_pointer() and rt.is_pointer():
+                return T.LONG
+            return T.usual_arith(lt, rt)
+        if op in ("*", "/", "%", "<<", ">>", "&", "|", "^"):
+            return T.usual_arith(lt, rt)
+        raise AssertionError(op)
+
+    def _e_Assign(self, node: A.Assign) -> T.Type:
+        tt = self._expr(node.target)
+        self._require_lvalue(node.target)
+        vt = self._expr(node.value)
+        if node.op == "=":
+            if not T.compatible_assign(tt, vt):
+                raise CheckError(f"cannot assign {vt} to {tt}", node.line)
+        else:
+            base_op = node.op[:-1]
+            lt = T.decay(tt)
+            rt = T.decay(vt)
+            if base_op in ("+", "-") and lt.is_pointer():
+                if not rt.is_integer():
+                    raise CheckError(f"{node.op} pointer with {rt}",
+                                     node.line)
+            else:
+                T.usual_arith(lt, rt)
+        return T.decay(tt)
+
+    def _e_Cond(self, node: A.Cond) -> T.Type:
+        self._scalar(node.cond)
+        tt = T.decay(self._expr(node.then))
+        et = T.decay(self._expr(node.els))
+        if tt.is_pointer():
+            return tt
+        if et.is_pointer():
+            return et
+        return T.usual_arith(tt, et)
+
+    def _e_Call(self, node: A.Call) -> T.Type:
+        # The builtin __va_start().
+        if isinstance(node.func, A.Ident) and node.func.name == "__va_start":
+            if self.current is None or not self.current.node.variadic:
+                raise CheckError("__va_start outside variadic function",
+                                 node.line)
+            if node.args:
+                raise CheckError("__va_start takes no arguments", node.line)
+            self.current.uses_va_start = True
+            node.func.type = T.VOID_PTR
+            return T.PointerType(T.LONG)
+        ftype = self._callee_type(node)
+        if not ftype.variadic and len(node.args) != len(ftype.params):
+            raise CheckError(
+                f"call with {len(node.args)} args, expected "
+                f"{len(ftype.params)}", node.line)
+        if ftype.variadic and len(node.args) < len(ftype.params):
+            raise CheckError("too few arguments for variadic call",
+                             node.line)
+        for i, arg in enumerate(node.args):
+            at = self._expr(arg)
+            if i < len(ftype.params) and \
+                    not T.compatible_assign(ftype.params[i], at):
+                raise CheckError(
+                    f"argument {i + 1}: cannot pass {at} as "
+                    f"{ftype.params[i]}", node.line)
+        return ftype.ret
+
+    def _callee_type(self, node: A.Call) -> T.FuncType:
+        func = node.func
+        # Direct call of a named function.
+        if isinstance(func, A.Ident):
+            sym = self.lookup(func.name, func.line)
+            func.symbol = sym
+            if sym.storage == "func":
+                func.type = T.PointerType(sym.type)
+                return sym.type
+            t = T.decay(sym.type)
+            func.type = t
+            if t.is_pointer() and isinstance(t.target, T.FuncType):
+                return t.target
+            raise CheckError(f"{func.name!r} is not callable", node.line)
+        t = T.decay(self._expr(func))
+        if isinstance(t, T.FuncType):
+            return t
+        if t.is_pointer() and isinstance(t.target, T.FuncType):
+            return t.target
+        raise CheckError(f"expression of type {t} is not callable",
+                         node.line)
+
+    def _e_Index(self, node: A.Index) -> T.Type:
+        bt = T.decay(self._expr(node.base))
+        it = T.decay(self._expr(node.index))
+        if not bt.is_pointer():
+            raise CheckError(f"cannot index {bt}", node.line)
+        if not it.is_integer():
+            raise CheckError(f"array index of type {it}", node.line)
+        return bt.target
+
+    def _e_Member(self, node: A.Member) -> T.Type:
+        bt = self._expr(node.base)
+        if node.arrow:
+            bt = T.decay(bt)
+            if not bt.is_pointer():
+                raise CheckError(f"-> on {bt}", node.line)
+            bt = bt.target
+        if not isinstance(bt, T.StructType):
+            raise CheckError(f"member access on {bt}", node.line)
+        member = bt.member(node.name)
+        node.member = member
+        return member.type
+
+    def _e_Cast(self, node: A.Cast) -> T.Type:
+        self._expr(node.expr)
+        return node.to
+
+    def _e_SizeofType(self, node: A.SizeofType) -> T.Type:
+        return T.LONG
+
+    # ---- lvalues ------------------------------------------------------------
+
+    def _require_lvalue(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.Ident):
+            if expr.symbol is not None and expr.symbol.storage == "func":
+                raise CheckError("function is not an lvalue", expr.line)
+            return
+        if isinstance(expr, (A.Index, A.Member)):
+            return
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return
+        raise CheckError("lvalue required", expr.line)

@@ -1,0 +1,1060 @@
+"""Code generation: checked MLC -> WRL-64 assembly text.
+
+A straightforward one-pass tree-walker in the style of early-90s compilers:
+
+* every local and parameter lives in a stack-frame slot;
+* expressions evaluate on a *temporary register stack* drawn from the
+  caller-saved pool t0..t11, spilling to dedicated frame slots past depth
+  12 and around calls;
+* all arithmetic happens in 64-bit registers; narrower values are extended
+  at loads/casts and truncated at stores;
+* every function begins with ``ldgp`` so the global pointer is always the
+  containing link unit's — exactly the invariant ATOM's wrappers rely on
+  when they switch between the application's gp and the analysis gp.
+
+Frames (sp-relative, no frame pointer), low to high:
+
+    [outgoing stack args][16 temp-spill slots][locals][saved ra][va area]
+
+The ``.frame size, outgoing`` directive emitted per function records the
+layout facts ATOM's in-frame save optimization needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import astnodes as A
+from . import types as T
+from .check import CheckedFunction, CheckedProgram, CheckError, Symbol
+
+# Temp pool: t0..t7 then t8..t11 (register numbers).
+TEMP_POOL = (1, 2, 3, 4, 5, 6, 7, 8, 22, 23, 24, 25)
+MAX_TEMPS = 28            # pool + 16 memory-only levels
+SPILL_SLOTS = 16
+ARG_REGS = ("a0", "a1", "a2", "a3", "a4", "a5")
+
+
+class CodegenError(CheckError):
+    pass
+
+
+_REG_NAMES = {
+    0: "v0", 1: "t0", 2: "t1", 3: "t2", 4: "t3", 5: "t4", 6: "t5",
+    7: "t6", 8: "t7", 22: "t8", 23: "t9", 24: "t10", 25: "t11",
+}
+
+
+def sym_name(name: str) -> str:
+    """Assembly-level spelling of an MLC symbol.
+
+    Names that collide with register spellings (fp, v0, r16, ...) get a
+    ``$`` suffix so the assembler cannot mistake them for registers.  The
+    mangling is deterministic, so separately compiled units agree.
+    """
+    from ..isa.registers import REG_NUMBERS
+    return f"{name}$" if name.lower() in REG_NUMBERS else name
+
+
+def generate(prog: CheckedProgram, module_name: str = "mlc") -> str:
+    return _Codegen(prog, module_name).run()
+
+
+@dataclass
+class _FnFlags:
+    """Per-function facts driving the leaf optimizations."""
+
+    leaf: bool = True
+    needs_gp: bool = False
+    #: id(param Symbol) -> its home argument-register name
+    reg_params: dict = field(default_factory=dict)
+
+
+def _analyze_function(fn: CheckedFunction) -> _FnFlags:
+    flags = _FnFlags()
+    unsafe: set[int] = set()     # params that must live in memory
+
+    def note_target(expr) -> None:
+        if isinstance(expr, A.Ident) and expr.symbol is not None:
+            unsafe.add(id(expr.symbol))
+
+    def walk(obj) -> None:
+        if isinstance(obj, A.Call):
+            func = obj.func
+            direct = isinstance(func, A.Ident) and (
+                func.name == "__va_start"
+                or getattr(func.symbol, "storage", "") == "func")
+            if isinstance(func, A.Ident) and func.name == "__va_start":
+                pass                      # builtin, not a real call
+            else:
+                flags.leaf = False
+            if not direct:
+                walk(func)
+            for arg in obj.args:
+                walk(arg)
+            return
+        if isinstance(obj, A.StrLit):
+            flags.needs_gp = True
+        elif isinstance(obj, A.Ident):
+            storage = getattr(obj.symbol, "storage", "")
+            if storage in ("global", "func"):
+                flags.needs_gp = True
+        elif isinstance(obj, A.Unary) and obj.op in ("&", "++", "--"):
+            note_target(obj.operand)
+        elif isinstance(obj, (A.Assign, A.PostIncDec)):
+            note_target(obj.target)
+        if isinstance(obj, (A.Expr, A.Stmt, A.SwitchCase)):
+            for value in vars(obj).values():
+                walk(value)
+        elif isinstance(obj, list):
+            for item in obj:
+                walk(item)
+
+    walk(fn.node.body)
+    if flags.leaf and not fn.node.variadic:
+        for i, param in enumerate(fn.params):
+            if i < 6 and id(param) not in unsafe:
+                flags.reg_params[id(param)] = ARG_REGS[i]
+    return flags
+
+
+@dataclass
+class _Frame:
+    size: int = 0
+    out_bytes: int = 0          # outgoing stack-arg area
+    spill_base: int = 0         # temp spill slots
+    ra_offset: int = 0
+    va_offset: int = 0          # register-save area for varargs
+    slots: dict[int, int] = field(default_factory=dict)   # id(Symbol) -> off
+
+
+class _Codegen:
+    def __init__(self, prog: CheckedProgram, module_name: str):
+        self.prog = prog
+        self.module_name = module_name
+        self.text: list[str] = []
+        self.data: list[str] = []
+        self.string_data: list[str] = []
+        self.bss: list[str] = []
+        self.strings: dict[bytes, str] = {}
+        self.label_no = 0
+        self.fn: CheckedFunction | None = None
+        self.frame: _Frame | None = None
+        self.flags: _FnFlags | None = None
+        self.frame_touched = False
+        self.depth = 0
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self.ret_label = ""
+
+    # ---- emission helpers ----------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.text.append(f"\t{line}")
+
+    def emit_label(self, label: str) -> None:
+        self.text.append(f"{label}:")
+
+    def new_label(self, stem: str = "L") -> str:
+        self.label_no += 1
+        return f"${stem}{self.label_no}"
+
+    def string_label(self, data: bytes) -> str:
+        label = self.strings.get(data)
+        if label is None:
+            label = self.new_label("str")
+            self.strings[data] = label
+            escaped = "".join(
+                chr(b) if 32 <= b < 127 and chr(b) not in "\\\"" else
+                f"\\x{b:02x}" for b in data)
+            # Buffered separately so a label request issued while another
+            # data object is mid-emission cannot interleave with it.
+            self.string_data.append(f"{label}:\t.asciiz \"{escaped}\"")
+        return label
+
+    # ---- temp register stack ----------------------------------------------------
+
+    def _slot(self, level: int) -> int:
+        self.frame_touched = True
+        return self.frame.spill_base + 8 * min(level, SPILL_SLOTS - 1)
+
+    def push(self) -> str:
+        """Allocate a new temp level; returns the register to compute into.
+
+        Levels past the pool return 'at'; the caller must finish with
+        :meth:`store_pushed`.
+        """
+        level = self.depth
+        if level >= MAX_TEMPS:
+            raise CodegenError("expression too complex (temp overflow)")
+        self.depth += 1
+        if level < len(TEMP_POOL):
+            return _REG_NAMES[TEMP_POOL[level]]
+        return "at"
+
+    def store_pushed(self, reg: str) -> None:
+        """Finish a push: memory-backed levels get written to their slot."""
+        level = self.depth - 1
+        if level >= len(TEMP_POOL):
+            self.emit(f"stq {reg}, {self._slot(level)}(sp)")
+
+    def top_reg(self, scratch: str = "at") -> str:
+        level = self.depth - 1
+        if level < len(TEMP_POOL):
+            return _REG_NAMES[TEMP_POOL[level]]
+        self.emit(f"ldq {scratch}, {self._slot(level)}(sp)")
+        return scratch
+
+    def reg_at(self, level: int, scratch: str) -> str:
+        if level < len(TEMP_POOL):
+            return _REG_NAMES[TEMP_POOL[level]]
+        self.emit(f"ldq {scratch}, {self._slot(level)}(sp)")
+        return scratch
+
+    def pop(self) -> None:
+        self.depth -= 1
+
+    def result_reg(self, level: int) -> str:
+        """Register to write a binary-op result destined for ``level``."""
+        if level < len(TEMP_POOL):
+            return _REG_NAMES[TEMP_POOL[level]]
+        return "at"
+
+    def finish_result(self, level: int, reg: str) -> None:
+        if level >= len(TEMP_POOL):
+            self.emit(f"stq {reg}, {self._slot(level)}(sp)")
+
+    def save_live_temps(self) -> None:
+        """Spill every register-resident temp level (around calls)."""
+        for level in range(min(self.depth, len(TEMP_POOL))):
+            reg = _REG_NAMES[TEMP_POOL[level]]
+            self.emit(f"stq {reg}, {self._slot(level)}(sp)")
+
+    def restore_live_temps(self) -> None:
+        for level in range(min(self.depth, len(TEMP_POOL))):
+            reg = _REG_NAMES[TEMP_POOL[level]]
+            self.emit(f"ldq {reg}, {self._slot(level)}(sp)")
+
+    # ---- driver ------------------------------------------------------------------
+
+    def run(self) -> str:
+        for sym in self.prog.globals:
+            self._emit_global(sym)
+        for fn in self.prog.functions:
+            self._emit_function(fn)
+        out = ["\t.text"]
+        out.extend(self.text)
+        if self.data or self.string_data:
+            out.append("\t.data")
+            out.extend(self.data)
+            out.extend(self.string_data)
+        if self.bss:
+            out.append("\t.bss")
+            out.extend(self.bss)
+        return "\n".join(out) + "\n"
+
+    # ---- globals -------------------------------------------------------------------
+
+    def _emit_global(self, sym: Symbol) -> None:
+        if not sym.defined:
+            return   # extern: resolved at link time
+        t = sym.type
+        if sym.init is None:
+            self.bss.append(f"\t.align {_log2(max(t.align, 8))}")
+            self.bss.append(f"\t.globl {sym_name(sym.name)}")
+            self.bss.append(f"{sym_name(sym.name)}:\t.space {max(t.size, 1)}")
+            return
+        self.data.append(f"\t.align {_log2(max(t.align, 8))}")
+        self.data.append(f"\t.globl {sym_name(sym.name)}")
+        self.data.append(f"{sym_name(sym.name)}:")
+        self._emit_init(t, sym.init)
+
+    def _emit_init(self, t: T.Type, init) -> None:
+        if isinstance(t, T.ArrayType):
+            items = init if isinstance(init, list) else [init]
+            if isinstance(init, A.StrLit):
+                # char buf[...] = "...": bytes plus padding.
+                data = init.data + b"\x00"
+                if t.length is not None and len(data) < t.size:
+                    data += b"\x00" * (t.size - len(data))
+                escaped = "".join(
+                    chr(b) if 32 <= b < 127 and chr(b) not in "\\\"" else
+                    f"\\x{b:02x}" for b in data)
+                self.data.append(f"\t.ascii \"{escaped}\"")
+                return
+            for item in items:
+                self._emit_init(t.element, item)
+            if t.length is not None and len(items) < t.length:
+                pad = (t.length - len(items)) * t.element.size
+                self.data.append(f"\t.space {pad}")
+            return
+        value = self._init_scalar(init)
+        directive = {1: ".byte", 2: ".word", 4: ".long", 8: ".quad"}[t.size]
+        self.data.append(f"\t{directive} {value}")
+
+    def _init_scalar(self, init) -> str:
+        from .parser import const_eval
+        if isinstance(init, A.StrLit):
+            return self.string_label(init.data)
+        if isinstance(init, A.Ident):
+            return sym_name(init.name)          # address of a function or global
+        if isinstance(init, A.Unary) and init.op == "&" \
+                and isinstance(init.operand, A.Ident):
+            return sym_name(init.operand.name)
+        try:
+            return str(const_eval(init))
+        except Exception:
+            raise CodegenError("global initializer must be constant",
+                               getattr(init, "line", 0)) from None
+
+    # ---- functions --------------------------------------------------------------------
+
+    def _emit_function(self, fn: CheckedFunction) -> None:
+        self.fn = fn
+        self.flags = _analyze_function(fn)
+        self.frame = self._layout_frame(fn)
+        self.frame_touched = False
+        self.depth = 0
+        self.ret_label = self.new_label(f"ret_{fn.node.name}_")
+        f = self.frame
+        flags = self.flags
+
+        self.text.append(f"\t.globl {sym_name(fn.node.name)}")
+        self.text.append(f"\t.ent {sym_name(fn.node.name)}")
+        self.emit_label(sym_name(fn.node.name))
+
+        # Prologue is finalized after the body: leaf functions skip the
+        # ra save, gp-free functions skip ldgp, and a function that never
+        # touched its frame drops the sp adjustment entirely.
+        prologue_at = len(self.text)
+
+        if fn.node.variadic:
+            self.frame_touched = True
+            for i, reg in enumerate(ARG_REGS):
+                self.emit(f"stq {reg}, {f.va_offset + 8 * i}(sp)")
+        for i, param in enumerate(fn.params):
+            if id(param) in flags.reg_params:
+                continue           # lives in its argument register
+            off = self._param_slot(param)
+            if i < 6:
+                self._store_sized(ARG_REGS[i], "sp", off, param.type)
+            else:
+                self.emit(f"ldq at, {f.size + 8 * (i - 6)}(sp)")
+                self._store_sized("at", "sp", off, param.type)
+
+        self._stmt(fn.node.body)
+        self.emit_label(self.ret_label)
+
+        need_frame = self.frame_touched or not flags.leaf
+        prologue = [f"\t.frame {f.size if need_frame else 0}, "
+                    f"{f.out_bytes}"]
+        if need_frame:
+            prologue.append(f"\tlda sp, -{f.size}(sp)")
+        if not flags.leaf:
+            prologue.append(f"\tstq ra, {f.ra_offset}(sp)")
+        if flags.needs_gp:
+            prologue.append("\tldgp")
+        self.text[prologue_at:prologue_at] = prologue
+
+        if not flags.leaf:
+            self.emit(f"ldq ra, {f.ra_offset}(sp)")
+        if need_frame:
+            self.emit(f"lda sp, {f.size}(sp)")
+        self.emit("ret (ra)")
+        self.text.append(f"\t.end {sym_name(fn.node.name)}")
+        self.fn = None
+
+    def _param_slot(self, sym: Symbol) -> int:
+        self.frame_touched = True
+        return self.frame.slots[id(sym)]
+
+    def _layout_frame(self, fn: CheckedFunction) -> _Frame:
+        frame = _Frame()
+        max_stack_args = _max_stack_args(fn.node.body)
+        frame.out_bytes = 8 * max_stack_args
+        frame.spill_base = frame.out_bytes
+        offset = frame.spill_base + 8 * SPILL_SLOTS
+        for sym in fn.params + fn.locals:
+            t = sym.type
+            align = max(t.align, 8) if not t.is_scalar() else 8
+            offset = (offset + align - 1) & ~(align - 1)
+            frame.slots[id(sym)] = offset
+            sym.frame_offset = offset
+            offset += max(8, (t.size + 7) & ~7)
+        frame.ra_offset = offset
+        offset += 8
+        if fn.node.variadic:
+            offset = (offset + 15) & ~15
+            frame.va_offset = offset
+            offset += 48
+            frame.size = offset       # va area must end exactly at entry sp
+        else:
+            frame.size = (offset + 15) & ~15
+        if fn.node.variadic and frame.size % 16:
+            # Keep 16-alignment by padding *below* the va area.
+            extra = 16 - frame.size % 16
+            frame.va_offset += extra
+            frame.size += extra
+        return frame
+
+    # ---- statements -----------------------------------------------------------------------
+
+    def _stmt(self, stmt: A.Stmt) -> None:
+        getattr(self, f"_s_{type(stmt).__name__}")(stmt)
+
+    def _s_Block(self, node: A.Block) -> None:
+        for s in node.stmts:
+            self._stmt(s)
+
+    def _s_LocalDecl(self, node: A.LocalDecl) -> None:
+        if node.init is None:
+            return
+        self._expr(node.init)
+        reg = self.top_reg()
+        self.frame_touched = True
+        off = self.frame.slots[id(node.symbol)]
+        self._store_sized(reg, "sp", off, node.symbol.type)
+        self.pop()
+
+    def _s_ExprStmt(self, node: A.ExprStmt) -> None:
+        self._expr(node.expr)
+        self.pop()
+
+    def _s_If(self, node: A.If) -> None:
+        else_label = self.new_label()
+        end_label = self.new_label() if node.els else else_label
+        self._branch_false(node.cond, else_label)
+        self._stmt(node.then)
+        if node.els is not None:
+            self.emit(f"br {end_label}")
+            self.emit_label(else_label)
+            self._stmt(node.els)
+        self.emit_label(end_label)
+
+    def _s_While(self, node: A.While) -> None:
+        top = self.new_label()
+        end = self.new_label()
+        self.emit_label(top)
+        self._branch_false(node.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(top)
+        self._stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(f"br {top}")
+        self.emit_label(end)
+
+    def _s_DoWhile(self, node: A.DoWhile) -> None:
+        top = self.new_label()
+        cond = self.new_label()
+        end = self.new_label()
+        self.emit_label(top)
+        self.break_labels.append(end)
+        self.continue_labels.append(cond)
+        self._stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(cond)
+        self._branch_true(node.cond, top)
+        self.emit_label(end)
+
+    def _s_For(self, node: A.For) -> None:
+        if node.init is not None:
+            self._stmt(node.init)
+        top = self.new_label()
+        step = self.new_label()
+        end = self.new_label()
+        self.emit_label(top)
+        if node.cond is not None:
+            self._branch_false(node.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(step)
+        self._stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(step)
+        if node.step is not None:
+            self._expr(node.step)
+            self.pop()
+        self.emit(f"br {top}")
+        self.emit_label(end)
+
+    def _s_Switch(self, node: A.Switch) -> None:
+        end = self.new_label()
+        self._expr(node.expr)
+        sel = self.top_reg()
+        case_labels: list[tuple[A.SwitchCase, str]] = []
+        default_label = end
+        for case in node.cases:
+            label = self.new_label("case")
+            case_labels.append((case, label))
+            if case.value is None:
+                default_label = label
+        for case, label in case_labels:
+            if case.value is None:
+                continue
+            if 0 <= case.value <= 255:
+                self.emit(f"cmpeq {sel}, {case.value}, pv")
+            else:
+                self.emit(f"li pv, {case.value}")
+                self.emit(f"cmpeq {sel}, pv, pv")
+            self.emit(f"bne pv, {label}")
+        self.pop()
+        self.emit(f"br {default_label}")
+        self.break_labels.append(end)
+        for case, label in case_labels:
+            self.emit_label(label)
+            for s in case.stmts:
+                self._stmt(s)
+        self.break_labels.pop()
+        self.emit_label(end)
+
+    def _s_Return(self, node: A.Return) -> None:
+        if node.expr is not None:
+            self._expr(node.expr)
+            reg = self.top_reg()
+            self.emit(f"mov {reg}, v0")
+            self.pop()
+        self.emit(f"br {self.ret_label}")
+
+    def _s_Break(self, node: A.Break) -> None:
+        self.emit(f"br {self.break_labels[-1]}")
+
+    def _s_Continue(self, node: A.Continue) -> None:
+        self.emit(f"br {self.continue_labels[-1]}")
+
+    # ---- condition helpers ---------------------------------------------------------
+
+    def _branch_false(self, cond: A.Expr, label: str) -> None:
+        self._expr(cond)
+        reg = self.top_reg()
+        self.emit(f"beq {reg}, {label}")
+        self.pop()
+
+    def _branch_true(self, cond: A.Expr, label: str) -> None:
+        self._expr(cond)
+        reg = self.top_reg()
+        self.emit(f"bne {reg}, {label}")
+        self.pop()
+
+    # ---- expressions ------------------------------------------------------------------
+
+    def _expr(self, expr: A.Expr) -> None:
+        """Evaluate; leaves the value as the new top of the temp stack."""
+        getattr(self, f"_e_{type(expr).__name__}")(expr)
+
+    def _e_IntLit(self, node: A.IntLit) -> None:
+        reg = self.push()
+        self.emit(f"li {reg}, {node.value}")
+        self.store_pushed(reg)
+
+    def _e_StrLit(self, node: A.StrLit) -> None:
+        label = self.string_label(node.data)
+        reg = self.push()
+        self.emit(f"la {reg}, {label}")
+        self.store_pushed(reg)
+
+    def _e_Ident(self, node: A.Ident) -> None:
+        sym = node.symbol
+        if sym.storage == "func":
+            reg = self.push()
+            self.emit(f"la {reg}, {sym_name(sym.name)}")
+            self.store_pushed(reg)
+            return
+        t = sym.type
+        if isinstance(t, (T.ArrayType, T.StructType)):
+            self._push_addr_of_sym(sym)
+            return
+        reg = self.push()
+        if sym.storage == "param" and id(sym) in self.flags.reg_params:
+            home = self.flags.reg_params[id(sym)]
+            self.emit(f"mov {home}, {reg}")
+        elif sym.storage in ("local", "param"):
+            self.frame_touched = True
+            self._load_sized(reg, "sp", self.frame.slots[id(sym)], t)
+        else:
+            self.emit(f"la {reg}, {sym_name(sym.name)}")
+            self._load_sized(reg, reg, 0, t)
+        self.store_pushed(reg)
+
+    def _push_addr_of_sym(self, sym: Symbol) -> None:
+        reg = self.push()
+        if sym.storage in ("local", "param"):
+            if id(sym) in self.flags.reg_params:
+                raise CodegenError(
+                    f"address taken of register parameter {sym.name!r}")
+            self.frame_touched = True
+            self.emit(f"lda {reg}, {self.frame.slots[id(sym)]}(sp)")
+        else:
+            self.emit(f"la {reg}, {sym_name(sym.name)}")
+        self.store_pushed(reg)
+
+    def _e_Unary(self, node: A.Unary) -> None:
+        op = node.op
+        if op == "sizeof":
+            reg = self.push()
+            self.emit(f"li {reg}, {node.operand.type.size}")
+            self.store_pushed(reg)
+            return
+        if op == "&":
+            if isinstance(node.operand, A.Ident) \
+                    and node.operand.symbol.storage == "func":
+                self._e_Ident(node.operand)
+                return
+            self._addr(node.operand)
+            return
+        if op == "*":
+            self._expr(node.operand)
+            self._load_through(node.type)
+            return
+        if op in ("++", "--"):
+            self._incdec(node.operand, op, want_old=False)
+            return
+        self._expr(node.operand)
+        level = self.depth - 1
+        src = self.reg_at(level, "at")
+        dst = self.result_reg(level)
+        if op == "-":
+            self.emit(f"negq {src}, {dst}")
+        elif op == "~":
+            self.emit(f"not {src}, {dst}")
+        elif op == "!":
+            self.emit(f"cmpeq {src}, 0, {dst}")
+        else:  # pragma: no cover
+            raise AssertionError(op)
+        self.finish_result(level, dst)
+
+    def _e_PostIncDec(self, node: A.PostIncDec) -> None:
+        self._incdec(node.target, node.op, want_old=True)
+
+    def _incdec(self, target: A.Expr, op: str, want_old: bool) -> None:
+        t = T.decay(target.type)
+        step = t.target.size if t.is_pointer() else 1
+        self._addr(target)                     # [addr]
+        addr_level = self.depth - 1
+        addr = self.reg_at(addr_level, "pv")
+        val = self.push()                      # [addr, val]
+        self._load_sized(val, addr, 0, target.type)
+        self.store_pushed(val)
+        new = self.push()                      # [addr, val, new]
+        val_r = self.reg_at(addr_level + 1, "at")
+        mn = "addq" if op == "++" else "subq"
+        if step <= 255:
+            self.emit(f"{mn} {val_r}, {step}, {new}")
+        else:
+            self.emit(f"li {new}, {step}")
+            self.emit(f"{mn} {val_r}, {new}, {new}")
+        self.store_pushed(new)
+        addr_r = self.reg_at(addr_level, "pv")
+        new_r = self.reg_at(addr_level + 2, "at")
+        self._store_sized(new_r, addr_r, 0, target.type)
+        # Collapse [addr, old, new] to the single result.
+        keep = addr_level + (1 if want_old else 2)
+        keep_reg = self.reg_at(keep, "at")
+        self.pop()
+        self.pop()
+        self.pop()
+        dst = self.push()
+        if dst != keep_reg:
+            self.emit(f"mov {keep_reg}, {dst}")
+        self.store_pushed(dst)
+
+    def _e_Binary(self, node: A.Binary) -> None:
+        op = node.op
+        if op == ",":
+            self._expr(node.left)
+            self.pop()
+            self._expr(node.right)
+            return
+        if op in ("&&", "||"):
+            self._logical(node)
+            return
+        lt = T.decay(node.left.type)
+        rt = T.decay(node.right.type)
+        self._expr(node.left)
+        if op in ("+", "-") and lt.is_pointer() and rt.is_integer():
+            self._expr(node.right)
+            self._scale_top(lt.target.size)
+        elif op == "+" and lt.is_integer() and rt.is_pointer():
+            self._expr(node.right)
+            # value + pointer: scale the *left* operand.
+            self._swap_top2()
+            self._scale_top(rt.target.size)
+        else:
+            self._expr(node.right)
+        level = self.depth - 2
+        a = self.reg_at(level, "pv")
+        b = self.reg_at(level + 1, "at")
+        dst = self.result_reg(level)
+        self._emit_binop(op, a, b, dst, lt, rt)
+        self.pop()
+        self.pop()
+        self.push()
+        self.finish_result(level, dst)
+        if op == "-" and lt.is_pointer() and rt.is_pointer():
+            size = lt.target.size
+            if size > 1:
+                self._divide_top_by_const(size)
+
+    def _emit_binop(self, op: str, a: str, b: str, dst: str,
+                    lt: T.Type, rt: T.Type) -> None:
+        unsigned = _is_unsigned(lt) or _is_unsigned(rt) \
+            or lt.is_pointer() or rt.is_pointer()
+        table = {"+": "addq", "-": "subq", "*": "mulq", "&": "and",
+                 "|": "bis", "^": "xor", "<<": "sll"}
+        if op in table:
+            self.emit(f"{table[op]} {a}, {b}, {dst}")
+        elif op == "/":
+            self.emit(f"divq {a}, {b}, {dst}")
+        elif op == "%":
+            self.emit(f"remq {a}, {b}, {dst}")
+        elif op == ">>":
+            mn = "srl" if _is_unsigned(lt) else "sra"
+            self.emit(f"{mn} {a}, {b}, {dst}")
+        elif op == "==":
+            self.emit(f"cmpeq {a}, {b}, {dst}")
+        elif op == "!=":
+            self.emit(f"cmpeq {a}, {b}, {dst}")
+            self.emit(f"xor {dst}, 1, {dst}")
+        elif op == "<":
+            self.emit(f"{'cmpult' if unsigned else 'cmplt'} {a}, {b}, {dst}")
+        elif op == "<=":
+            self.emit(f"{'cmpule' if unsigned else 'cmple'} {a}, {b}, {dst}")
+        elif op == ">":
+            self.emit(f"{'cmpult' if unsigned else 'cmplt'} {b}, {a}, {dst}")
+        elif op == ">=":
+            self.emit(f"{'cmpule' if unsigned else 'cmple'} {b}, {a}, {dst}")
+        else:  # pragma: no cover
+            raise AssertionError(op)
+
+    def _scale_top(self, size: int) -> None:
+        if size == 1:
+            return
+        level = self.depth - 1
+        src = self.reg_at(level, "at")
+        dst = self.result_reg(level)
+        shift = _exact_log2(size)
+        if shift is not None:
+            self.emit(f"sll {src}, {shift}, {dst}")
+        elif size <= 255:
+            self.emit(f"mulq {src}, {size}, {dst}")
+        else:
+            self.emit(f"li pv, {size}")
+            self.emit(f"mulq {src}, pv, {dst}")
+        self.finish_result(level, dst)
+
+    def _divide_top_by_const(self, size: int) -> None:
+        level = self.depth - 1
+        src = self.reg_at(level, "at")
+        dst = self.result_reg(level)
+        shift = _exact_log2(size)
+        if shift is not None:
+            self.emit(f"sra {src}, {shift}, {dst}")
+        elif size <= 255:
+            self.emit(f"divq {src}, {size}, {dst}")
+        else:
+            self.emit(f"li pv, {size}")
+            self.emit(f"divq {src}, pv, {dst}")
+        self.finish_result(level, dst)
+
+    def _swap_top2(self) -> None:
+        """Swap the top two temp-stack values (both made register-resident
+        via scratch when memory-backed)."""
+        la, lb = self.depth - 2, self.depth - 1
+        a = self.reg_at(la, "pv")
+        b = self.reg_at(lb, "at")
+        self.emit(f"xor {a}, {b}, {a}")
+        self.emit(f"xor {a}, {b}, {b}")
+        self.emit(f"xor {a}, {b}, {a}")
+        if la >= len(TEMP_POOL):
+            self.emit(f"stq {a}, {self._slot(la)}(sp)")
+        if lb >= len(TEMP_POOL):
+            self.emit(f"stq {b}, {self._slot(lb)}(sp)")
+
+    def _logical(self, node: A.Binary) -> None:
+        end = self.new_label()
+        result = self.push()      # allocate result slot first
+        if node.op == "&&":
+            self.emit(f"clr {result}")
+            self.store_pushed(result)
+            self._branch_false_sub(node.left, end)
+            self._branch_false_sub(node.right, end)
+            reg = self.reg_at(self.depth - 1, "at")
+            self.emit(f"li {reg}, 1")
+            self.finish_result(self.depth - 1, reg)
+        else:
+            self.emit(f"li {result}, 1")
+            self.store_pushed(result)
+            self._branch_true_sub(node.left, end)
+            self._branch_true_sub(node.right, end)
+            reg = self.reg_at(self.depth - 1, "at")
+            self.emit(f"clr {reg}")
+            self.finish_result(self.depth - 1, reg)
+        self.emit_label(end)
+
+    def _branch_false_sub(self, cond: A.Expr, label: str) -> None:
+        self._expr(cond)
+        reg = self.top_reg()
+        self.emit(f"beq {reg}, {label}")
+        self.pop()
+
+    def _branch_true_sub(self, cond: A.Expr, label: str) -> None:
+        self._expr(cond)
+        reg = self.top_reg()
+        self.emit(f"bne {reg}, {label}")
+        self.pop()
+
+    def _e_Assign(self, node: A.Assign) -> None:
+        t = node.target.type
+        if node.op == "=":
+            self._expr(node.value)             # [val]
+            self._addr(node.target)            # [val, addr]
+            addr = self.reg_at(self.depth - 1, "pv")
+            val = self.reg_at(self.depth - 2, "at")
+            self._store_sized(val, addr, 0, t)
+            self.pop()                          # drop addr; val is result
+            return
+        # Compound: evaluate address once.
+        base_op = node.op[:-1]
+        lt = T.decay(t)
+        rt = T.decay(node.value.type)
+        self._addr(node.target)                # [addr]
+        addr_level = self.depth - 1
+        addr = self.reg_at(addr_level, "pv")
+        cur = self.push()                      # [addr, cur]
+        self._load_sized(cur, addr, 0, t)
+        self.store_pushed(cur)
+        self._expr(node.value)                 # [addr, cur, rhs]
+        if base_op in ("+", "-") and lt.is_pointer():
+            self._scale_top(lt.target.size)
+        a = self.reg_at(addr_level + 1, "pv")
+        b = self.reg_at(addr_level + 2, "at")
+        dst = self.result_reg(addr_level + 1)
+        self._emit_binop(base_op, a, b, dst, lt, rt)
+        self.finish_result(addr_level + 1, dst)
+        self.pop()                              # [addr, new]
+        addr_r = self.reg_at(addr_level, "pv")
+        new_r = self.reg_at(addr_level + 1, "at")
+        self._store_sized(new_r, addr_r, 0, t)
+        # Collapse to the result value.
+        keep = self.reg_at(addr_level + 1, "at")
+        self.pop()
+        self.pop()
+        dst = self.push()
+        if dst != keep:
+            self.emit(f"mov {keep}, {dst}")
+        self.store_pushed(dst)
+
+    def _e_Cond(self, node: A.Cond) -> None:
+        else_label = self.new_label()
+        end = self.new_label()
+        self._branch_false_sub(node.cond, else_label)
+        self._expr(node.then)
+        # Move into the canonical result position (same level either way).
+        self.emit(f"br {end}")
+        self.pop()
+        self.emit_label(else_label)
+        self._expr(node.els)
+        self.emit_label(end)
+
+    def _e_Call(self, node: A.Call) -> None:
+        # __va_start builtin: address of the first anonymous argument.
+        if isinstance(node.func, A.Ident) and node.func.name == "__va_start":
+            f = self.frame
+            self.frame_touched = True
+            named = len(self.fn.params)
+            if named <= 6:
+                off = f.va_offset + 8 * named
+            else:
+                off = f.size + 8 * (named - 6)
+            reg = self.push()
+            self.emit(f"lda {reg}, {off}(sp)")
+            self.store_pushed(reg)
+            return
+
+        direct = isinstance(node.func, A.Ident) \
+            and node.func.symbol is not None \
+            and getattr(node.func.symbol, "storage", "") == "func"
+        base_level = self.depth
+        for arg in node.args:
+            self._expr(arg)
+        if not direct:
+            self._expr(node.func)     # callee address on top
+        # Spill everything live, then marshal arguments from slots.
+        self.save_live_temps()
+        nargs = len(node.args)
+        for i in range(min(nargs, 6)):
+            self.emit(f"ldq {ARG_REGS[i]}, {self._slot(base_level + i)}(sp)")
+        for i in range(6, nargs):
+            self.emit(f"ldq at, {self._slot(base_level + i)}(sp)")
+            self.emit(f"stq at, {8 * (i - 6)}(sp)")
+        if direct:
+            self.emit(f"bsr ra, {sym_name(node.func.symbol.name)}")
+        else:
+            self.emit(f"ldq pv, {self._slot(base_level + nargs)}(sp)")
+            self.emit("jsr ra, (pv)")
+            self.pop()
+        for _ in range(nargs):
+            self.pop()
+        self.restore_live_temps()
+        reg = self.push()
+        if reg != "v0":
+            self.emit(f"mov v0, {reg}")
+        self.store_pushed(reg)
+
+    def _e_Index(self, node: A.Index) -> None:
+        self._addr_index(node)
+        self._load_through(node.type)
+
+    def _e_Member(self, node: A.Member) -> None:
+        self._addr_member(node)
+        self._load_through(node.type)
+
+    def _e_Cast(self, node: A.Cast) -> None:
+        self._expr(node.expr)
+        to = node.to
+        frm = T.decay(node.expr.type)
+        if not to.is_integer() or not frm.is_integer():
+            return    # pointer/int casts are bit-identical
+        if not isinstance(to, T.IntType) or to.width >= 8:
+            return
+        level = self.depth - 1
+        src = self.reg_at(level, "at")
+        dst = self.result_reg(level)
+        if to.signed:
+            mn = {1: "sextb", 2: "sextw", 4: "sextl"}[to.width]
+            self.emit(f"{mn} {src}, {dst}")
+        else:
+            if to.width == 1:
+                self.emit(f"and {src}, 0xff, {dst}")
+            else:
+                bits = 64 - 8 * to.width
+                self.emit(f"sll {src}, {bits}, {dst}")
+                self.emit(f"srl {dst}, {bits}, {dst}")
+        self.finish_result(level, dst)
+
+    def _e_SizeofType(self, node: A.SizeofType) -> None:
+        reg = self.push()
+        self.emit(f"li {reg}, {node.of.size}")
+        self.store_pushed(reg)
+
+    # ---- addresses ---------------------------------------------------------------
+
+    def _addr(self, expr: A.Expr) -> None:
+        """Push the address of an lvalue."""
+        if isinstance(expr, A.Ident):
+            self._push_addr_of_sym(expr.symbol)
+            return
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            self._expr(expr.operand)
+            return
+        if isinstance(expr, A.Index):
+            self._addr_index(expr)
+            return
+        if isinstance(expr, A.Member):
+            self._addr_member(expr)
+            return
+        raise CodegenError("not an lvalue", expr.line)
+
+    def _addr_index(self, node: A.Index) -> None:
+        self._expr(node.base)      # pointer value / decayed array address
+        self._expr(node.index)
+        elem = T.decay(node.base.type).target
+        self._scale_top(elem.size)
+        level = self.depth - 2
+        a = self.reg_at(level, "pv")
+        b = self.reg_at(level + 1, "at")
+        dst = self.result_reg(level)
+        self.emit(f"addq {a}, {b}, {dst}")
+        self.pop()
+        self.pop()
+        self.push()
+        self.finish_result(level, dst)
+
+    def _addr_member(self, node: A.Member) -> None:
+        if node.arrow:
+            self._expr(node.base)
+        else:
+            self._addr(node.base)
+        offset = node.member.offset
+        if offset:
+            level = self.depth - 1
+            src = self.reg_at(level, "at")
+            dst = self.result_reg(level)
+            self.emit(f"lda {dst}, {offset}({src})")
+            self.finish_result(level, dst)
+
+    def _load_through(self, t: T.Type) -> None:
+        """Replace the address on top of the stack with the loaded value."""
+        if isinstance(t, (T.ArrayType, T.StructType, T.FuncType)):
+            return    # address *is* the value
+        level = self.depth - 1
+        addr = self.reg_at(level, "at")
+        dst = self.result_reg(level)
+        self._load_sized(dst, addr, 0, t)
+        self.finish_result(level, dst)
+
+    # ---- sized loads/stores ---------------------------------------------------------
+
+    def _load_sized(self, dst: str, base: str, off: int, t: T.Type) -> None:
+        t = T.decay(t)
+        if t.is_pointer() or not isinstance(t, T.IntType):
+            self.emit(f"ldq {dst}, {off}({base})")
+            return
+        if t.width == 8:
+            self.emit(f"ldq {dst}, {off}({base})")
+        elif t.width == 4:
+            self.emit(f"ldl {dst}, {off}({base})")
+            if not t.signed:
+                self.emit(f"sll {dst}, 32, {dst}")
+                self.emit(f"srl {dst}, 32, {dst}")
+        elif t.width == 2:
+            self.emit(f"ldwu {dst}, {off}({base})")
+            if t.signed:
+                self.emit(f"sextw {dst}, {dst}")
+        else:
+            self.emit(f"ldbu {dst}, {off}({base})")
+            if t.signed:
+                self.emit(f"sextb {dst}, {dst}")
+
+    def _store_sized(self, src: str, base: str, off: int, t: T.Type) -> None:
+        t = T.decay(t)
+        width = 8
+        if isinstance(t, T.IntType):
+            width = t.width
+        mn = {1: "stb", 2: "stw", 4: "stl", 8: "stq"}[width]
+        self.emit(f"{mn} {src}, {off}({base})")
+
+
+# ---- small helpers -----------------------------------------------------------
+
+def _is_unsigned(t: T.Type) -> bool:
+    return isinstance(t, T.IntType) and not t.signed and t.width == 8
+
+
+def _exact_log2(n: int) -> int | None:
+    if n > 0 and n & (n - 1) == 0:
+        return n.bit_length() - 1
+    return None
+
+
+def _log2(n: int) -> int:
+    return max(0, n.bit_length() - 1)
+
+
+def _max_stack_args(stmt) -> int:
+    """Scan a body for the largest number of stack-passed call arguments."""
+    worst = 0
+
+    def walk(obj) -> None:
+        nonlocal worst
+        if isinstance(obj, A.Call):
+            worst = max(worst, len(obj.args) - 6)
+        if isinstance(obj, (A.Expr, A.Stmt, A.SwitchCase)):
+            for value in vars(obj).values():
+                walk(value)
+        elif isinstance(obj, list):
+            for item in obj:
+                walk(item)
+    walk(stmt)
+    return max(worst, 0)

@@ -1,0 +1,133 @@
+"""MLC compilation driver: source -> module -> linked executable or unit.
+
+The high-level entry points used throughout the reproduction:
+
+* :func:`compile_source` — one translation unit to a relocatable module;
+* :func:`build_executable` — compile + link with crt0 and libc into a
+  runnable program (what the paper's users do with ``cc``);
+* :func:`build_analysis_unit` — compile + link analysis routines with
+  their own private libc copy but *no* crt0 (the unit is entered only via
+  procedure calls inserted by ATOM).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..isa.asm import assemble
+from ..objfile.linker import LinkConfig, link
+from ..objfile.module import Module
+from .check import CheckError, check
+from .codegen import generate
+from .lexer import LexError
+from .parser import ParseError, parse
+from .runtime import PRELUDE, PRELUDE_LINES, crt0_module, runtime_archive
+
+
+class MlcError(Exception):
+    """Wrapper carrying the source name for any front-end failure."""
+
+    def __init__(self, name: str, cause: Exception):
+        self.cause = cause
+        super().__init__(f"{name}: {cause}")
+
+
+def compile_to_asm(source: str, name: str = "<mlc>",
+                   use_prelude: bool = True) -> str:
+    """Compile MLC source to WRL-64 assembly text."""
+    if use_prelude:
+        source = PRELUDE + source
+    try:
+        prog = check(parse(source, name))
+        return generate(prog, name)
+    except (LexError, ParseError, CheckError) as exc:
+        line = getattr(exc, "line", 0)
+        if use_prelude and line:
+            # Report line numbers in the *user's* source, not the
+            # prelude-prefixed text the front end saw.
+            message = str(exc)
+            prefix = f"line {line}: "
+            if message.startswith(prefix):
+                message = message[len(prefix):]
+            adjusted = type(exc)(message, line - PRELUDE_LINES)
+            raise MlcError(name, adjusted) from exc
+        raise MlcError(name, exc) from exc
+
+
+def compile_source(source: str, name: str = "<mlc>",
+                   use_prelude: bool = True) -> Module:
+    """Compile MLC source to a relocatable WOF module."""
+    return assemble(compile_to_asm(source, name, use_prelude), name)
+
+
+def build_executable(sources: list, name: str = "a.out",
+                     config: LinkConfig | None = None,
+                     extra_modules: list[Module] | None = None) -> Module:
+    """Compile sources (str MLC text or ready Modules) and link a program."""
+    modules = [crt0_module()]
+    for i, src in enumerate(sources):
+        if isinstance(src, Module):
+            modules.append(src)
+        else:
+            modules.append(compile_source(src, f"unit{i}.mlc"))
+    modules.extend(extra_modules or [])
+    cfg = config or LinkConfig(name=name)
+    cfg.name = name
+    return link(modules, [runtime_archive()], cfg)
+
+
+def build_analysis_unit(sources: list, name: str = "analysis",
+                        text_base: int = 0x0040_0000,
+                        data_base: int = 0x0080_0000) -> Module:
+    """Compile + link analysis routines into an entry-less linked unit.
+
+    The bases are placeholders; ATOM relocates the unit into the gap
+    between the application's text and data segments (paper Figure 4).
+    """
+    modules = []
+    for i, src in enumerate(sources):
+        if isinstance(src, Module):
+            modules.append(src)
+        else:
+            modules.append(compile_source(src, f"anal{i}.mlc"))
+    cfg = LinkConfig(text_base=text_base, data_base=data_base,
+                     require_entry=False, name=name)
+    return link(modules, [runtime_archive()], cfg)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="mlc", description="MLC compiler")
+    ap.add_argument("sources", nargs="+", help="MLC source files")
+    ap.add_argument("-o", "--output", required=True)
+    ap.add_argument("-S", action="store_true", dest="asm_only",
+                    help="emit assembly instead of an executable")
+    ap.add_argument("-c", action="store_true", dest="compile_only",
+                    help="emit a relocatable module (single source only)")
+    args = ap.parse_args(argv)
+    texts = []
+    for path in args.sources:
+        with open(path) as f:
+            texts.append(f.read())
+    try:
+        if args.asm_only:
+            out = "".join(compile_to_asm(t, p)
+                          for t, p in zip(texts, args.sources))
+            with open(args.output, "w") as f:
+                f.write(out)
+            return 0
+        if args.compile_only:
+            if len(texts) != 1:
+                print("mlc: -c takes a single source", file=sys.stderr)
+                return 2
+            compile_source(texts[0], args.sources[0]).save(args.output)
+            return 0
+        build_executable(texts, name=args.output).save(args.output)
+        return 0
+    except MlcError as exc:
+        print(f"mlc: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Lexer for MLC, the mini-C language of this reproduction.
+
+MLC is the stand-in for the C the paper's users write analysis routines in
+(and that the SPEC92 workloads were compiled from).  The token set is a
+plain C subset: keywords, identifiers, integer/character/string literals,
+and the usual operator zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "break", "case", "char", "continue", "default", "do", "else", "extern",
+    "for", "if", "int", "long", "return", "short", "sizeof", "struct",
+    "switch", "typedef", "unsigned", "void", "while",
+})
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # "kw" | "id" | "int" | "str" | "op" | "eof"
+    text: str
+    value: int | bytes | None = None
+    line: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+            "a": 7, "b": 8, "f": 12, "v": 11}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Turn MLC source text into a token list ending with an eof token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, line=line))
+            i = j
+            continue
+        if ch.isdigit():
+            i = _lex_number(source, i, line, tokens)
+            continue
+        if ch == "'":
+            i = _lex_char(source, i, line, tokens)
+            continue
+        if ch == '"':
+            i = _lex_string(source, i, line, tokens)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line=line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line=line))
+    return tokens
+
+
+def _lex_number(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    n = len(source)
+    j = i
+    if source.startswith(("0x", "0X"), i):
+        j = i + 2
+        while j < n and source[j] in "0123456789abcdefABCDEF":
+            j += 1
+        value = int(source[i:j], 16)
+    else:
+        while j < n and source[j].isdigit():
+            j += 1
+        text = source[i:j]
+        value = int(text, 8) if text.startswith("0") and len(text) > 1 \
+            else int(text)
+    # Optional integer suffixes are accepted and ignored (L, U, UL...).
+    while j < n and source[j] in "uUlL":
+        j += 1
+    tokens.append(Token("int", source[i:j], value=value, line=line))
+    return j
+
+
+def _lex_char(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    j = i + 1
+    n = len(source)
+    if j >= n:
+        raise LexError("unterminated character literal", line)
+    if source[j] == "\\":
+        if j + 1 >= n:
+            raise LexError("unterminated character literal", line)
+        esc = source[j + 1]
+        if esc == "x":
+            k = j + 2
+            while k < n and source[k] in "0123456789abcdefABCDEF":
+                k += 1
+            value = int(source[j + 2:k], 16)
+            j = k
+        elif esc in _ESCAPES:
+            value = _ESCAPES[esc]
+            j += 2
+        else:
+            raise LexError(f"bad escape \\{esc}", line)
+    else:
+        value = ord(source[j])
+        j += 1
+    if j >= n or source[j] != "'":
+        raise LexError("unterminated character literal", line)
+    tokens.append(Token("int", source[i:j + 1], value=value, line=line))
+    return j + 1
+
+
+def _lex_string(source: str, i: int, line: int, tokens: list[Token]) -> int:
+    j = i + 1
+    n = len(source)
+    out = bytearray()
+    while j < n and source[j] != '"':
+        ch = source[j]
+        if ch == "\n":
+            raise LexError("newline in string literal", line)
+        if ch == "\\":
+            if j + 1 >= n:
+                break
+            esc = source[j + 1]
+            if esc == "x":
+                k = j + 2
+                while k < n and source[k] in "0123456789abcdefABCDEF" \
+                        and k < j + 4:
+                    k += 1
+                out.append(int(source[j + 2:k], 16))
+                j = k
+                continue
+            if esc not in _ESCAPES:
+                raise LexError(f"bad escape \\{esc}", line)
+            out.append(_ESCAPES[esc])
+            j += 2
+            continue
+        out.append(ord(ch))
+        j += 1
+    if j >= n:
+        raise LexError("unterminated string literal", line)
+    tokens.append(Token("str", source[i:j + 1], value=bytes(out), line=line))
+    return j + 1

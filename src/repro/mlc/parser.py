@@ -1,0 +1,611 @@
+"""Recursive-descent parser for MLC.
+
+Produces the :mod:`repro.mlc.astnodes` tree.  Full C declarator syntax for
+the supported subset (pointers, arrays, function pointers), C expression
+precedence, and constant folding for array sizes and case labels.
+"""
+
+from __future__ import annotations
+
+from . import astnodes as A
+from . import types as T
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+_TYPE_KEYWORDS = frozenset({"void", "char", "short", "int", "long",
+                            "unsigned", "struct"})
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="})
+
+
+def parse(source: str, name: str = "<mlc>") -> A.Program:
+    return _Parser(tokenize(source), name).program()
+
+
+class _Declarator:
+    """Result of parsing a declarator: a name plus a type transformer."""
+
+    def __init__(self, name: str, wrap):
+        self.name = name
+        self.wrap = wrap       # Callable[[Type], Type]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], name: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.name = name
+        self.typedefs: dict[str, T.Type] = {}
+        self.structs: dict[str, T.StructType] = {}
+
+    # ---- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.accept(kind, text)
+        if tok is None:
+            got = self.peek()
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {got.text!r}",
+                             got.line)
+        return tok
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.peek().line)
+
+    # ---- program ------------------------------------------------------------
+
+    def program(self) -> A.Program:
+        prog = A.Program()
+        while not self.at("eof"):
+            decl = self.top_decl()
+            if decl is not None:
+                if isinstance(decl, list):
+                    prog.decls.extend(decl)
+                else:
+                    prog.decls.append(decl)
+        return prog
+
+    def top_decl(self):
+        line = self.peek().line
+        if self.accept("kw", "typedef"):
+            base = self.base_type()
+            decl = self.declarator()
+            self.expect("op", ";")
+            self.typedefs[decl.name] = decl.wrap(base)
+            return None
+        extern = bool(self.accept("kw", "extern"))
+        base = self.base_type()
+        # Bare "struct X {...};"
+        if self.accept("op", ";"):
+            return None
+        decls: list[object] = []
+        while True:
+            decl = self.declarator()
+            full = decl.wrap(base)
+            if isinstance(full, T.FuncType):
+                if self.at("op", "{"):
+                    if extern:
+                        raise self.error("extern function with a body")
+                    body = self.block()
+                    params = getattr(decl, "param_names", None) or []
+                    return A.FuncDef(decl.name, full.ret, params,
+                                     full.variadic, body, line)
+                decls.append(A.FuncDecl(
+                    decl.name, full.ret,
+                    getattr(decl, "param_names", None) or [],
+                    full.variadic, line))
+            else:
+                init = None
+                if self.accept("op", "="):
+                    init = self.initializer()
+                decls.append(A.GlobalVar(decl.name, full, init,
+                                         extern=extern, line=line))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return decls
+
+    def initializer(self):
+        if self.accept("op", "{"):
+            items = []
+            while not self.at("op", "}"):
+                items.append(self.initializer())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", "}")
+            return items
+        return self.assignment()
+
+    # ---- types & declarators --------------------------------------------------
+
+    def starts_type(self, tok: Token | None = None) -> bool:
+        tok = tok or self.peek()
+        if tok.kind == "kw" and tok.text in _TYPE_KEYWORDS:
+            return True
+        return tok.kind == "id" and tok.text in self.typedefs
+
+    def base_type(self) -> T.Type:
+        tok = self.peek()
+        if tok.kind == "id" and tok.text in self.typedefs:
+            self.next()
+            return self.typedefs[tok.text]
+        if tok.kind != "kw":
+            raise self.error(f"type expected, got {tok.text!r}")
+        if tok.text == "struct":
+            return self.struct_type()
+        unsigned = False
+        if self.accept("kw", "unsigned"):
+            unsigned = True
+        names: list[str] = []
+        while self.peek().kind == "kw" and self.peek().text in (
+                "void", "char", "short", "int", "long"):
+            names.append(self.next().text)
+        if not names:
+            if unsigned:
+                return T.UINT
+            raise self.error(f"type expected, got {self.peek().text!r}")
+        key = " ".join(names)
+        table = {
+            "void": T.VOID,
+            "char": T.UCHAR if unsigned else T.CHAR,
+            "short": T.USHORT if unsigned else T.SHORT,
+            "short int": T.USHORT if unsigned else T.SHORT,
+            "int": T.UINT if unsigned else T.INT,
+            "long": T.ULONG if unsigned else T.LONG,
+            "long int": T.ULONG if unsigned else T.LONG,
+            "long long": T.ULONG if unsigned else T.LONG,
+        }
+        if key not in table:
+            raise self.error(f"unsupported type {key!r}")
+        return table[key]
+
+    def struct_type(self) -> T.StructType:
+        self.expect("kw", "struct")
+        tag = self.expect("id").text
+        st = self.structs.get(tag)
+        if st is None:
+            st = T.StructType(tag)
+            self.structs[tag] = st
+        if self.accept("op", "{"):
+            if st.complete:
+                raise self.error(f"struct {tag} redefined")
+            while not self.at("op", "}"):
+                base = self.base_type()
+                while True:
+                    decl = self.declarator()
+                    st.members.append(
+                        T.StructMember(decl.name, decl.wrap(base)))
+                    if not self.accept("op", ","):
+                        break
+                self.expect("op", ";")
+            self.expect("op", "}")
+            st.layout()
+        return st
+
+    def declarator(self) -> _Declarator:
+        """Parse a C declarator; returns name + a type-wrapping function."""
+        if self.accept("op", "*"):
+            inner = self.declarator()
+            prev = inner.wrap
+            inner.wrap = lambda t: prev(T.PointerType(t))
+            return inner
+        return self.direct_declarator()
+
+    def direct_declarator(self) -> _Declarator:
+        if self.accept("op", "("):
+            inner = self.declarator()
+            self.expect("op", ")")
+        else:
+            name = self.expect("id").text
+            inner = _Declarator(name, lambda t: t)
+        # Suffixes bind tighter than the pointer prefix, applied inside-out.
+        suffixes = []
+        while True:
+            if self.accept("op", "["):
+                length = None
+                if not self.at("op", "]"):
+                    length = self.const_expr()
+                self.expect("op", "]")
+                suffixes.append(("array", length))
+            elif self.accept("op", "("):
+                params, variadic, names = self.param_list()
+                suffixes.append(("func", (params, variadic)))
+                inner.param_names = names
+            else:
+                break
+        if suffixes:
+            prev = inner.wrap
+
+            def wrap(t: T.Type, suffixes=tuple(suffixes), prev=prev):
+                for kind, payload in reversed(suffixes):
+                    if kind == "array":
+                        t = T.ArrayType(t, payload)
+                    else:
+                        params, variadic = payload
+                        t = T.FuncType(t, tuple(params), variadic)
+                return prev(t)
+            inner.wrap = wrap
+        return inner
+
+    def param_list(self):
+        params: list[T.Type] = []
+        names: list[A.Param] = []
+        variadic = False
+        if self.accept("op", ")"):
+            return params, variadic, names
+        if self.at("kw", "void") and self.peek(1).text == ")":
+            self.next()
+            self.expect("op", ")")
+            return params, variadic, names
+        while True:
+            if self.accept("op", "..."):
+                variadic = True
+                break
+            base = self.base_type()
+            if self.at("op", ",") or self.at("op", ")"):
+                # Unnamed parameter (prototype).
+                ptype = T.decay(base)
+                params.append(ptype)
+                names.append(A.Param("", ptype))
+            else:
+                decl = self.declarator()
+                ptype = T.decay(decl.wrap(base))
+                params.append(ptype)
+                names.append(A.Param(decl.name, ptype))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return params, variadic, names
+
+    def type_name(self) -> T.Type:
+        """Parse a type-name (for casts and sizeof): base + abstract decl."""
+        base = self.base_type()
+        while self.accept("op", "*"):
+            base = T.PointerType(base)
+        # Abstract array suffix, e.g. (long[4]) — rare; support anyway.
+        while self.accept("op", "["):
+            length = None
+            if not self.at("op", "]"):
+                length = self.const_expr()
+            self.expect("op", "]")
+            base = T.ArrayType(base, length)
+        return base
+
+    # ---- statements ---------------------------------------------------------
+
+    def block(self) -> A.Block:
+        line = self.expect("op", "{").line
+        stmts: list[A.Stmt] = []
+        while not self.at("op", "}"):
+            stmts.extend(self.statement())
+        self.expect("op", "}")
+        return A.Block(line=line, stmts=stmts)
+
+    def statement(self) -> list[A.Stmt]:
+        tok = self.peek()
+        line = tok.line
+        if self.starts_type():
+            return self.local_decl()
+        if tok.kind == "op" and tok.text == "{":
+            return [self.block()]
+        if tok.kind == "op" and tok.text == ";":
+            self.next()
+            return []
+        if tok.kind == "kw":
+            handler = getattr(self, f"_stmt_{tok.text}", None)
+            if handler is not None:
+                return [handler()]
+        expr = self.expression()
+        self.expect("op", ";")
+        return [A.ExprStmt(line=line, expr=expr)]
+
+    def local_decl(self) -> list[A.Stmt]:
+        line = self.peek().line
+        base = self.base_type()
+        out: list[A.Stmt] = []
+        while True:
+            decl = self.declarator()
+            full = decl.wrap(base)
+            init = None
+            if self.accept("op", "="):
+                init = self.assignment()
+            out.append(A.LocalDecl(line=line, name=decl.name,
+                                   var_type=full, init=init))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        return out
+
+    def _stmt_if(self) -> A.Stmt:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        then = A.Block(stmts=self.statement())
+        els = None
+        if self.accept("kw", "else"):
+            els = A.Block(stmts=self.statement())
+        return A.If(line=line, cond=cond, then=then, els=els)
+
+    def _stmt_while(self) -> A.Stmt:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        body = A.Block(stmts=self.statement())
+        return A.While(line=line, cond=cond, body=body)
+
+    def _stmt_do(self) -> A.Stmt:
+        line = self.expect("kw", "do").line
+        body = A.Block(stmts=self.statement())
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return A.DoWhile(line=line, body=body, cond=cond)
+
+    def _stmt_for(self) -> A.Stmt:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None
+        if not self.at("op", ";"):
+            if self.starts_type():
+                decls = self.local_decl()   # consumes ';'
+                init = A.Block(stmts=decls)
+            else:
+                init = A.ExprStmt(expr=self.expression())
+                self.expect("op", ";")
+        else:
+            self.next()
+        cond = None
+        if not self.at("op", ";"):
+            cond = self.expression()
+        self.expect("op", ";")
+        step = None
+        if not self.at("op", ")"):
+            step = self.expression()
+        self.expect("op", ")")
+        body = A.Block(stmts=self.statement())
+        return A.For(line=line, init=init, cond=cond, step=step, body=body)
+
+    def _stmt_switch(self) -> A.Stmt:
+        line = self.expect("kw", "switch").line
+        self.expect("op", "(")
+        expr = self.expression()
+        self.expect("op", ")")
+        self.expect("op", "{")
+        cases: list[A.SwitchCase] = []
+        current: A.SwitchCase | None = None
+        while not self.at("op", "}"):
+            if self.accept("kw", "case"):
+                value = self.const_expr()
+                self.expect("op", ":")
+                current = A.SwitchCase(value)
+                cases.append(current)
+            elif self.accept("kw", "default"):
+                self.expect("op", ":")
+                current = A.SwitchCase(None)
+                cases.append(current)
+            else:
+                if current is None:
+                    raise self.error("statement before first case label")
+                current.stmts.extend(self.statement())
+        self.expect("op", "}")
+        return A.Switch(line=line, expr=expr, cases=cases)
+
+    def _stmt_return(self) -> A.Stmt:
+        line = self.expect("kw", "return").line
+        expr = None
+        if not self.at("op", ";"):
+            expr = self.expression()
+        self.expect("op", ";")
+        return A.Return(line=line, expr=expr)
+
+    def _stmt_break(self) -> A.Stmt:
+        line = self.expect("kw", "break").line
+        self.expect("op", ";")
+        return A.Break(line=line)
+
+    def _stmt_continue(self) -> A.Stmt:
+        line = self.expect("kw", "continue").line
+        self.expect("op", ";")
+        return A.Continue(line=line)
+
+    # ---- expressions -----------------------------------------------------------
+
+    def expression(self) -> A.Expr:
+        expr = self.assignment()
+        while self.accept("op", ","):
+            right = self.assignment()
+            expr = A.Binary(line=right.line, op=",", left=expr, right=right)
+        return expr
+
+    def assignment(self) -> A.Expr:
+        left = self.conditional()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            self.next()
+            value = self.assignment()
+            return A.Assign(line=tok.line, op=tok.text, target=left,
+                            value=value)
+        return left
+
+    def conditional(self) -> A.Expr:
+        cond = self.binary(0)
+        if self.accept("op", "?"):
+            then = self.expression()
+            self.expect("op", ":")
+            els = self.conditional()
+            return A.Cond(line=cond.line, cond=cond, then=then, els=els)
+        return cond
+
+    _LEVELS = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", "<=", ">", ">="),
+        ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+    ]
+
+    def binary(self, level: int) -> A.Expr:
+        if level >= len(self._LEVELS):
+            return self.unary()
+        ops = self._LEVELS[level]
+        left = self.binary(level + 1)
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ops:
+                self.next()
+                right = self.binary(level + 1)
+                left = A.Binary(line=tok.line, op=tok.text, left=left,
+                                right=right)
+            else:
+                return left
+
+    def unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.next()
+            operand = self.unary()
+            return A.Unary(line=tok.line, op=tok.text, operand=operand)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.next()
+            operand = self.unary()
+            return A.Unary(line=tok.line, op=tok.text, operand=operand)
+        if tok.kind == "kw" and tok.text == "sizeof":
+            self.next()
+            if self.at("op", "(") and self.starts_type(self.peek(1)):
+                self.expect("op", "(")
+                of = self.type_name()
+                self.expect("op", ")")
+                return A.SizeofType(line=tok.line, of=of)
+            operand = self.unary()
+            return A.Unary(line=tok.line, op="sizeof", operand=operand)
+        if tok.kind == "op" and tok.text == "(" \
+                and self.starts_type(self.peek(1)):
+            self.next()
+            to = self.type_name()
+            self.expect("op", ")")
+            expr = self.unary()
+            return A.Cast(line=tok.line, to=to, expr=expr)
+        return self.postfix()
+
+    def postfix(self) -> A.Expr:
+        expr = self.primary()
+        while True:
+            tok = self.peek()
+            if self.accept("op", "("):
+                args = []
+                if not self.at("op", ")"):
+                    while True:
+                        args.append(self.assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = A.Call(line=tok.line, func=expr, args=args)
+            elif self.accept("op", "["):
+                index = self.expression()
+                self.expect("op", "]")
+                expr = A.Index(line=tok.line, base=expr, index=index)
+            elif self.accept("op", "."):
+                name = self.expect("id").text
+                expr = A.Member(line=tok.line, base=expr, name=name,
+                                arrow=False)
+            elif self.accept("op", "->"):
+                name = self.expect("id").text
+                expr = A.Member(line=tok.line, base=expr, name=name,
+                                arrow=True)
+            elif tok.kind == "op" and tok.text in ("++", "--"):
+                self.next()
+                expr = A.PostIncDec(line=tok.line, op=tok.text, target=expr)
+            else:
+                return expr
+
+    def primary(self) -> A.Expr:
+        tok = self.next()
+        if tok.kind == "int":
+            return A.IntLit(line=tok.line, value=tok.value)
+        if tok.kind == "str":
+            data = tok.value
+            # Adjacent string literals concatenate.
+            while self.at("str"):
+                data += self.next().value
+            return A.StrLit(line=tok.line, data=data)
+        if tok.kind == "id":
+            return A.Ident(line=tok.line, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+    # ---- constant expressions ----------------------------------------------------
+
+    def const_expr(self) -> int:
+        expr = self.conditional()
+        return const_eval(expr)
+
+
+def const_eval(expr: A.Expr) -> int:
+    """Fold a constant expression (array sizes, case labels, global init)."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.SizeofType):
+        return expr.of.size
+    if isinstance(expr, A.Unary):
+        v = const_eval(expr.operand)
+        if expr.op == "-":
+            return -v
+        if expr.op == "~":
+            return ~v
+        if expr.op == "!":
+            return int(not v)
+        if expr.op == "sizeof":
+            raise ParseError("sizeof expr is not a parse-time constant",
+                             expr.line)
+    if isinstance(expr, A.Binary):
+        lhs = const_eval(expr.left)
+        rhs = const_eval(expr.right)
+        ops = {
+            "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b, "/": lambda a, b: a // b,
+            "%": lambda a, b: a % b, "<<": lambda a, b: a << b,
+            ">>": lambda a, b: a >> b, "&": lambda a, b: a & b,
+            "|": lambda a, b: a | b, "^": lambda a, b: a ^ b,
+            "==": lambda a, b: int(a == b), "!=": lambda a, b: int(a != b),
+            "<": lambda a, b: int(a < b), "<=": lambda a, b: int(a <= b),
+            ">": lambda a, b: int(a > b), ">=": lambda a, b: int(a >= b),
+            "&&": lambda a, b: int(bool(a) and bool(b)),
+            "||": lambda a, b: int(bool(a) or bool(b)),
+        }
+        if expr.op in ops:
+            return ops[expr.op](lhs, rhs)
+    if isinstance(expr, A.Cond):
+        return const_eval(expr.then) if const_eval(expr.cond) \
+            else const_eval(expr.els)
+    if isinstance(expr, A.Cast):
+        return const_eval(expr.expr)
+    raise ParseError("constant expression expected", expr.line)

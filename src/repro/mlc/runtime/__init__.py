@@ -1,0 +1,100 @@
+"""The MLC runtime: crt0, syscall shims, and the libc subset.
+
+:func:`runtime_archive` assembles/compiles the runtime sources into an
+archive the linker pulls from on demand.  Both the application link and the
+analysis link use it, giving each side its own private copies of every
+library routine — the paper's "two printfs" property.
+"""
+
+from __future__ import annotations
+
+import importlib.resources as resources
+
+from ...isa.asm import assemble
+from ...objfile.archive import Archive
+from ...objfile.module import Module
+
+_cache: dict[str, object] = {}
+
+#: Declarations every MLC translation unit may assume (the stand-in for
+#: system headers, since MLC has no preprocessor).
+PRELUDE = """
+struct __FILE { long fd; };
+typedef struct __FILE FILE;
+
+extern void exit(long status);
+extern long write(long fd, char *buf, long count);
+extern long read(long fd, char *buf, long count);
+extern long open(char *path, long flags);
+extern long close(long fd);
+extern void *sbrk(long incr);
+extern void *malloc(long n);
+extern void free(void *p);
+extern void *calloc(long nmemb, long size);
+extern void *realloc(void *p, long n);
+extern long strlen(char *s);
+extern long strcmp(char *a, char *b);
+extern long strncmp(char *a, char *b, long n);
+extern char *strcpy(char *dst, char *src);
+extern char *strcat(char *dst, char *src);
+extern char *strchr(char *s, long c);
+extern void *memset(void *dst, long c, long n);
+extern void *memcpy(void *dst, void *src, long n);
+extern long memcmp(void *a, void *b, long n);
+extern long isdigit(long c);
+extern long isalpha(long c);
+extern long isspace(long c);
+extern long atol(char *s);
+extern long atoi(char *s);
+extern long labs(long v);
+extern void srand(long seed);
+extern long rand(void);
+extern FILE *fopen(char *path, char *mode);
+extern long fclose(FILE *f);
+extern long fputc(long c, FILE *f);
+extern long fputs(char *s, FILE *f);
+extern long puts(char *s);
+extern long putchar(long c);
+extern long fgetc(FILE *f);
+extern long getchar(void);
+extern long fread(void *buf, long size, long nmemb, FILE *f);
+extern long fwrite(void *buf, long size, long nmemb, FILE *f);
+extern long printf(char *fmt, ...);
+extern long fprintf(FILE *f, char *fmt, ...);
+extern long sprintf(char *out, char *fmt, ...);
+extern long setjmp(long *buf);
+extern void longjmp(long *buf, long value);
+extern FILE *stdin_file;
+extern FILE *stdout_file;
+extern FILE *stderr_file;
+"""
+
+PRELUDE_LINES = PRELUDE.count("\n")
+
+
+def _read(name: str) -> str:
+    return resources.files(__package__).joinpath(name).read_text()
+
+
+def runtime_archive() -> Archive:
+    """Assemble + compile the runtime into an archive (cached)."""
+    cached = _cache.get("archive")
+    if cached is not None:
+        return cached
+    from ..driver import compile_source
+    members: list[Module] = [
+        assemble(_read("sys.s"), "sys.s"),
+        compile_source(_read("libc.mlc"), "libc.mlc", use_prelude=False),
+    ]
+    archive = Archive(members, name="libc.a")
+    _cache["archive"] = archive
+    return archive
+
+
+def crt0_module() -> Module:
+    """Assemble crt0 (cached as bytes; returned as a fresh module)."""
+    blob = _cache.get("crt0")
+    if blob is None:
+        blob = assemble(_read("crt0.s"), "crt0.s").to_bytes()
+        _cache["crt0"] = blob
+    return Module.from_bytes(blob)

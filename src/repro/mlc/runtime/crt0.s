@@ -1,0 +1,22 @@
+# crt0: process entry point.
+#
+# The loader places argc in a0 and argv in a1 (OSF/1 style) and jumps to
+# __start.  All program termination funnels through exit() -> _exit(), the
+# single point ATOM hooks to run ProgramAfter analysis calls.
+
+        .text
+        .globl  __start
+        .ent    __start
+__start:
+        ldgp
+        mov     a0, s0          # argc
+        mov     a1, s1          # argv
+        bsr     ra, __libc_init
+        mov     s0, a0
+        mov     s1, a1
+        bsr     ra, main
+        mov     v0, a0
+        bsr     ra, exit
+        # exit never returns; trap hard if it somehow does.
+        halt
+        .end    __start

@@ -1,0 +1,102 @@
+# Raw syscall shims.
+#
+# MLC code calls __syscall1/2/3 with the syscall number as the first
+# argument; the shim shuffles it into v0 and the remaining arguments down,
+# issues the trap, and returns the kernel's v0.
+#
+# _exit is its own procedure (rather than an inline trap in exit) so ATOM
+# can locate the program's single termination point.
+
+        .text
+        .globl  __syscall1
+        .ent    __syscall1
+__syscall1:
+        mov     a0, v0
+        mov     a1, a0
+        sys
+        ret     (ra)
+        .end    __syscall1
+
+        .globl  __syscall2
+        .ent    __syscall2
+__syscall2:
+        mov     a0, v0
+        mov     a1, a0
+        mov     a2, a1
+        sys
+        ret     (ra)
+        .end    __syscall2
+
+        .globl  __syscall3
+        .ent    __syscall3
+__syscall3:
+        mov     a0, v0
+        mov     a1, a0
+        mov     a2, a1
+        mov     a3, a2
+        sys
+        ret     (ra)
+        .end    __syscall3
+
+        .globl  _exit
+        .ent    _exit
+_exit:
+        li      v0, 1           # SYS_EXIT
+        sys
+        halt                    # unreachable
+        .end    _exit
+
+# setjmp/longjmp: save/restore the callee-saved state.
+#
+# The paper (Section 4) stresses that because ATOM steals no registers
+# and preserves the stack layout, "mechanisms such as signals, setjmp and
+# vfork work correctly without needing any special attention".
+#
+# jmp_buf layout (11 quads): s0-s5, fp, sp, ra, gp, sentinel.
+
+        .globl  setjmp
+        .ent    setjmp
+setjmp:
+        stq     s0, 0(a0)
+        stq     s1, 8(a0)
+        stq     s2, 16(a0)
+        stq     s3, 24(a0)
+        stq     s4, 32(a0)
+        stq     s5, 40(a0)
+        stq     fp, 48(a0)
+        stq     sp, 56(a0)
+        stq     ra, 64(a0)
+        stq     gp, 72(a0)
+        li      t0, 0x51AB
+        stq     t0, 80(a0)
+        clr     v0
+        ret     (ra)
+        .end    setjmp
+
+        .globl  longjmp
+        .ent    longjmp
+longjmp:
+        ldq     t0, 80(a0)
+        li      t1, 0x51AB
+        subq    t0, t1, t0
+        bne     t0, longjmp_bad
+        ldq     s0, 0(a0)
+        ldq     s1, 8(a0)
+        ldq     s2, 16(a0)
+        ldq     s3, 24(a0)
+        ldq     s4, 32(a0)
+        ldq     s5, 40(a0)
+        ldq     fp, 48(a0)
+        ldq     sp, 56(a0)
+        ldq     ra, 64(a0)
+        ldq     gp, 72(a0)
+        mov     a1, v0
+        bne     v0, longjmp_go
+        li      v0, 1
+longjmp_go:
+        ret     (ra)
+longjmp_bad:
+        li      a0, 125         # corrupt jmp_buf: abort the process
+        li      v0, 1
+        sys
+        .end    longjmp

@@ -1,0 +1,211 @@
+"""MLC's type system: C scalar types, pointers, arrays, structs, functions.
+
+Sizes match the paper's Alpha/OSF C: char 1, short 2, int 4, long 8,
+pointers 8.  Arithmetic is performed in 64-bit registers; narrower types
+are extended at loads and truncated at stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TypeError_(Exception):
+    """MLC semantic type error (named to avoid shadowing the builtin)."""
+
+
+class Type:
+    """Base class; concrete kinds below."""
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_arith(self) -> bool:
+        return self.is_integer()
+
+    def is_scalar(self) -> bool:
+        return self.is_integer() or self.is_pointer()
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def align(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    @property
+    def size(self) -> int:
+        raise TypeError_("void has no size")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    name: str          # "char" | "short" | "int" | "long"
+    width: int         # bytes
+    signed: bool = True
+
+    @property
+    def size(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return self.name if self.signed else f"unsigned {self.name}"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    target: Type
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int | None     # None: incomplete (extern or parameter decay)
+
+    @property
+    def size(self) -> int:
+        if self.length is None:
+            raise TypeError_("incomplete array has no size")
+        return self.element.size * self.length
+
+    @property
+    def align(self) -> int:
+        return self.element.align
+
+    def __str__(self) -> str:
+        n = "" if self.length is None else str(self.length)
+        return f"{self.element}[{n}]"
+
+
+@dataclass
+class StructMember:
+    name: str
+    type: Type
+    offset: int = 0
+
+
+@dataclass(eq=False)
+class StructType(Type):
+    tag: str
+    members: list[StructMember] = field(default_factory=list)
+    complete: bool = False
+    _size: int = 0
+    _align: int = 1
+
+    def layout(self) -> None:
+        """Assign member offsets with natural alignment."""
+        offset = 0
+        align = 1
+        for member in self.members:
+            ma = member.type.align
+            offset = (offset + ma - 1) & ~(ma - 1)
+            member.offset = offset
+            offset += member.type.size
+            align = max(align, ma)
+        self._size = (offset + align - 1) & ~(align - 1) if offset else 0
+        self._align = align
+        self.complete = True
+
+    def member(self, name: str) -> StructMember:
+        for m in self.members:
+            if m.name == name:
+                return m
+        raise TypeError_(f"struct {self.tag} has no member {name!r}")
+
+    @property
+    def size(self) -> int:
+        if not self.complete:
+            raise TypeError_(f"struct {self.tag} is incomplete")
+        return self._size
+
+    @property
+    def align(self) -> int:
+        return self._align
+
+    def __str__(self) -> str:
+        return f"struct {self.tag}"
+
+
+@dataclass(frozen=True)
+class FuncType(Type):
+    ret: Type
+    params: tuple[Type, ...]
+    variadic: bool = False
+
+    @property
+    def size(self) -> int:
+        raise TypeError_("function type has no size")
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        if self.variadic:
+            ps += ", ..." if ps else "..."
+        return f"{self.ret}({ps})"
+
+
+VOID = VoidType()
+CHAR = IntType("char", 1, True)
+UCHAR = IntType("char", 1, False)
+SHORT = IntType("short", 2, True)
+USHORT = IntType("short", 2, False)
+INT = IntType("int", 4, True)
+UINT = IntType("int", 4, False)
+LONG = IntType("long", 8, True)
+ULONG = IntType("long", 8, False)
+
+CHAR_PTR = PointerType(CHAR)
+VOID_PTR = PointerType(VOID)
+
+
+def decay(t: Type) -> Type:
+    """Array-to-pointer decay in expression contexts."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.element)
+    return t
+
+
+def usual_arith(a: Type, b: Type) -> IntType:
+    """Usual arithmetic conversions, collapsed to our 64-bit world:
+    the result is long, unsigned if either operand is unsigned long."""
+    if not (a.is_integer() and b.is_integer()):
+        raise TypeError_(f"arithmetic on non-integers: {a}, {b}")
+    unsigned = (isinstance(a, IntType) and not a.signed and a.width == 8) or \
+               (isinstance(b, IntType) and not b.signed and b.width == 8)
+    return ULONG if unsigned else LONG
+
+
+def compatible_assign(dst: Type, src: Type) -> bool:
+    """Loose C-ish assignment compatibility."""
+    dst, src = decay(dst), decay(src)
+    if dst.is_integer() and src.is_integer():
+        return True
+    if dst.is_pointer() and src.is_pointer():
+        dt = dst.target
+        st = src.target
+        return (isinstance(dt, VoidType) or isinstance(st, VoidType)
+                or dt == st or str(dt) == str(st))
+    if dst.is_pointer() and src.is_integer():
+        return True   # C allows it with a warning; MLC allows silently
+    if dst.is_integer() and src.is_pointer():
+        return True
+    return False

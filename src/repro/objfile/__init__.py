@@ -1,0 +1,12 @@
+"""WOF object-file format: sections, symbols, relocations, modules, linker."""
+
+from .module import Module, ObjError
+from .relocs import Relocation, RelocType
+from .sections import BSS, DATA, LITA, TEXT, Section
+from .symtab import SymBind, SymKind, Symbol, SymbolTable
+
+__all__ = [
+    "Module", "ObjError", "Relocation", "RelocType", "Section",
+    "Symbol", "SymbolTable", "SymKind", "SymBind",
+    "TEXT", "DATA", "BSS", "LITA",
+]

@@ -1,0 +1,79 @@
+"""Archives (static libraries) of WOF modules.
+
+An archive is a bag of relocatable modules with an index of the global
+symbols each defines.  The linker pulls members on demand, the classic
+``ar``/``ld`` protocol the paper's toolchain relies on for the two private
+libc copies (one linked into the application, one into the analysis unit).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from .module import Module, ObjError
+from .symtab import SymBind
+
+MAGIC = b"WAR1"
+
+
+class Archive:
+    """An ordered collection of relocatable modules."""
+
+    def __init__(self, members: list[Module] | None = None,
+                 name: str = "<archive>"):
+        self.name = name
+        self.members: list[Module] = list(members or [])
+        self._index: dict[str, int] = {}
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._index.clear()
+        for i, member in enumerate(self.members):
+            for sym in member.symtab:
+                if sym.bind is SymBind.GLOBAL and sym.defined:
+                    self._index.setdefault(sym.name, i)
+
+    def add(self, member: Module) -> None:
+        self.members.append(member)
+        self._reindex()
+
+    def member_defining(self, symbol: str) -> Module | None:
+        idx = self._index.get(symbol)
+        return self.members[idx] if idx is not None else None
+
+    def defined_symbols(self) -> set[str]:
+        return set(self._index)
+
+    # ---- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = io.BytesIO()
+        out.write(MAGIC)
+        out.write(struct.pack("<I", len(self.members)))
+        for member in self.members:
+            blob = member.to_bytes()
+            out.write(struct.pack("<I", len(blob)))
+            out.write(blob)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, name: str = "<archive>") -> "Archive":
+        inp = io.BytesIO(blob)
+        if inp.read(4) != MAGIC:
+            raise ObjError("not a WOF archive (bad magic)")
+        (count,) = struct.unpack("<I", inp.read(4))
+        members = []
+        for _ in range(count):
+            (size,) = struct.unpack("<I", inp.read(4))
+            members.append(Module.from_bytes(inp.read(size)))
+        return cls(members, name=name)
+
+    def save(self, path) -> None:
+        with open(path, "wb") as f:
+            f.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path) -> "Archive":
+        with open(path, "rb") as f:
+            return cls.from_bytes(f.read(), name=str(path))

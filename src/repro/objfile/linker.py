@@ -1,0 +1,397 @@
+"""The WOF linker.
+
+Combines relocatable modules (and archive members, pulled on demand) into a
+fully linked executable laid out the way the paper's OSF/1 platform does:
+
+* text segment at ``text_base`` (the stack sits *below* it and grows down);
+* data segment at ``data_base``: the ``.lita`` literal-address table first
+  (so ``gp = lita + 0x8000`` reaches it with signed 16-bit displacements),
+  then ``.data``, then ``.bss``; the heap starts at ``__end`` and grows up.
+
+The wide gap between ``text_base`` and ``data_base`` is where ATOM later
+places the analysis link unit (paper Figure 4), which is why executables
+*retain* their resolved relocation records: :func:`relocate_unit` can shift
+a linked unit to new bases exactly, and OM's code generator can re-resolve
+text-address-bearing fixups after instrumentation moves code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+from dataclasses import dataclass
+
+from .archive import Archive
+from .module import Module, ObjError
+from .relocs import Relocation, RelocType
+from .sections import BSS, DATA, LITA, TEXT, align_up
+from .symtab import SymBind, Symbol
+
+#: gp sits 0x8000 past the start of .lita so the full signed-16 range is usable.
+GP_OFFSET = 0x8000
+
+DEFAULT_TEXT_BASE = 0x0010_0000
+DEFAULT_DATA_BASE = 0x0200_0000
+DEFAULT_ENTRY = "__start"
+
+
+class LinkError(ObjError):
+    """Unresolved symbols, duplicate definitions, or layout failures."""
+
+
+@dataclass
+class LinkConfig:
+    text_base: int = DEFAULT_TEXT_BASE
+    data_base: int = DEFAULT_DATA_BASE
+    entry_symbol: str = DEFAULT_ENTRY
+    #: When False the output is a linked *unit* without an entry point
+    #: (used for ATOM's analysis group, which is only entered via calls).
+    require_entry: bool = True
+    name: str = "a.out"
+
+
+def link(modules: list[Module], archives: list[Archive] | None = None,
+         config: LinkConfig | None = None) -> Module:
+    """Link modules (+ needed archive members) into an executable."""
+    return _Linker(config or LinkConfig()).run(list(modules), archives or [])
+
+
+class _Linker:
+    def __init__(self, config: LinkConfig):
+        self.config = config
+        self.out = Module(name=config.name)
+
+    # ---- top level --------------------------------------------------------
+
+    def run(self, modules: list[Module], archives: list[Archive]) -> Module:
+        modules = modules + self._pull_members(modules, archives)
+        for index, mod in enumerate(modules):
+            self._merge(mod, index)
+        self._build_got()
+        self._layout()
+        self._absolutize()
+        self._define_linker_symbols()
+        self._check_undefined()
+        self._apply_relocs()
+        out = self.out
+        out.linked = True
+        if self.config.require_entry:
+            sym = out.symtab.get(self.config.entry_symbol)
+            if sym is None or not sym.defined:
+                raise LinkError(f"entry symbol {self.config.entry_symbol!r} "
+                                f"is undefined")
+            out.entry = sym.value
+        out.meta["text_base"] = self.config.text_base
+        out.meta["data_base"] = self.config.data_base
+        return out
+
+    # ---- archive member selection -----------------------------------------
+
+    def _pull_members(self, modules: list[Module],
+                      archives: list[Archive]) -> list[Module]:
+        defined: set[str] = set()
+        needed: set[str] = set()
+        for mod in modules:
+            for sym in mod.symtab:
+                if sym.bind is SymBind.GLOBAL and sym.defined:
+                    defined.add(sym.name)
+                elif not sym.defined:
+                    needed.add(sym.name)
+        pulled: list[Module] = []
+        progress = True
+        while progress:
+            progress = False
+            for want in sorted(needed - defined):
+                if want in defined:
+                    continue   # satisfied by a member pulled this sweep
+                for ar in archives:
+                    member = ar.member_defining(want)
+                    if member is None:
+                        continue
+                    pulled.append(member)
+                    progress = True
+                    for sym in member.symtab:
+                        if sym.bind is SymBind.GLOBAL and sym.defined:
+                            defined.add(sym.name)
+                        elif not sym.defined:
+                            needed.add(sym.name)
+                    break
+        return pulled
+
+    # ---- merging ------------------------------------------------------------
+
+    def _merge(self, mod: Module, index: int) -> None:
+        offsets: dict[str, int] = {}
+        for name, sec in mod.sections.items():
+            dest = self.out.section(name)
+            dest.align_to(sec.align)
+            offsets[name] = dest.size
+            if name == BSS:
+                dest.reserve(sec.bss_size)
+            else:
+                dest.append(bytes(sec.data))
+
+        renames: dict[str, str] = {}
+        for sym in mod.symtab:
+            if sym.bind is SymBind.GLOBAL:
+                self._merge_global(sym, offsets, mod.name)
+            elif sym.defined:
+                new_name = f"{sym.name}@{index}"
+                renames[sym.name] = new_name
+                self.out.symtab.add(Symbol(
+                    name=new_name, section=sym.section,
+                    value=sym.value + offsets.get(sym.section, 0),
+                    kind=sym.kind, bind=SymBind.LOCAL, size=sym.size))
+            else:
+                # Undefined local reference: treat as a global reference.
+                self.out.symtab.refer(sym.name)
+
+        for rel in mod.relocs:
+            self.out.relocs.append(Relocation(
+                section=rel.section,
+                offset=rel.offset + offsets.get(rel.section, 0),
+                type=rel.type,
+                symbol=renames.get(rel.symbol, rel.symbol),
+                addend=rel.addend))
+
+        # Carry per-procedure frame metadata (.frame directives) through.
+        for key, value in mod.meta.items():
+            if key.startswith(("frame:", "outgoing:")):
+                prefix, _, proc = key.partition(":")
+                self.out.meta[f"{prefix}:{renames.get(proc, proc)}"] = value
+
+    def _merge_global(self, sym: Symbol, offsets: dict[str, int],
+                      modname: str) -> None:
+        existing = self.out.symtab.refer(sym.name)
+        existing.bind = SymBind.GLOBAL
+        if not sym.defined:
+            return
+        if existing.defined:
+            raise LinkError(f"symbol multiply defined: {sym.name} "
+                            f"(again in {modname})")
+        existing.section = sym.section
+        existing.value = sym.value + offsets.get(sym.section, 0)
+        existing.kind = sym.kind
+        existing.size = sym.size
+
+    # ---- GOT ---------------------------------------------------------------
+
+    def _build_got(self) -> None:
+        lita = self.out.section(LITA)
+        lita.align_to(8)
+        slots: dict[tuple[str, int], int] = {}
+        for rel in self.out.relocs:
+            if rel.type is not RelocType.GOT16:
+                continue
+            key = (rel.symbol, rel.addend)
+            offset = slots.get(key)
+            if offset is None:
+                offset = lita.reserve(8)
+                slots[key] = offset
+            rel.got_slot = offset   # section offset for now; absolute later
+
+    # ---- layout & resolution -------------------------------------------------
+
+    def _layout(self) -> None:
+        text = self.out.section(TEXT)
+        text.vaddr = self.config.text_base
+        addr = align_up(self.config.data_base, 16)
+        for name in (LITA, DATA, BSS):
+            sec = self.out.section(name)
+            addr = align_up(addr, max(sec.align, 8))
+            sec.vaddr = addr
+            addr += sec.size
+        text_end = text.vaddr + text.size
+        if text_end > self.out.section(LITA).vaddr:
+            raise LinkError(
+                f"text segment overruns data base: end {text_end:#x} > "
+                f"{self.out.section(LITA).vaddr:#x}")
+        self.out.gp_value = self.out.section(LITA).vaddr + GP_OFFSET
+
+    def _absolutize(self) -> None:
+        for sym in self.out.symtab:
+            if sym.section is not None:
+                sec = self.out.section(sym.section)
+                sym.value += sec.vaddr
+        for rel in self.out.relocs:
+            if rel.got_slot is not None:
+                rel.got_slot += self.out.section(LITA).vaddr
+
+    def _define_linker_symbols(self) -> None:
+        text = self.out.section(TEXT)
+        bss = self.out.section(BSS)
+        specials = {
+            "_gp": self.out.gp_value,
+            "__text_start": text.vaddr,
+            "__text_end": text.vaddr + text.size,
+            "__data_start": self.out.section(LITA).vaddr,
+            "__bss_start": bss.vaddr,
+            "__end": align_up(bss.vaddr + bss.size, 8),
+        }
+        for name, value in specials.items():
+            sym = self.out.symtab.refer(name)
+            if sym.defined:
+                if sym.is_abs:
+                    continue
+                raise LinkError(f"reserved linker symbol defined by input: "
+                                f"{name}")
+            sym.value = value
+            sym.is_abs = True
+            sym.bind = SymBind.GLOBAL
+
+    def _check_undefined(self) -> None:
+        missing = sorted(s.name for s in self.out.symtab.undefined())
+        if missing:
+            raise LinkError("undefined symbols: " + ", ".join(missing))
+
+    def _apply_relocs(self) -> None:
+        for rel in self.out.relocs:
+            apply_relocation(self.out, rel)
+
+
+# ---- relocation application (shared with OM's re-resolution) ----------------
+
+def apply_relocation(module: Module, rel: Relocation) -> None:
+    """Resolve one relocation against the module's current symbol values."""
+    sym = module.symtab.get(rel.symbol)
+    if sym is None or not sym.defined:
+        raise LinkError(f"relocation against undefined symbol {rel.symbol!r}")
+    value = sym.value + rel.addend
+    sec = module.section(rel.section)
+    data = sec.data
+
+    if rel.type is RelocType.QUAD64:
+        struct.pack_into("<Q", data, rel.offset,
+                         value & 0xFFFF_FFFF_FFFF_FFFF)
+        return
+    if rel.type is RelocType.LONG32:
+        struct.pack_into("<I", data, rel.offset, value & 0xFFFF_FFFF)
+        return
+
+    word = struct.unpack_from("<I", data, rel.offset)[0]
+    if rel.type is RelocType.HI16:
+        lo = value & 0xFFFF
+        lo_signed = lo - 0x10000 if lo & 0x8000 else lo
+        hi = ((value - lo_signed) >> 16) & 0xFFFF
+        word = (word & ~0xFFFF) | hi
+    elif rel.type is RelocType.LO16:
+        word = (word & ~0xFFFF) | (value & 0xFFFF)
+    elif rel.type is RelocType.BRANCH21:
+        pc = sec.vaddr + rel.offset
+        delta = value - (pc + 4)
+        if delta % 4:
+            raise LinkError(f"misaligned branch target {value:#x}")
+        disp = delta // 4
+        if not -(1 << 20) <= disp < (1 << 20):
+            raise LinkError(f"branch to {rel.symbol} out of range "
+                            f"({disp} words)")
+        word = (word & ~0x1FFFFF) | (disp & 0x1FFFFF)
+    elif rel.type is RelocType.GOT16:
+        if rel.got_slot is None:
+            raise LinkError("GOT16 relocation without an allocated slot")
+        lita = module.section(LITA)
+        struct.pack_into("<Q", lita.data, rel.got_slot - lita.vaddr,
+                         value & 0xFFFF_FFFF_FFFF_FFFF)
+        disp = rel.got_slot - module.gp_value
+        if not -(1 << 15) <= disp < (1 << 15):
+            raise LinkError(f"literal table overflow reaching {rel.symbol}")
+        word = (word & ~0xFFFF) | (disp & 0xFFFF)
+    elif rel.type in (RelocType.GPHI16, RelocType.GPLO16):
+        gp = module.gp_value
+        lo = gp & 0xFFFF
+        lo_signed = lo - 0x10000 if lo & 0x8000 else lo
+        if rel.type is RelocType.GPHI16:
+            patch = ((gp - lo_signed) >> 16) & 0xFFFF
+        else:
+            patch = lo
+        word = (word & ~0xFFFF) | patch
+    else:  # pragma: no cover - exhaustive
+        raise AssertionError(rel.type)
+    struct.pack_into("<I", data, rel.offset, word)
+
+
+def relocate_unit(module: Module, text_base: int, data_base: int) -> None:
+    """Shift a linked unit to new segment bases, re-resolving every fixup.
+
+    This is the primitive ATOM's layout step uses to drop the (separately
+    linked) analysis unit into the gap between the application's text and
+    data segments.
+    """
+    if not module.linked:
+        raise LinkError("relocate_unit requires a linked module")
+    deltas: dict[str, int] = {}
+    text = module.section(TEXT)
+    deltas[TEXT] = text_base - text.vaddr
+    text.vaddr = text_base
+    addr = align_up(data_base, 16)
+    for name in (LITA, DATA, BSS):
+        sec = module.section(name)
+        addr = align_up(addr, max(sec.align, 8))
+        deltas[name] = addr - (sec.vaddr or 0)
+        sec.vaddr = addr
+        addr += sec.size
+
+    for sym in module.symtab:
+        if sym.is_abs:
+            # Linker-provided landmarks track their segments.
+            if sym.name in ("__text_start", "__text_end"):
+                sym.value += deltas[TEXT]
+            elif sym.name in ("_gp", "__data_start"):
+                sym.value += deltas[LITA]
+            elif sym.name in ("__bss_start", "__end"):
+                sym.value += deltas[BSS]
+        elif sym.section is not None:
+            sym.value += deltas.get(sym.section, 0)
+    module.gp_value += deltas[LITA]
+    module.entry += deltas[TEXT] if module.entry else 0
+
+    for rel in module.relocs:
+        if rel.got_slot is not None:
+            rel.got_slot += deltas[LITA]
+        apply_relocation(module, rel)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="wrl-ld", description="WOF linker")
+    ap.add_argument("inputs", nargs="+", help="object modules and archives")
+    ap.add_argument("-o", "--output", required=True)
+    ap.add_argument("--text-base", type=lambda s: int(s, 0),
+                    default=DEFAULT_TEXT_BASE)
+    ap.add_argument("--data-base", type=lambda s: int(s, 0),
+                    default=DEFAULT_DATA_BASE)
+    ap.add_argument("-e", "--entry", default=DEFAULT_ENTRY)
+    ap.add_argument("-Olink", action="store_true", dest="optimize",
+                    help="run OM's link-time optimizations on the result "
+                         "(address calculation, unreachable procedures)")
+    args = ap.parse_args(argv)
+    modules, archives = [], []
+    for path in args.inputs:
+        if path.endswith(".a"):
+            archives.append(Archive.load(path))
+        else:
+            modules.append(Module.load(path))
+    config = LinkConfig(text_base=args.text_base, data_base=args.data_base,
+                        entry_symbol=args.entry, name=args.output)
+    try:
+        out = link(modules, archives, config)
+        if args.optimize:
+            from ..om import (build_ir, eliminate_unreachable, emit,
+                              optimize_address_calculation,
+                              optimize_got_loads)
+            program = build_ir(out)
+            removed = eliminate_unreachable(program)
+            rewritten = optimize_address_calculation(program)
+            rewritten += optimize_got_loads(program)
+            out = emit(program).module
+            print(f"wrl-ld: -Olink removed {len(removed)} procedures, "
+                  f"rewrote {rewritten} address loads", file=sys.stderr)
+    except (LinkError, ObjError) as exc:
+        print(f"wrl-ld: {exc}", file=sys.stderr)
+        return 1
+    out.save(args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

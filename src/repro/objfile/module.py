@@ -1,0 +1,271 @@
+"""The WOF module: sections + symbols + relocations, with binary (de)serialization.
+
+A module serves three roles over its lifetime, mirroring OSF/1 object
+modules in the paper:
+
+* relocatable object produced by the assembler;
+* fully linked executable produced by the linker (``linked`` set, absolute
+  symbol values, relocations resolved *and retained*);
+* instrumented executable produced by ATOM (additionally carries the
+  analysis link unit's gp and the static new-pc -> old-pc map).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+
+from .relocs import Relocation, RelocType
+from .sections import BSS, SECTION_NAMES, Section
+from .symtab import SymBind, SymKind, Symbol, SymbolTable
+
+MAGIC = b"WOF1"
+
+
+class ObjError(Exception):
+    """Malformed object file or illegal module operation."""
+
+
+@dataclass
+class Module:
+    """One object module or executable."""
+
+    name: str = "<module>"
+    sections: dict[str, Section] = field(default_factory=dict)
+    symtab: SymbolTable = field(default_factory=SymbolTable)
+    relocs: list[Relocation] = field(default_factory=list)
+    linked: bool = False
+    entry: int = 0
+    #: Value of the program link unit's global pointer (linked only).
+    gp_value: int = 0
+    #: Value of the analysis link unit's gp (ATOM output only).
+    analysis_gp: int = 0
+    #: Static map of new text address -> original text address (ATOM output).
+    pc_map: dict[int, int] = field(default_factory=dict)
+    #: Free-form integer metadata (segment bases and the like).
+    meta: dict[str, int] = field(default_factory=dict)
+    #: Additional loadable segments outside the four standard sections —
+    #: ATOM places the analysis unit's data here, in the gap between the
+    #: application's text and data (paper Figure 4).  (name, vaddr, bytes).
+    extra_segments: list[tuple[str, int, bytes]] = field(
+        default_factory=list)
+
+    # ---- section access -------------------------------------------------
+
+    def section(self, name: str) -> Section:
+        """Return the named section, creating it on first use."""
+        sec = self.sections.get(name)
+        if sec is None:
+            if name not in SECTION_NAMES:
+                raise ObjError(f"unknown section name: {name}")
+            sec = Section(name)
+            self.sections[name] = sec
+        return sec
+
+    def has_section(self, name: str) -> bool:
+        return name in self.sections and self.sections[name].size > 0
+
+    def text_bytes(self) -> bytes:
+        return bytes(self.section(".text").data)
+
+    # ---- linked-module queries -------------------------------------------
+
+    def addr_of(self, name: str) -> int:
+        """Absolute address of a symbol in a linked module."""
+        if not self.linked:
+            raise ObjError("addr_of requires a linked module")
+        sym = self.symtab[name]
+        if not sym.defined:
+            raise ObjError(f"undefined symbol: {name}")
+        return sym.value
+
+    def section_at(self, addr: int) -> Section | None:
+        for sec in self.sections.values():
+            if sec.contains_addr(addr):
+                return sec
+        return None
+
+    def functions_sorted(self) -> list[Symbol]:
+        """FUNC symbols ordered by address (linked) or offset (relocatable)."""
+        return sorted(self.symtab.functions(), key=lambda s: s.value)
+
+    # ---- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        out = io.BytesIO()
+        w = _Writer(out)
+        out.write(MAGIC)
+        w.u32(1 if self.linked else 0)
+        w.u64(self.entry)
+        w.u64(self.gp_value)
+        w.u64(self.analysis_gp)
+        w.string(self.name)
+
+        w.u32(len(self.sections))
+        for sec in self.sections.values():
+            w.string(sec.name)
+            w.u32(sec.align)
+            w.u64(sec.vaddr if sec.vaddr is not None else 0xFFFF_FFFF_FFFF_FFFF)
+            if sec.name == BSS:
+                w.u32(0)
+                w.u64(sec.bss_size)
+            else:
+                w.u32(len(sec.data))
+                out.write(bytes(sec.data))
+                w.u64(0)
+
+        syms = list(self.symtab)
+        w.u32(len(syms))
+        for s in syms:
+            w.string(s.name)
+            w.string(s.section or "")
+            w.u64(s.value & 0xFFFF_FFFF_FFFF_FFFF)
+            w.string(s.kind.value)
+            w.string(s.bind.value)
+            w.u64(s.size)
+            w.u32(1 if s.is_abs else 0)
+
+        w.u32(len(self.relocs))
+        for r in self.relocs:
+            w.string(r.section)
+            w.u64(r.offset)
+            w.string(r.type.value)
+            w.string(r.symbol)
+            w.i64(r.addend)
+            w.u64(r.got_slot if r.got_slot is not None else
+                  0xFFFF_FFFF_FFFF_FFFF)
+
+        w.u32(len(self.pc_map))
+        for new, old in self.pc_map.items():
+            w.u64(new)
+            w.u64(old)
+
+        w.u32(len(self.meta))
+        for key, value in self.meta.items():
+            w.string(key)
+            w.i64(value)
+
+        w.u32(len(self.extra_segments))
+        for name, vaddr, blob in self.extra_segments:
+            w.string(name)
+            w.u64(vaddr)
+            w.u32(len(blob))
+            out.write(blob)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Module":
+        inp = io.BytesIO(blob)
+        if inp.read(4) != MAGIC:
+            raise ObjError("not a WOF module (bad magic)")
+        r = _Reader(inp)
+        mod = cls()
+        mod.linked = bool(r.u32())
+        mod.entry = r.u64()
+        mod.gp_value = r.u64()
+        mod.analysis_gp = r.u64()
+        mod.name = r.string()
+
+        for _ in range(r.u32()):
+            name = r.string()
+            sec = Section(name)
+            sec.align = r.u32()
+            vaddr = r.u64()
+            sec.vaddr = None if vaddr == 0xFFFF_FFFF_FFFF_FFFF else vaddr
+            nbytes = r.u32()
+            sec.data = bytearray(inp.read(nbytes))
+            sec.bss_size = r.u64()
+            mod.sections[name] = sec
+
+        for _ in range(r.u32()):
+            sym = Symbol(name=r.string())
+            section = r.string()
+            sym.section = section or None
+            sym.value = r.u64()
+            sym.kind = SymKind(r.string())
+            sym.bind = SymBind(r.string())
+            sym.size = r.u64()
+            sym.is_abs = bool(r.u32())
+            mod.symtab.add(sym)
+
+        for _ in range(r.u32()):
+            rel = Relocation(section=r.string(), offset=r.u64(),
+                             type=RelocType(r.string()), symbol=r.string(),
+                             addend=r.i64())
+            slot = r.u64()
+            rel.got_slot = None if slot == 0xFFFF_FFFF_FFFF_FFFF else slot
+            mod.relocs.append(rel)
+
+        for _ in range(r.u32()):
+            new = r.u64()
+            mod.pc_map[new] = r.u64()
+
+        for _ in range(r.u32()):
+            key = r.string()
+            mod.meta[key] = r.i64()
+
+        remaining = inp.read(4)
+        if remaining:
+            (nseg,) = struct.unpack("<I", remaining)
+            for _ in range(nseg):
+                name = r.string()
+                vaddr = r.u64()
+                size = r.u32()
+                mod.extra_segments.append((name, vaddr, inp.read(size)))
+        return mod
+
+    def save(self, path) -> None:
+        with open(path, "wb") as f:
+            f.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path) -> "Module":
+        with open(path, "rb") as f:
+            return cls.from_bytes(f.read())
+
+
+class _Writer:
+    def __init__(self, out: io.BytesIO) -> None:
+        self._out = out
+
+    def u32(self, v: int) -> None:
+        self._out.write(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        self._out.write(struct.pack("<Q", v & 0xFFFF_FFFF_FFFF_FFFF))
+
+    def i64(self, v: int) -> None:
+        self._out.write(struct.pack("<q", v))
+
+    def string(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self._out.write(struct.pack("<H", len(raw)))
+        self._out.write(raw)
+
+
+class _Reader:
+    def __init__(self, inp: io.BytesIO) -> None:
+        self._inp = inp
+
+    def _unpack(self, fmt: str, size: int):
+        raw = self._inp.read(size)
+        if len(raw) != size:
+            raise ObjError("truncated WOF module")
+        return struct.unpack(fmt, raw)[0]
+
+    def u32(self) -> int:
+        return self._unpack("<I", 4)
+
+    def u64(self) -> int:
+        return self._unpack("<Q", 8)
+
+    def i64(self) -> int:
+        return self._unpack("<q", 8)
+
+    def string(self) -> str:
+        n = self._unpack("<H", 2)
+        raw = self._inp.read(n)
+        if len(raw) != n:
+            raise ObjError("truncated WOF module")
+        return raw.decode("utf-8")

@@ -1,0 +1,98 @@
+"""``wrl-objdump``: inspect WOF modules and executables.
+
+Prints headers, section layout, symbols, relocations, extra segments
+(ATOM's analysis data), the new->old PC map, and a symbol-annotated
+disassembly — the debugging companion for everything else in the
+toolchain.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..isa import disasm
+from .module import Module
+from .sections import TEXT
+
+
+def dump_header(mod: Module, out) -> None:
+    out(f"module:   {mod.name}")
+    out(f"linked:   {mod.linked}")
+    if mod.linked:
+        out(f"entry:    {mod.entry:#x}")
+        out(f"gp:       {mod.gp_value:#x}")
+        if mod.analysis_gp:
+            out(f"anal gp:  {mod.analysis_gp:#x}   (ATOM-instrumented)")
+
+
+def dump_sections(mod: Module, out) -> None:
+    out("\nsections:")
+    for sec in mod.sections.values():
+        vaddr = f"{sec.vaddr:#010x}" if sec.vaddr is not None else "-"
+        out(f"  {sec.name:8s} {vaddr}  size {sec.size:#x}")
+    for name, vaddr, blob in mod.extra_segments:
+        out(f"  {name:8s} {vaddr:#010x}  size {len(blob):#x}  (extra)")
+
+
+def dump_symbols(mod: Module, out) -> None:
+    out("\nsymbols:")
+    for sym in sorted(mod.symtab, key=lambda s: (not s.defined, s.value)):
+        where = "abs" if sym.is_abs else (sym.section or "undef")
+        kind = sym.kind.value[0].upper()
+        bind = "g" if sym.bind.value == "global" else "l"
+        out(f"  {sym.value:#012x} {bind}{kind} {where:6s} {sym.name}"
+            + (f"  [{sym.size}]" if sym.size else ""))
+
+
+def dump_relocs(mod: Module, out) -> None:
+    out(f"\nrelocations: {len(mod.relocs)}")
+    for rel in mod.relocs[:200]:
+        out(f"  {rel.section}+{rel.offset:#x}  {rel.type.value:9s} "
+            f"{rel.symbol}{f'+{rel.addend}' if rel.addend else ''}")
+    if len(mod.relocs) > 200:
+        out(f"  ... {len(mod.relocs) - 200} more")
+
+
+def dump_pc_map(mod: Module, out) -> None:
+    if not mod.pc_map:
+        return
+    moved = sum(1 for n, o in mod.pc_map.items() if n != o)
+    out(f"\npc map: {len(mod.pc_map)} entries, {moved} moved")
+
+
+def dump_disasm(mod: Module, out) -> None:
+    text = mod.section(TEXT)
+    base = text.vaddr if text.vaddr is not None else 0
+    symbols = disasm.symbol_map(mod) if mod.linked else {}
+    out("\ndisassembly:")
+    for line in disasm.disassemble(bytes(text.data), base, symbols):
+        out(line)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="wrl-objdump",
+                                 description="inspect a WOF module")
+    ap.add_argument("module")
+    ap.add_argument("-d", "--disassemble", action="store_true")
+    ap.add_argument("-r", "--relocs", action="store_true")
+    ap.add_argument("-t", "--symbols", action="store_true")
+    ap.add_argument("-a", "--all", action="store_true")
+    args = ap.parse_args(argv)
+    mod = Module.load(args.module)
+    lines: list[str] = []
+    out = lines.append
+    dump_header(mod, out)
+    dump_sections(mod, out)
+    if args.symbols or args.all:
+        dump_symbols(mod, out)
+    if args.relocs or args.all:
+        dump_relocs(mod, out)
+    dump_pc_map(mod, out)
+    if args.disassemble or args.all:
+        dump_disasm(mod, out)
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

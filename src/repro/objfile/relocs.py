@@ -1,0 +1,59 @@
+"""Relocation records of a WOF module.
+
+The linker resolves these when producing an executable, but — critically
+for this reproduction — the resolved records are *retained* in the
+executable.  OM's code generator re-resolves every text-address-bearing
+relocation after instrumentation moves code, which is how function
+pointers, address tables and ``ldgp`` sequences keep working while program
+*data* addresses remain untouched (the paper's pristine-behaviour
+guarantee, Section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RelocType(enum.Enum):
+    #: ldah with the high 16 bits of S+A (carry-adjusted for the paired LO16).
+    HI16 = "hi16"
+    #: lda with the low 16 bits of S+A.
+    LO16 = "lo16"
+    #: 21-bit pc-relative word displacement to S+A (bsr/br/bcc targets).
+    BRANCH21 = "branch21"
+    #: Allocate an 8-byte .lita slot holding S+A; patch the 16-bit
+    #: displacement with slot_address - gp of the containing link unit.
+    GOT16 = "got16"
+    #: ldah half of materializing the link unit's gp value.
+    GPHI16 = "gphi16"
+    #: lda half of materializing the link unit's gp value.
+    GPLO16 = "gplo16"
+    #: 64-bit data word = S+A.
+    QUAD64 = "quad64"
+    #: 32-bit data word = S+A.
+    LONG32 = "long32"
+
+
+#: Relocation types whose patched value embeds an absolute address and must
+#: therefore be re-resolved by OM when the target moves.
+ADDRESS_BEARING = frozenset({
+    RelocType.HI16, RelocType.LO16, RelocType.GOT16,
+    RelocType.QUAD64, RelocType.LONG32,
+})
+
+
+@dataclass
+class Relocation:
+    """One fixup: patch ``section``@``offset`` using ``symbol`` + ``addend``."""
+
+    section: str
+    offset: int
+    type: RelocType
+    symbol: str
+    addend: int = 0
+    #: Filled by the linker for GOT16: absolute address of the .lita slot.
+    got_slot: int | None = None
+
+    def key(self) -> tuple:
+        return (self.section, self.offset, self.type.value)

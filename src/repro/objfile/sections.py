@@ -1,0 +1,72 @@
+"""Sections of a WOF (WRL Object Format) module.
+
+A module carries at most one section of each kind.  ``.text`` holds
+instructions, ``.data`` initialized data, ``.bss`` only a size, and
+``.lita`` is the literal-address table the linker builds for ``%got``
+relocations (one 8-byte slot per distinct address constant, reached via the
+global pointer exactly as on Alpha/OSF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TEXT = ".text"
+DATA = ".data"
+BSS = ".bss"
+LITA = ".lita"
+
+SECTION_NAMES = (TEXT, DATA, BSS, LITA)
+
+
+@dataclass
+class Section:
+    """One section: raw bytes (or a bare size for ``.bss``) plus layout."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    #: Size in bytes.  For .bss this is the only content; for others it
+    #: must equal ``len(data)``.
+    bss_size: int = 0
+    align: int = 8
+    #: Virtual address assigned by the linker (None before layout).
+    vaddr: int | None = None
+
+    @property
+    def size(self) -> int:
+        return self.bss_size if self.name == BSS else len(self.data)
+
+    def append(self, chunk: bytes) -> int:
+        """Append bytes, returning the offset they were placed at."""
+        if self.name == BSS:
+            raise ValueError(".bss cannot hold initialized bytes")
+        offset = len(self.data)
+        self.data.extend(chunk)
+        return offset
+
+    def reserve(self, nbytes: int) -> int:
+        """Reserve zeroed space, returning its offset."""
+        if self.name == BSS:
+            offset = self.bss_size
+            self.bss_size += nbytes
+            return offset
+        return self.append(b"\x00" * nbytes)
+
+    def align_to(self, alignment: int) -> None:
+        """Pad the section so its current end is ``alignment``-aligned."""
+        if alignment > self.align:
+            self.align = alignment
+        cur = self.size
+        pad = (-cur) % alignment
+        if pad:
+            self.reserve(pad)
+
+    def contains_addr(self, addr: int) -> bool:
+        """True when ``addr`` falls inside this laid-out section."""
+        if self.vaddr is None:
+            return False
+        return self.vaddr <= addr < self.vaddr + self.size
+
+
+def align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)

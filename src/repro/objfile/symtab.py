@@ -1,0 +1,109 @@
+"""Symbols of a WOF module.
+
+Symbols name offsets within sections (or absolute values once linked).
+Procedure symbols (``FUNC``) carry sizes set by the assembler's
+``.ent``/``.end`` bracket; OM's IR builder uses them to partition the text
+segment into procedures, exactly the way the paper's OM recovers procedure
+structure from the fully linked OSF/1 module.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SymKind(enum.Enum):
+    NOTYPE = "notype"
+    FUNC = "func"
+    OBJECT = "object"
+
+
+class SymBind(enum.Enum):
+    LOCAL = "local"
+    GLOBAL = "global"
+
+
+@dataclass
+class Symbol:
+    """A named location.
+
+    Before linking ``value`` is an offset into ``section`` of its defining
+    module; afterwards it is an absolute virtual address.  ``section`` is
+    ``None`` for undefined references and for absolute symbols (the linker
+    sets ``is_abs``).
+    """
+
+    name: str
+    section: str | None = None
+    value: int = 0
+    kind: SymKind = SymKind.NOTYPE
+    bind: SymBind = SymBind.LOCAL
+    size: int = 0
+    is_abs: bool = False
+
+    @property
+    def defined(self) -> bool:
+        return self.section is not None or self.is_abs
+
+
+class SymbolTable:
+    """Ordered name -> :class:`Symbol` map with define/reference semantics."""
+
+    def __init__(self) -> None:
+        self._syms: dict[str, Symbol] = {}
+
+    def __iter__(self):
+        return iter(self._syms.values())
+
+    def __len__(self) -> int:
+        return len(self._syms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._syms
+
+    def get(self, name: str) -> Symbol | None:
+        return self._syms.get(name)
+
+    def __getitem__(self, name: str) -> Symbol:
+        try:
+            return self._syms[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol: {name}") from None
+
+    def refer(self, name: str) -> Symbol:
+        """Return the symbol, creating an undefined reference if needed."""
+        sym = self._syms.get(name)
+        if sym is None:
+            sym = Symbol(name)
+            self._syms[name] = sym
+        return sym
+
+    def define(self, name: str, section: str, value: int, *,
+               kind: SymKind = SymKind.NOTYPE,
+               bind: SymBind = SymBind.LOCAL, size: int = 0) -> Symbol:
+        """Define ``name``; raises on redefinition."""
+        sym = self.refer(name)
+        if sym.defined:
+            raise ValueError(f"symbol multiply defined: {name}")
+        sym.section = section
+        sym.value = value
+        sym.kind = kind
+        if bind is SymBind.GLOBAL:
+            sym.bind = SymBind.GLOBAL
+        sym.size = size
+        return sym
+
+    def add(self, sym: Symbol) -> None:
+        if sym.name in self._syms:
+            raise ValueError(f"duplicate symbol entry: {sym.name}")
+        self._syms[sym.name] = sym
+
+    def globals(self) -> list[Symbol]:
+        return [s for s in self._syms.values() if s.bind is SymBind.GLOBAL]
+
+    def undefined(self) -> list[Symbol]:
+        return [s for s in self._syms.values() if not s.defined]
+
+    def functions(self) -> list[Symbol]:
+        return [s for s in self._syms.values() if s.kind is SymKind.FUNC]

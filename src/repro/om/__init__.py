@@ -1,0 +1,19 @@
+"""OM: the link-time code modification system ATOM is built on."""
+
+from .build import BuildError, build_ir
+from .codegen import CodegenError, EmitResult, emit
+from .dataflow import (Liveness, call_graph, call_sites_in_loops,
+                       direct_writes, modified_registers, proc_writes,
+                       rename_registers)
+from .ir import Action, IRBlock, IRInst, IRProc, IRProgram
+from .opt import (eliminate_unreachable, optimize_address_calculation,
+                  optimize_got_loads)
+
+__all__ = [
+    "BuildError", "build_ir", "CodegenError", "EmitResult", "emit",
+    "Liveness", "call_graph", "call_sites_in_loops", "direct_writes",
+    "modified_registers", "proc_writes", "rename_registers",
+    "Action", "IRBlock", "IRInst", "IRProc", "IRProgram",
+    "eliminate_unreachable", "optimize_address_calculation",
+    "optimize_got_loads",
+]

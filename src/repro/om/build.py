@@ -1,0 +1,188 @@
+"""Building OM's symbolic IR from a fully linked executable.
+
+Procedure boundaries come from FUNC symbols (every toolchain component
+emits ``.ent``/``.end`` brackets, mirroring OSF/1 procedure descriptors).
+Basic-block leaders are branch targets and the successors of
+block-terminating instructions; calls and syscalls terminate blocks, the
+Pixie-era convention ATOM's block tools assume.
+
+Every retained relocation whose patch site is a text instruction gets
+attached to that instruction so the code generator can re-resolve it after
+code moves.
+"""
+
+from __future__ import annotations
+
+from ..isa import encoding
+from ..isa.opcodes import Format
+from ..objfile.module import Module
+from ..objfile.sections import TEXT
+from ..objfile.symtab import SymBind, SymKind
+from .ir import IRBlock, IRInst, IRProc, IRProgram
+
+
+class BuildError(Exception):
+    pass
+
+
+def build_ir(module: Module) -> IRProgram:
+    """Disassemble a linked executable into the annotated IR."""
+    if not module.linked:
+        raise BuildError("OM requires a fully linked module")
+    text_sec = module.section(TEXT)
+    base = text_sec.vaddr
+    insts = encoding.decode_stream(bytes(text_sec.data))
+    count = len(insts)
+
+    def index_of(addr: int) -> int:
+        off = addr - base
+        if off % 4 or not 0 <= off < 4 * count:
+            raise BuildError(f"text address out of range: {addr:#x}")
+        return off >> 2
+
+    # ---- procedure extents from FUNC symbols -----------------------------
+    funcs = [s for s in module.symtab
+             if s.kind is SymKind.FUNC and s.section == TEXT]
+    funcs.sort(key=lambda s: s.value)
+    if not funcs:
+        raise BuildError("no FUNC symbols: cannot recover procedures")
+    extents: list[tuple[str, int, int, bool]] = []   # name, start, end idx
+    for i, sym in enumerate(funcs):
+        start = index_of(sym.value)
+        # A procedure extends to the next procedure's entry so every text
+        # instruction belongs to exactly one procedure (declared .ent/.end
+        # sizes can undershoot alignment padding).
+        end = index_of(funcs[i + 1].value) if i + 1 < len(funcs) else count
+        extents.append((sym.name, start, end,
+                        sym.bind is SymBind.GLOBAL))
+    if extents[0][1] != 0:
+        extents.insert(0, ("__head", 0, extents[0][1], False))
+
+    # ---- wrap instructions -------------------------------------------------
+    ir_insts = [IRInst(inst, orig_pc=base + 4 * i)
+                for i, inst in enumerate(insts)]
+
+    # Attach text relocations to their instructions.
+    for rel in module.relocs:
+        if rel.section != TEXT:
+            continue
+        idx = rel.offset >> 2
+        if 0 <= idx < count:
+            ir_insts[idx].relocs.append(rel)
+
+    # ---- leaders -------------------------------------------------------------
+    leaders = set()
+    for _, start, end, _g in extents:
+        leaders.add(start)
+        for i in range(start, end):
+            inst = insts[i]
+            if inst.ends_block() and i + 1 < end:
+                leaders.add(i + 1)
+            if inst.op.format is Format.BRANCH and inst.is_control_transfer():
+                target = i + 1 + inst.disp
+                if start <= target < end:
+                    leaders.add(target)
+                # Cross-procedure branch targets are procedure entries
+                # (bsr); they are already leaders.
+
+    program = IRProgram(module=module)
+    index_to_block: dict[int, IRBlock] = {}
+    block_counter = 0
+
+    for name, start, end, is_global in extents:
+        proc = IRProc(name=name, orig_addr=base + 4 * start,
+                      is_global=is_global,
+                      frame_size=module.meta.get(f"frame:{name}"),
+                      frame_outgoing=module.meta.get(f"outgoing:{name}"))
+        current: IRBlock | None = None
+        for i in range(start, end):
+            if i in leaders or current is None:
+                current = IRBlock(index=block_counter, proc=proc)
+                block_counter += 1
+                proc.blocks.append(current)
+                index_to_block[i] = current
+            current.insts.append(ir_insts[i])
+        if proc.blocks:
+            program.procs.append(proc)
+
+    # ---- symbolic branch targets and CFG edges ----------------------------------
+    addr_to_proc = {base + 4 * start: name
+                    for name, start, _e, _g in extents}
+    for name, start, end, _g in extents:
+        proc = program.proc(name)
+        for i in range(start, end):
+            ir = ir_insts[i]
+            inst = ir.inst
+            if inst.op.format is not Format.BRANCH:
+                continue
+            target = i + 1 + inst.disp
+            if inst.is_call():
+                target_addr = base + 4 * target
+                callee = addr_to_proc.get(target_addr)
+                if callee is not None:
+                    ir.target = ("symbol", callee)
+                else:
+                    # bsr into the middle of a procedure: keep a raw label.
+                    ir.target = ("symbol",
+                                 _label_for(program, ir_insts, target,
+                                            base))
+            elif start <= target < end:
+                ir.target = ("block", index_to_block[target])
+            else:
+                ir.target = ("symbol",
+                             _label_for(program, ir_insts, target, base))
+
+    # Record local text labels (non-FUNC text symbols) so they can be
+    # repositioned after instrumentation.
+    for sym in module.symtab:
+        if sym.section == TEXT and sym.kind is not SymKind.FUNC \
+                and not sym.is_abs:
+            idx = index_of(sym.value)
+            if idx < count:
+                program.text_labels[sym.name] = ir_insts[idx]
+
+    _build_edges(program, index_to_block, ir_insts, base, count)
+    return program
+
+
+def _label_for(program: IRProgram, ir_insts, index: int, base: int) -> str:
+    """Synthesize a stable label name for a raw branch target."""
+    name = f"$omtarget_{index}"
+    program.text_labels[name] = ir_insts[index]
+    return name
+
+
+def _build_edges(program: IRProgram, index_to_block, ir_insts, base,
+                 count) -> None:
+    # Map each block to the index of its first instruction.
+    block_start = {}
+    for idx, block in index_to_block.items():
+        block_start[id(block)] = idx
+    for proc in program.procs:
+        for bi, block in enumerate(proc.blocks):
+            last = block.last.inst
+            next_block = proc.blocks[bi + 1] if bi + 1 < len(proc.blocks) \
+                else None
+
+            def add_edge(dst: IRBlock) -> None:
+                block.succs.append(dst)
+                dst.preds.append(block)
+
+            if last.is_cond_branch():
+                tgt = block.last.target
+                if tgt and tgt[0] == "block":
+                    add_edge(tgt[1])
+                if next_block is not None:
+                    add_edge(next_block)
+            elif last.is_uncond_branch():
+                tgt = block.last.target
+                if tgt and tgt[0] == "block":
+                    add_edge(tgt[1])
+            elif last.is_call() or last.is_syscall():
+                if next_block is not None:
+                    add_edge(next_block)
+            elif last.is_ret() or last.is_jump():
+                pass        # returns and computed jumps end the CFG here
+            else:
+                if next_block is not None:
+                    add_edge(next_block)

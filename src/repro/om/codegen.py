@@ -1,0 +1,201 @@
+"""OM's code generator: annotated IR -> executable text.
+
+Because every insertion happened on the IR, no ad-hoc address fixups are
+needed (paper Section 4): this pass simply lays the instructions back out,
+recomputes every branch displacement from its *symbolic* target, moves each
+retained relocation to its instruction's new offset, re-resolves all
+address-bearing relocations against the updated symbol table, and emits the
+static new-pc -> original-pc map.
+
+Data sections are copied byte-for-byte at their original addresses — the
+pristine-data half of ATOM's guarantee falls out of this by construction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..isa import encoding
+from ..isa.opcodes import Format
+from ..objfile.linker import apply_relocation
+from ..objfile.module import Module
+from ..objfile.relocs import Relocation
+from ..objfile.sections import BSS, DATA, LITA, TEXT, Section
+from ..objfile.symtab import SymKind, Symbol, SymbolTable
+from .ir import IRInst, IRProgram
+
+
+class CodegenError(Exception):
+    pass
+
+
+@dataclass
+class EmitResult:
+    module: Module
+    #: id(IRInst) -> new absolute address
+    inst_addr: dict[int, int] = field(default_factory=dict)
+    #: new address -> original address, for instructions that existed
+    pc_map: dict[int, int] = field(default_factory=dict)
+    text_end: int = 0
+
+
+def emit(program: IRProgram, *,
+         extra_symbols: dict[str, int] | None = None,
+         text_base: int | None = None) -> EmitResult:
+    """Regenerate an executable module from the (possibly rewritten) IR.
+
+    ``extra_symbols`` supplies addresses for symbols outside the program's
+    own symbol table (ATOM's analysis routines, for example).
+    """
+    source: Module = program.module
+    old_text = source.section(TEXT)
+    base = text_base if text_base is not None else old_text.vaddr
+    extra = extra_symbols or {}
+
+    # ---- pass 1: assign addresses -----------------------------------------
+    result = EmitResult(module=None)
+    flat: list[IRInst] = []
+    proc_bounds: dict[str, tuple[int, int]] = {}
+    addr = base
+    for proc in program.procs:
+        start = addr
+        for block in proc.blocks:
+            for ir in block.insts:
+                result.inst_addr[id(ir)] = addr
+                flat.append(ir)
+                addr += 4
+        proc_bounds[proc.name] = (start, addr)
+    result.text_end = addr
+
+    # ---- new symbol table ----------------------------------------------------
+    symtab = SymbolTable()
+    text_label_addr: dict[str, int] = {}
+    for name, ir in program.text_labels.items():
+        inst_addr = result.inst_addr.get(id(ir))
+        if inst_addr is not None:
+            text_label_addr[name] = inst_addr
+
+    for sym in source.symtab:
+        clone = Symbol(name=sym.name, section=sym.section, value=sym.value,
+                       kind=sym.kind, bind=sym.bind, size=sym.size,
+                       is_abs=sym.is_abs)
+        if sym.name in proc_bounds:
+            start, end = proc_bounds[sym.name]
+            clone.value = start
+            clone.size = end - start
+        elif sym.name in text_label_addr:
+            clone.value = text_label_addr[sym.name]
+        elif sym.is_abs and sym.name == "__text_end":
+            clone.value = result.text_end
+        elif sym.section == TEXT and not sym.is_abs:
+            if sym.kind is SymKind.FUNC \
+                    or sym.name in program.text_labels \
+                    or sym.name in program.removed_labels:
+                # Tracked but not placed: its procedure was removed
+                # (unreachable-procedure elimination).  Drop the symbol.
+                continue
+            # A text symbol we failed to track would silently point into
+            # the wrong instruction after layout: refuse.
+            raise CodegenError(f"untracked text symbol {sym.name!r}")
+        symtab.add(clone)
+    # Procedures ATOM added (wrappers, veneer) that have no source symbol.
+    for name, (start, end) in proc_bounds.items():
+        if name not in symtab:
+            symtab.add(Symbol(name=name, section=TEXT, value=start,
+                              kind=SymKind.FUNC, size=end - start))
+
+    def resolve(name: str, line_ctx: IRInst) -> int:
+        if name in proc_bounds:
+            return proc_bounds[name][0]
+        if name in text_label_addr:
+            return text_label_addr[name]
+        sym = symtab.get(name)
+        if sym is not None and sym.defined:
+            return sym.value
+        if name in extra:
+            return extra[name]
+        raise CodegenError(f"unresolved branch target {name!r} "
+                           f"(from {line_ctx})")
+
+    # ---- pass 2: encode with recomputed branch displacements ------------------
+    words = bytearray()
+    new_relocs: list[Relocation] = []
+    for ir in flat:
+        inst = ir.inst
+        pc = result.inst_addr[id(ir)]
+        if inst.op.format is Format.BRANCH and ir.target is not None:
+            kind, payload = ir.target
+            if kind == "block":
+                target_addr = result.inst_addr.get(id(payload.insts[0])) \
+                    if payload.insts else None
+                if target_addr is None:
+                    raise CodegenError(f"branch to an empty block from "
+                                       f"{ir}")
+            else:
+                target_addr = resolve(payload, ir)
+            disp = (target_addr - (pc + 4)) // 4
+            if (target_addr - (pc + 4)) % 4:
+                raise CodegenError(f"misaligned branch target from {ir}")
+            if not encoding.branch_reach_ok(disp):
+                raise CodegenError(
+                    f"branch out of range after instrumentation: "
+                    f"{ir} -> {target_addr:#x}")
+            inst = inst.copy(disp=disp)
+        words += struct.pack("<I", encoding.encode(inst))
+        if ir.orig_pc is not None:
+            result.pc_map[pc] = ir.orig_pc
+        for rel in ir.relocs:
+            new_relocs.append(Relocation(
+                section=TEXT, offset=pc - base, type=rel.type,
+                symbol=rel.symbol, addend=rel.addend,
+                got_slot=rel.got_slot))
+
+    # ---- assemble the output module -------------------------------------------
+    out = Module(name=source.name + ".om")
+    out.linked = True
+    out.gp_value = source.gp_value
+    text = Section(TEXT, data=words, align=old_text.align)
+    text.vaddr = base
+    out.sections[TEXT] = text
+    for name in (LITA, DATA, BSS):
+        src_sec = source.sections.get(name)
+        if src_sec is None:
+            continue
+        sec = Section(name, data=bytearray(src_sec.data),
+                      bss_size=src_sec.bss_size, align=src_sec.align)
+        sec.vaddr = src_sec.vaddr
+        out.sections[name] = sec
+    out.symtab = symtab
+    out.meta = dict(source.meta)
+    out.pc_map = result.pc_map
+
+    # Keep non-text relocations (data words, GOT slots) and the relocated
+    # text ones, then re-resolve everything against the new symbol values.
+    for rel in source.relocs:
+        if rel.section != TEXT:
+            new_relocs.append(Relocation(
+                section=rel.section, offset=rel.offset, type=rel.type,
+                symbol=rel.symbol, addend=rel.addend,
+                got_slot=rel.got_slot))
+    out.relocs = new_relocs
+    for rel in out.relocs:
+        apply_relocation(out, rel)
+
+    # Entry: same symbol as before, at its new home.
+    if source.entry:
+        entry_sym = _symbol_at(source, source.entry)
+        if entry_sym is not None and entry_sym.name in proc_bounds:
+            out.entry = proc_bounds[entry_sym.name][0]
+        else:
+            out.entry = source.entry
+    result.module = out
+    return result
+
+
+def _symbol_at(module: Module, addr: int):
+    for sym in module.symtab:
+        if sym.section == TEXT and not sym.is_abs and sym.value == addr \
+                and sym.kind is SymKind.FUNC:
+            return sym
+    return None

@@ -1,0 +1,153 @@
+"""OM's symbolic intermediate representation.
+
+A program is a linear collection of procedures, a procedure a collection of
+basic blocks, and a block a collection of instructions — the exact
+hierarchy ATOM exposes to instrumentation routines (paper Section 2).
+
+Each entity carries an *action slot* (paper Section 4): an ordered list of
+analysis-procedure calls to perform before or after the entity executes.
+ATOM's ``AddCall*`` primitives append to these lists; the order of addition
+is the order the calls are made in.
+
+Instructions also carry their original address and any relocation that
+patched them, which is what lets OM's code generator move code freely and
+still re-resolve every address-bearing fixup ("no address fixups are
+needed" — all insertion happens here, on the IR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa.instruction import Instruction
+from ..objfile.relocs import Relocation
+
+
+@dataclass
+class Action:
+    """One analysis call to insert at an instrumentation point."""
+
+    proc_name: str                 # analysis procedure (by name)
+    args: tuple = ()               # lowered argument descriptors
+    #: where relative to the entity: "before" or "after"
+    when: str = "before"
+
+
+@dataclass
+class IRInst:
+    """One instruction plus its annotations."""
+
+    inst: Instruction
+    #: Original virtual address (None for instructions OM/ATOM inserted).
+    orig_pc: Optional[int] = None
+    #: Branch target, symbolic so layout changes cannot break it:
+    #: ("block", IRBlock) intra-procedure, ("symbol", name) for calls and
+    #: cross-procedure transfers.  None for non-branch-format instructions.
+    target: Optional[tuple] = None
+    #: Relocations that patched this instruction (HI16/LO16/GOT16/...).
+    relocs: list[Relocation] = field(default_factory=list)
+    #: Action slots (filled by ATOM's AddCallInst).
+    before: list[Action] = field(default_factory=list)
+    after: list[Action] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        pc = f"@{self.orig_pc:#x}" if self.orig_pc is not None else "@new"
+        return f"IRInst({self.inst}{pc})"
+
+
+@dataclass(eq=False)
+class IRBlock:
+    """A basic block: a maximal run of instructions entered at the top."""
+
+    index: int
+    insts: list[IRInst] = field(default_factory=list)
+    succs: list["IRBlock"] = field(default_factory=list)
+    preds: list["IRBlock"] = field(default_factory=list)
+    proc: "IRProc" = None
+    before: list[Action] = field(default_factory=list)
+    after: list[Action] = field(default_factory=list)
+
+    @property
+    def first(self) -> IRInst:
+        return self.insts[0]
+
+    @property
+    def last(self) -> IRInst:
+        return self.insts[-1]
+
+    @property
+    def orig_pc(self) -> Optional[int]:
+        return self.insts[0].orig_pc if self.insts else None
+
+    def __repr__(self) -> str:
+        pc = self.orig_pc
+        at = f"@{pc:#x}" if pc is not None else ""
+        return f"IRBlock(#{self.index}{at}, {len(self.insts)} insts)"
+
+
+@dataclass(eq=False)
+class IRProc:
+    """A procedure: an ordered list of basic blocks."""
+
+    name: str
+    blocks: list[IRBlock] = field(default_factory=list)
+    orig_addr: int = 0
+    is_global: bool = True
+    #: frame metadata from .frame directives (None when unavailable,
+    #: e.g. hand-crafted assembly)
+    frame_size: Optional[int] = None
+    frame_outgoing: Optional[int] = None
+    before: list[Action] = field(default_factory=list)
+    after: list[Action] = field(default_factory=list)
+
+    @property
+    def entry(self) -> IRBlock:
+        return self.blocks[0]
+
+    def instructions(self):
+        for block in self.blocks:
+            yield from block.insts
+
+    def inst_count(self) -> int:
+        return sum(len(b.insts) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"IRProc({self.name}, {len(self.blocks)} blocks)"
+
+
+@dataclass
+class IRProgram:
+    """The whole program in symbolic form."""
+
+    procs: list[IRProc] = field(default_factory=list)
+    module: object = None          # the source Module
+    before: list[Action] = field(default_factory=list)   # ProgramBefore
+    after: list[Action] = field(default_factory=list)    # ProgramAfter
+    #: local text labels that must track their instruction (name -> IRInst)
+    text_labels: dict[str, IRInst] = field(default_factory=dict)
+    #: labels whose code was deleted (unreachable-procedure elimination)
+    removed_labels: set[str] = field(default_factory=set)
+
+    def proc(self, name: str) -> IRProc:
+        for p in self.procs:
+            if p.name == name:
+                return p
+        raise KeyError(f"no procedure named {name!r}")
+
+    def find_proc(self, name: str) -> Optional[IRProc]:
+        for p in self.procs:
+            if p.name == name:
+                return p
+        return None
+
+    def blocks(self):
+        for proc in self.procs:
+            yield from proc.blocks
+
+    def instructions(self):
+        for proc in self.procs:
+            yield from proc.instructions()
+
+    def inst_count(self) -> int:
+        return sum(p.inst_count() for p in self.procs)

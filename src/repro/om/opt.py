@@ -1,0 +1,218 @@
+"""Link-time optimizations over OM IR.
+
+The paper builds ATOM on OM, a system whose purpose is link-time
+*optimization*; two of its published passes are reproduced here:
+
+* **unreachable-procedure elimination** (Srivastava, LOPLAS 1992 —
+  reference [13]): procedures that can never be reached from the entry
+  point and never have their address taken are deleted from the IR, so
+  the code generator simply does not place them;
+* **address-calculation optimization** (Srivastava & Wall, PLDI 1994 —
+  reference [12]): redundant literal-table loads (``ldq rX,
+  %got(sym)(gp)``) are replaced by register copies when another register
+  is already known to hold the same address within the block.
+"""
+
+from __future__ import annotations
+
+from ..isa import opcodes, registers as R
+from ..objfile.relocs import RelocType
+from ..objfile.sections import TEXT
+from .dataflow import call_graph
+from .ir import IRProgram
+
+
+def address_taken_procs(program: IRProgram) -> set[str]:
+    """Procedures whose address escapes via any retained relocation."""
+    module = program.module
+    names = {p.name for p in program.procs}
+    bounds = {}
+    for proc in program.procs:
+        size = 4 * proc.inst_count()
+        bounds[proc.name] = (proc.orig_addr, proc.orig_addr + size)
+    taken: set[str] = set()
+    for rel in module.relocs:
+        if rel.symbol in names:
+            sym = module.symtab.get(rel.symbol)
+            if sym is not None and sym.section == TEXT:
+                taken.add(rel.symbol)
+    return taken
+
+
+def reachable_procs(program: IRProgram, roots: list[str]) -> set[str]:
+    """Procedures reachable from the roots through direct calls."""
+    graph = call_graph(program)
+    seen: set[str] = set()
+    work = [r for r in roots if program.find_proc(r) is not None]
+    indirect_anywhere = False
+    while work:
+        name = work.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for callee in graph.get(name, ()):
+            if callee is None:
+                indirect_anywhere = True
+            elif callee not in seen:
+                work.append(callee)
+    if indirect_anywhere:
+        # Any indirect call may reach any address-taken procedure (and
+        # everything those reach).
+        for name in address_taken_procs(program):
+            if name not in seen:
+                work.append(name)
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for callee in graph.get(name, ()):
+                if callee is not None and callee not in seen:
+                    work.append(callee)
+    return seen
+
+
+def eliminate_unreachable(program: IRProgram,
+                          roots: list[str] | None = None) -> list[str]:
+    """Drop unreachable, never-address-taken procedures; returns their names.
+
+    Default roots: the procedure containing the entry point, plus every
+    global procedure when no entry is recorded (a library unit).
+    """
+    module = program.module
+    if roots is None:
+        roots = []
+        if module.entry:
+            for proc in program.procs:
+                if proc.orig_addr == module.entry:
+                    roots.append(proc.name)
+        if not roots:
+            roots = [p.name for p in program.procs if p.is_global]
+    keep = reachable_procs(program, roots)
+    keep |= address_taken_procs(program)
+    removed = [p.name for p in program.procs if p.name not in keep]
+    if removed:
+        gone = set(removed)
+        program.procs = [p for p in program.procs if p.name not in gone]
+        # Drop text labels that lived inside removed procedures.
+        placed = {id(ir) for p in program.procs for ir in p.instructions()}
+        dropped = {name for name, ir in program.text_labels.items()
+                   if id(ir) not in placed}
+        program.removed_labels |= dropped
+        program.text_labels = {
+            name: ir for name, ir in program.text_labels.items()
+            if name not in dropped}
+    return removed
+
+
+# ---- address-calculation optimization (reference [12]) -----------------------
+
+def optimize_got_loads(program: IRProgram) -> int:
+    """Eliminate redundant literal-table loads within basic blocks.
+
+    MLC (like most compilers) reloads a global's address from the literal
+    table every time it is referenced.  Within a basic block the second
+    and later loads of the same slot are pure repeats as long as the
+    register holding the first result is intact, so they become register
+    copies — the local case of OM's address-calculation optimization.
+
+    Returns the number of loads rewritten.
+    """
+    rewritten = 0
+    for proc in program.procs:
+        # OUT-state per block so facts survive along forward
+        # single-predecessor edges (the if-skip / fall-through pattern).
+        out_state: dict[int, dict] = {}
+        for block in proc.blocks:
+            # register -> (symbol, addend) whose slot value it holds
+            holds: dict[int, tuple[str, int]] = {}
+            if len(block.preds) == 1 and id(block.preds[0]) in out_state:
+                holds = dict(out_state[id(block.preds[0])])
+            for ir in block.insts:
+                inst = ir.inst
+                got = _got_key(ir)
+                if got is not None:
+                    source = _register_holding(holds, got)
+                    if source is not None and source != inst.ra:
+                        ir.inst = inst.copy(op=opcodes.BIS, ra=source,
+                                            rb=R.ZERO, rc=inst.ra,
+                                            disp=0)
+                        ir.relocs = [r for r in ir.relocs
+                                     if r.type is not RelocType.GOT16]
+                        holds.pop(inst.ra, None)
+                        holds[inst.ra] = got
+                        rewritten += 1
+                        continue
+                # Kill facts clobbered by this instruction.
+                defs = inst.defs()
+                if inst.is_call():
+                    # Calls clobber every caller-saved register.
+                    for reg in list(holds):
+                        if reg in R.CALLER_SAVED:
+                            del holds[reg]
+                for reg in defs:
+                    holds.pop(reg, None)
+                if R.GP in defs:
+                    holds.clear()       # new gp: all slot facts invalid
+                if got is not None:
+                    holds[inst.ra] = got
+            out_state[id(block)] = holds
+    return rewritten
+
+
+def _got_key(ir) -> tuple[str, int] | None:
+    """The (symbol, addend) of a GOT-relocated ldq, if this is one."""
+    inst = ir.inst
+    if inst.op is not opcodes.LDQ or inst.rb != R.GP:
+        return None
+    for rel in ir.relocs:
+        if rel.type is RelocType.GOT16:
+            return (rel.symbol, rel.addend)
+    return None
+
+
+def _register_holding(holds: dict, key: tuple) -> int | None:
+    for reg, held in holds.items():
+        if held == key:
+            return reg
+    return None
+
+
+def optimize_address_calculation(program: IRProgram) -> int:
+    """Replace literal-table loads with direct gp-relative address
+    computation where the datum is within reach (reference [12]).
+
+    ``ldq rX, %got(sym)(gp)`` loads sym's address from the literal table —
+    a memory access.  When sym itself lies within the signed 16-bit window
+    around gp, the address can be *computed* instead: ``lda rX,
+    disp(gp)``.  Only data-segment symbols qualify: their addresses are
+    immutable (ATOM never moves program data), so no relocation needs to
+    survive on the rewritten instruction.
+
+    Returns the number of loads rewritten.  Run :func:`optimize_got_loads`
+    afterwards if block-local redundancy should also be cleaned.
+    """
+    module = program.module
+    gp = module.gp_value
+    rewritten = 0
+    for proc in program.procs:
+        for block in proc.blocks:
+            for ir in block.insts:
+                key = _got_key(ir)
+                if key is None:
+                    continue
+                symbol, addend = key
+                sym = module.symtab.get(symbol)
+                if sym is None or not sym.defined or sym.is_abs:
+                    continue
+                if sym.section in (None, TEXT):
+                    continue        # text moves under ATOM; keep the slot
+                target = sym.value + addend
+                disp = target - gp
+                if not -(1 << 15) <= disp < (1 << 15):
+                    continue
+                ir.inst = ir.inst.copy(op=opcodes.LDA, disp=disp)
+                ir.relocs = [r for r in ir.relocs
+                             if r.type is not RelocType.GOT16]
+                rewritten += 1
+    return rewritten

@@ -1,0 +1,68 @@
+"""The eleven analysis tools of the paper's evaluation (Figures 5 and 6).
+
+========  ==========================================  ======================
+tool      description (paper Figure 5)                instrumentation points
+========  ==========================================  ======================
+branch    prediction using 2-bit history table        each conditional branch
+cache     model direct mapped 8k byte cache           each memory reference
+dyninst   computes dynamic instruction counts         each basic block
+gprof     call graph based profiling tool             each procedure / block
+inline    finds potential inlining call sites         each call site
+io        input/output summary tool                   before/after write
+malloc    histogram of dynamic memory                 before/after malloc
+pipe      pipeline stall tool                         each basic block
+prof      instruction profiling tool                  each procedure / block
+syscall   system call summary tool                    before/after each syscall
+unalign   unalign access tool                         each memory reference*
+========  ==========================================  ======================
+
+(*) the original unalign tool worked per basic block; ours instruments each
+multi-byte non-stack memory reference — see EXPERIMENTS.md.
+
+Each tool is a subpackage with an ``Instrument`` routine (Python, run at
+instrumentation time) and an ``analysis.mlc`` file (the analysis routines,
+compiled and linked into the instrumented executable's address space).
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.resources as resources
+from dataclasses import dataclass
+
+TOOL_NAMES = ("branch", "cache", "dyninst", "gprof", "inline", "io",
+              "malloc", "pipe", "prof", "syscall", "unalign")
+
+
+@dataclass(frozen=True)
+class Tool:
+    name: str
+    instrument: object          # Instrument(iargc, iargv, atom)
+    analysis_source: str        # MLC text
+    description: str
+    points: str                 # instrumentation points, for Figure 6
+    args: int                   # arguments passed per point, for Figure 6
+    output_file: str            # report the analysis routines write
+
+
+def get_tool(name: str) -> Tool:
+    """Load one tool by name."""
+    if name not in TOOL_NAMES:
+        raise KeyError(f"unknown tool {name!r}; available: {TOOL_NAMES}")
+    module = importlib.import_module(f"{__name__}.{name}")
+    source = resources.files(f"{__name__}.{name}") \
+        .joinpath("analysis.mlc").read_text()
+    return Tool(
+        name=name,
+        instrument=module.Instrument,
+        analysis_source=source,
+        description=module.DESCRIPTION,
+        points=module.POINTS,
+        args=module.ARGS,
+        output_file=module.OUTPUT_FILE,
+    )
+
+
+def all_tools() -> list[Tool]:
+    """All eleven tools in the paper's Figure 5 order."""
+    return [get_tool(name) for name in TOOL_NAMES]

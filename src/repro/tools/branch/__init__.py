@@ -1,0 +1,33 @@
+"""branch: evaluate branch prediction with a 2-bit history table.
+
+Instruments every conditional branch with three arguments (branch index,
+run-time condition value, original PC) and simulates a classic 2-bit
+saturating-counter predictor per branch in the analysis routines.
+"""
+
+from ...atom import BrCondValue, InstBefore, InstTypeCondBr, ProgramAfter, ProgramBefore
+
+DESCRIPTION = "prediction using 2-bit history table"
+POINTS = "each conditional branch"
+ARGS = 3
+OUTPUT_FILE = "branch.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("BranchInit(int)")
+    atom.AddCallProto("CondBranch(int, VALUE, long)")
+    atom.AddCallProto("BranchReport()")
+    nbranch = 0
+    p = atom.GetFirstProc()
+    while p is not None:
+        b = atom.GetFirstBlock(p)
+        while b is not None:
+            inst = atom.GetLastInst(b)
+            if inst is not None and atom.IsInstType(inst, InstTypeCondBr):
+                atom.AddCallInst(inst, InstBefore, "CondBranch",
+                                 nbranch, BrCondValue, atom.InstPC(inst))
+                nbranch += 1
+            b = atom.GetNextBlock(b)
+        p = atom.GetNextProc(p)
+    atom.AddCallProgram(ProgramBefore, "BranchInit", nbranch)
+    atom.AddCallProgram(ProgramAfter, "BranchReport")

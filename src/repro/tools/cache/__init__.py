@@ -1,0 +1,24 @@
+"""cache: model a direct-mapped 8 KB data cache.
+
+Instruments every memory reference (load and store) with one argument, the
+effective address — the paper's canonical heavy tool (11.84x in Figure 6).
+"""
+
+from ...atom import EffAddrValue, InstBefore, InstTypeMemRef, ProgramAfter
+
+DESCRIPTION = "model direct mapped 8k byte cache"
+POINTS = "each memory reference"
+ARGS = 1
+OUTPUT_FILE = "cache.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("Reference(VALUE)")
+    atom.AddCallProto("CacheReport()")
+    for p in atom.procs():
+        for b in atom.blocks(p):
+            for inst in atom.insts(b):
+                if atom.IsInstType(inst, InstTypeMemRef):
+                    atom.AddCallInst(inst, InstBefore, "Reference",
+                                     EffAddrValue)
+    atom.AddCallProgram(ProgramAfter, "CacheReport")

@@ -1,0 +1,26 @@
+"""dyninst: dynamic instruction counts.
+
+The Pixie-style basic-block counter of the paper's introduction: every
+basic block is instrumented with (block index, instruction count, PC).
+"""
+
+from ...atom import BlockBefore, ProgramAfter, ProgramBefore
+
+DESCRIPTION = "computes dynamic instruction counts"
+POINTS = "each basic block"
+ARGS = 3
+OUTPUT_FILE = "dyninst.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("DynInit(int)")
+    atom.AddCallProto("BlockHit(int, int, long)")
+    atom.AddCallProto("DynReport()")
+    nblocks = 0
+    for p in atom.procs():
+        for b in atom.blocks(p):
+            atom.AddCallBlock(b, BlockBefore, "BlockHit", nblocks,
+                              atom.GetBlockInstCount(b), atom.BlockPC(b))
+            nblocks += 1
+    atom.AddCallProgram(ProgramBefore, "DynInit", nblocks)
+    atom.AddCallProgram(ProgramAfter, "DynReport")

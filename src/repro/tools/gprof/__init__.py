@@ -1,0 +1,33 @@
+"""gprof: call-graph based profiling.
+
+Instruments each procedure entry (call counting with caller attribution
+via a shadow stack) and each basic block (time attribution by instruction
+counts) — two arguments per point, as in Figure 6.
+"""
+
+from ...atom import BlockBefore, ProcAfter, ProcBefore, ProgramAfter, ProgramBefore
+
+DESCRIPTION = "call graph based profiling tool"
+POINTS = "each procedure/each basic block"
+ARGS = 2
+OUTPUT_FILE = "gprof.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("GprofInit(int)")
+    atom.AddCallProto("ProcEnter(int, long)")
+    atom.AddCallProto("ProcExit(int, int)")
+    atom.AddCallProto("BlockExec(int, int)")
+    atom.AddCallProto("ProcName(int, char *)")
+    atom.AddCallProto("GprofReport()")
+    procs = list(atom.procs())
+    atom.AddCallProgram(ProgramBefore, "GprofInit", len(procs))
+    for pid, p in enumerate(procs):
+        atom.AddCallProgram(ProgramBefore, "ProcName", pid,
+                            atom.ProcName(p))
+        atom.AddCallProc(p, ProcBefore, "ProcEnter", pid, atom.ProcPC(p))
+        atom.AddCallProc(p, ProcAfter, "ProcExit", pid, 0)
+        for b in atom.blocks(p):
+            atom.AddCallBlock(b, BlockBefore, "BlockExec", pid,
+                              atom.GetBlockInstCount(b))
+    atom.AddCallProgram(ProgramAfter, "GprofReport")

@@ -1,0 +1,35 @@
+"""inline: find potential inlining call sites.
+
+Instruments only procedure call sites (one argument, the site index) —
+the paper's cheapest instruction-level tool (1.03x in Figure 6).
+"""
+
+from ...atom import InstBefore, InstTypeCall, ProgramAfter, ProgramBefore
+
+DESCRIPTION = "finds potential inlining call sites"
+POINTS = "each call site"
+ARGS = 1
+OUTPUT_FILE = "inline.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("InlineInit(int)")
+    atom.AddCallProto("CallSite(int)")
+    atom.AddCallProto("SiteInfo(int, long, char *)")
+    atom.AddCallProto("InlineReport()")
+    nsites = 0
+    sites = []
+    for p in atom.procs():
+        for b in atom.blocks(p):
+            inst = atom.GetLastInst(b)
+            if inst is not None and atom.IsInstType(inst, InstTypeCall):
+                atom.AddCallInst(inst, InstBefore, "CallSite", nsites)
+                target = atom.InstBranchTarget(inst)
+                sites.append((nsites, atom.InstPC(inst),
+                              target if target is not None else 0))
+                nsites += 1
+    atom.AddCallProgram(ProgramBefore, "InlineInit", nsites)
+    for sid, pc, target in sites:
+        atom.AddCallProgram(ProgramBefore, "SiteInfo", sid, pc,
+                            f"0x{target:x}" if target else "indirect")
+    atom.AddCallProgram(ProgramAfter, "InlineReport")

@@ -1,0 +1,26 @@
+"""io: input/output summary.
+
+Instruments the application's write and read library procedures (four
+REGV arguments capture fd, buffer, count, and a direction flag) — a
+procedure-level tool with negligible run-time cost (1.01x in Figure 6).
+"""
+
+from ...atom import ProcBefore, ProgramAfter
+from ...isa import registers as R
+
+DESCRIPTION = "input/output summary tool"
+POINTS = "before/after write procedure"
+ARGS = 4
+OUTPUT_FILE = "io.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("IoCall(REGV, REGV, REGV, int)")
+    atom.AddCallProto("IoReport()")
+    for name, direction in (("write", 0), ("read", 1)):
+        proc = atom.GetNamedProc(name)
+        if proc is not None:
+            # At entry: a0 = fd, a1 = buf, a2 = count.
+            atom.AddCallProc(proc, ProcBefore, "IoCall",
+                             R.A0, R.A1, R.A2, direction)
+    atom.AddCallProgram(ProgramAfter, "IoReport")

@@ -1,0 +1,23 @@
+"""malloc: histogram of dynamic memory allocation.
+
+The paper's fastest-to-build tool: it "simply asks for the malloc
+procedure and instruments it" — one point, one REGV argument (the
+requested size in a0 at procedure entry).
+"""
+
+from ...atom import ProcBefore, ProgramAfter
+from ...isa import registers as R
+
+DESCRIPTION = "histogram of dynamic memory"
+POINTS = "before/after malloc procedure"
+ARGS = 1
+OUTPUT_FILE = "malloc.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("MallocCall(REGV)")
+    atom.AddCallProto("MallocReport()")
+    proc = atom.GetNamedProc("malloc")
+    if proc is not None:
+        atom.AddCallProc(proc, ProcBefore, "MallocCall", R.A0)
+    atom.AddCallProgram(ProgramAfter, "MallocReport")

@@ -1,0 +1,28 @@
+"""prof: instruction profiling.
+
+Attributes dynamic instruction counts to procedures via per-block
+two-argument calls (procedure index, block instruction count).
+"""
+
+from ...atom import BlockBefore, ProgramAfter, ProgramBefore
+
+DESCRIPTION = "instruction profiling tool"
+POINTS = "each procedure/each basic block"
+ARGS = 2
+OUTPUT_FILE = "prof.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("ProfInit(int)")
+    atom.AddCallProto("ProfName(int, char *)")
+    atom.AddCallProto("ProfBlock(int, int)")
+    atom.AddCallProto("ProfReport()")
+    procs = list(atom.procs())
+    atom.AddCallProgram(ProgramBefore, "ProfInit", len(procs))
+    for pid, p in enumerate(procs):
+        atom.AddCallProgram(ProgramBefore, "ProfName", pid,
+                            atom.ProcName(p))
+        for b in atom.blocks(p):
+            atom.AddCallBlock(b, BlockBefore, "ProfBlock", pid,
+                              atom.GetBlockInstCount(b))
+    atom.AddCallProgram(ProgramAfter, "ProfReport")

@@ -1,0 +1,31 @@
+"""syscall: system call summary.
+
+Instruments before and after every system-call instruction; the syscall
+number is read from v0 at run time via REGV (two arguments per point).
+"""
+
+from ...atom import InstAfter, InstBefore, InstTypeSyscall, ProgramAfter
+from ...isa import registers as R
+
+DESCRIPTION = "system call summary tool"
+POINTS = "before/after each system call"
+ARGS = 2
+OUTPUT_FILE = "syscall.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("SysBefore(REGV, int)")
+    atom.AddCallProto("SysAfter(REGV, int)")
+    atom.AddCallProto("SysReport()")
+    site = 0
+    for p in atom.procs():
+        # ATOM must not hook the termination syscall *after* it fires,
+        # and _exit never returns; the before-hook still counts it.
+        for ir in atom.insts(p):
+            if atom.IsInstType(ir, InstTypeSyscall):
+                atom.AddCallInst(ir, InstBefore, "SysBefore", R.V0, site)
+                if p.name != "_exit":
+                    atom.AddCallInst(ir, InstAfter, "SysAfter", R.V0,
+                                     site)
+                site += 1
+    atom.AddCallProgram(ProgramAfter, "SysReport")

@@ -1,0 +1,31 @@
+"""unalign: unaligned access tool.
+
+Instruments multi-byte memory references whose base register is not the
+stack pointer (stack slots are aligned by construction) with three
+arguments: the effective address, the access size, and the original PC.
+The analysis routines flag accesses that would trap on an
+alignment-checking machine.
+"""
+
+from ...atom import EffAddrValue, InstBefore, InstTypeMemRef, ProgramAfter
+from ...isa import registers as R
+
+DESCRIPTION = "unalign access tool"
+POINTS = "each memory reference"
+ARGS = 3
+OUTPUT_FILE = "unalign.out"
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("Access(VALUE, int, long)")
+    atom.AddCallProto("UnalignReport()")
+    for p in atom.procs():
+        for ir in atom.insts(p):
+            if not atom.IsInstType(ir, InstTypeMemRef):
+                continue
+            size = atom.InstMemAccessSize(ir)
+            if size < 2 or atom.InstMemBaseReg(ir) == R.SP:
+                continue
+            atom.AddCallInst(ir, InstBefore, "Access", EffAddrValue,
+                             size, atom.InstPC(ir))
+    atom.AddCallProgram(ProgramAfter, "UnalignReport")

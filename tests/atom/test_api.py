@@ -1,0 +1,132 @@
+"""AtomContext query/traversal API tests (paper Section 3 primitives)."""
+
+import pytest
+
+from repro.atom import (AtomError, InstTypeCall, InstTypeCondBr,
+                        InstTypeLoad, InstTypeMemRef, InstTypeRet,
+                        InstTypeStore, InstTypeSyscall)
+from repro.atom.api import AtomContext
+from repro.isa import registers as R
+from repro.mlc import build_executable
+from repro.om import build_ir
+
+SOURCE = r"""
+long table[4] = { 2, 4, 6, 8 };
+
+long lookup(long i) {
+    return table[i & 3];
+}
+
+int main() {
+    return (int)(lookup(1) + lookup(2));
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return AtomContext(build_ir(build_executable([SOURCE])))
+
+
+class TestTraversal:
+    def test_classic_walk_covers_everything(self, ctx):
+        procs = blocks = insts = 0
+        p = ctx.GetFirstProc()
+        while p is not None:
+            procs += 1
+            b = ctx.GetFirstBlock(p)
+            while b is not None:
+                blocks += 1
+                i = ctx.GetFirstInst(b)
+                while i is not None:
+                    insts += 1
+                    i = ctx.GetNextInst(i)
+                b = ctx.GetNextBlock(b)
+            p = ctx.GetNextProc(p)
+        assert procs == len(list(ctx.procs()))
+        assert blocks == len(list(ctx.blocks()))
+        assert insts == ctx.GetProgramInstCount()
+
+    def test_first_last_inst(self, ctx):
+        main = ctx.GetNamedProc("main")
+        block = ctx.GetFirstBlock(main)
+        assert ctx.GetFirstInst(block) is block.insts[0]
+        assert ctx.GetLastInst(block) is block.insts[-1]
+
+    def test_named_proc_missing(self, ctx):
+        assert ctx.GetNamedProc("no_such") is None
+
+    def test_counts_consistent(self, ctx):
+        lookup = ctx.GetNamedProc("lookup")
+        total = sum(ctx.GetBlockInstCount(b) for b in ctx.blocks(lookup))
+        assert total == ctx.GetProcInstCount(lookup)
+
+
+class TestQueries:
+    def test_proc_metadata(self, ctx):
+        lookup = ctx.GetNamedProc("lookup")
+        assert ctx.ProcName(lookup) == "lookup"
+        assert ctx.ProcPC(lookup) == lookup.orig_addr
+        assert ctx.BlockPC(ctx.GetFirstBlock(lookup)) == lookup.orig_addr
+
+    def test_inst_types_partition(self, ctx):
+        """Every load is a memref; no instruction is both load and store."""
+        for ir in ctx.insts():
+            load = ctx.IsInstType(ir, InstTypeLoad)
+            store = ctx.IsInstType(ir, InstTypeStore)
+            mem = ctx.IsInstType(ir, InstTypeMemRef)
+            assert not (load and store)
+            assert mem == (load or store)
+
+    def test_memory_queries(self, ctx):
+        loads = [i for i in ctx.insts(ctx.GetNamedProc("lookup"))
+                 if ctx.IsInstType(i, InstTypeLoad)]
+        assert loads
+        for ir in loads:
+            assert ctx.InstMemAccessSize(ir) in (1, 2, 4, 8)
+            assert 0 <= ctx.InstMemBaseReg(ir) < 32
+            ctx.InstMemDisp(ir)
+
+    def test_memory_queries_reject_non_memory(self, ctx):
+        rets = [i for i in ctx.insts() if ctx.IsInstType(i, InstTypeRet)]
+        with pytest.raises(AtomError):
+            ctx.InstMemAccessSize(rets[0])
+        with pytest.raises(AtomError):
+            ctx.InstMemBaseReg(rets[0])
+
+    def test_branch_target_of_call(self, ctx):
+        main = ctx.GetNamedProc("main")
+        calls = [i for i in ctx.insts(main)
+                 if ctx.IsInstType(i, InstTypeCall)]
+        lookup = ctx.GetNamedProc("lookup")
+        targets = {ctx.InstBranchTarget(i) for i in calls}
+        assert ctx.ProcPC(lookup) in targets
+
+    def test_reg_defs_uses(self, ctx):
+        for ir in ctx.insts():
+            defs = ctx.InstRegDefs(ir)
+            uses = ctx.InstRegUses(ir)
+            assert R.ZERO not in defs and R.ZERO not in uses
+
+    def test_opcode_and_cycles(self, ctx):
+        for ir in ctx.insts(ctx.GetNamedProc("lookup")):
+            assert isinstance(ctx.InstOpcode(ir), str)
+            assert ctx.InstCycles(ir) >= 1
+
+    def test_syscall_instrumentable(self, ctx):
+        sys_insts = [i for i in ctx.insts()
+                     if ctx.IsInstType(i, InstTypeSyscall)]
+        assert sys_insts            # _exit's trap at least
+
+    def test_inst_pc_within_original_text(self, ctx):
+        pcs = [ctx.InstPC(i) for i in ctx.insts()]
+        assert pcs == sorted(pcs)          # layout order
+        assert len(set(pcs)) == len(pcs)   # unique
+
+
+class TestProtoRegistry:
+    def test_conflicting_redefinition_rejected(self, ctx):
+        ctx.AddCallProto("Once(int)")
+        ctx.AddCallProto("Once(int)")      # identical: fine
+        with pytest.raises(AtomError, match="conflicting"):
+            ctx.AddCallProto("Once(long, long)")

@@ -1,0 +1,199 @@
+"""Command-line driver tests: atom, mlc, wrl-as, wrl-ld, wrl-run."""
+
+import pytest
+
+from repro.atom.driver import main as atom_main
+from repro.isa.asm.driver import main as as_main
+from repro.machine.cli import main as run_main
+from repro.mlc.driver import main as mlc_main
+from repro.objfile.linker import main as ld_main
+from repro.objfile.module import Module
+
+APP = r"""
+int main() {
+    printf("sum=%d\n", 1 + 2 + 3);
+    return 0;
+}
+"""
+
+INSTRUMENTATION = '''
+from repro.atom import ProcBefore, ProgramAfter
+
+
+def Instrument(iargc, iargv, atom):
+    atom.AddCallProto("Count()")
+    atom.AddCallProto("Report()")
+    atom.AddCallProc(atom.GetNamedProc("main"), ProcBefore, "Count")
+    atom.AddCallProgram(ProgramAfter, "Report")
+    # tool arguments arrive after "--"
+    assert list(iargv[1:]) == ["--tag", "demo"], iargv
+'''
+
+ANALYSIS = r"""
+long hits;
+void Count(void) { hits++; }
+void Report(void) {
+    FILE *f = fopen("count.out", "w");
+    fprintf(f, "%d\n", hits);
+    fclose(f);
+}
+"""
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "app.mlc").write_text(APP)
+    (tmp_path / "inst.py").write_text(INSTRUMENTATION)
+    (tmp_path / "anal.mlc").write_text(ANALYSIS)
+    return tmp_path
+
+
+def test_mlc_then_atom_then_run(workspace, capsys):
+    prog = workspace / "prog.wof"
+    out = workspace / "prog.atom"
+    assert mlc_main([str(workspace / "app.mlc"), "-o", str(prog)]) == 0
+    assert Module.load(prog).linked
+
+    rc = atom_main([str(prog), str(workspace / "inst.py"),
+                    str(workspace / "anal.mlc"), "-o", str(out),
+                    "--", "--tag", "demo"])
+    captured = capsys.readouterr()
+    assert rc == 0, captured.err
+    assert "points" in captured.out
+
+    rc = run_main([str(out), "--dump-files"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "sum=6" in captured.out
+
+
+def test_atom_opt_and_heap_flags(workspace, capsys):
+    prog = workspace / "prog.wof"
+    mlc_main([str(workspace / "app.mlc"), "-o", str(prog)])
+    inst = workspace / "inst2.py"
+    inst.write_text(INSTRUMENTATION.replace(
+        'assert list(iargv[1:]) == ["--tag", "demo"], iargv',
+        'pass'))
+    for extra in (["-O", "0"], ["-O", "2"],
+                  ["--heap", "partitioned", "--heap-offset", "0x100000"]):
+        out = workspace / "o.atom"
+        rc = atom_main([str(prog), str(inst), str(workspace / "anal.mlc"),
+                        "-o", str(out)] + extra)
+        capsys.readouterr()
+        assert rc == 0, extra
+        assert run_main([str(out)]) == 0
+        capsys.readouterr()
+
+
+def test_atom_reports_missing_instrument(workspace, capsys):
+    prog = workspace / "prog.wof"
+    mlc_main([str(workspace / "app.mlc"), "-o", str(prog)])
+    bad = workspace / "bad.py"
+    bad.write_text("x = 1\n")
+    rc = atom_main([str(prog), str(bad), str(workspace / "anal.mlc"),
+                    "-o", str(workspace / "o.atom")])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "Instrument" in captured.err
+
+
+def test_mlc_emit_assembly(workspace, capsys):
+    out = workspace / "app.s"
+    rc = mlc_main([str(workspace / "app.mlc"), "-S", "-o", str(out)])
+    assert rc == 0
+    assert ".ent main" in out.read_text()
+
+
+def test_mlc_compile_error_diagnostics(workspace, capsys):
+    bad = workspace / "bad.mlc"
+    bad.write_text("int main() { return nope; }\n")
+    rc = mlc_main([str(bad), "-o", str(workspace / "x.wof")])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "nope" in captured.err
+
+
+def test_assembler_and_linker_clis(workspace, capsys):
+    src = workspace / "t.s"
+    src.write_text("""
+        .globl __start
+        .ent __start
+__start:
+        li a0, 9
+        li v0, 1
+        sys
+        .end __start
+    """)
+    obj = workspace / "t.wof"
+    exe = workspace / "t.out"
+    assert as_main([str(src), "-o", str(obj)]) == 0
+    assert ld_main([str(obj), "-o", str(exe)]) == 0
+    rc = run_main([str(exe), "--stats"])
+    captured = capsys.readouterr()
+    assert rc == 9
+    assert "cycles=" in captured.err
+
+
+def test_assembler_cli_reports_errors(workspace, capsys):
+    src = workspace / "bad.s"
+    src.write_text("bogus t0, t1\n")
+    rc = as_main([str(src), "-o", str(workspace / "bad.wof")])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "bogus" in captured.err
+
+
+def test_linker_cli_reports_undefined(workspace, capsys):
+    src = workspace / "u.s"
+    src.write_text(".globl __start\n__start: call nowhere\n")
+    obj = workspace / "u.wof"
+    as_main([str(src), "-o", str(obj)])
+    rc = ld_main([str(obj), "-o", str(workspace / "u.out")])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "nowhere" in captured.err
+
+
+def test_objdump_cli(workspace, capsys):
+    from repro.objfile.objdump import main as objdump_main
+    prog = workspace / "prog.wof"
+    mlc_main([str(workspace / "app.mlc"), "-o", str(prog)])
+    rc = objdump_main([str(prog), "--all"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "sections:" in captured.out
+    assert "main" in captured.out
+    assert "disassembly:" in captured.out
+    assert "got16" in captured.out or "branch21" in captured.out
+
+
+def test_linker_olink_flag(workspace, capsys):
+    src = workspace / "o.s"
+    src.write_text("""
+        .globl __start
+        .ent __start
+__start:
+        ldgp
+        la   t0, cell
+        ldq  a0, 0(t0)
+        li   v0, 1
+        sys
+        .end __start
+        .globl dead_proc
+        .ent dead_proc
+dead_proc:
+        ret
+        .end dead_proc
+        .data
+        .align 3
+cell:   .quad 6
+    """)
+    obj = workspace / "o.wof"
+    exe = workspace / "o.out"
+    as_main([str(src), "-o", str(obj)])
+    rc = ld_main([str(obj), "-o", str(exe), "-Olink"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "rewrote" in captured.err
+    assert run_main([str(exe)]) == 6
+    capsys.readouterr()

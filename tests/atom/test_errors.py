@@ -1,0 +1,132 @@
+"""ATOM failure modes: layout overflow, missing hooks, bare-metal units."""
+
+import pytest
+
+from repro.atom import (AtomError, LayoutError, ProcBefore, ProgramAfter,
+                        instrument_executable)
+from repro.isa.asm import assemble
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+from repro.objfile.linker import LinkConfig, link
+
+
+def test_analysis_too_big_for_gap():
+    """A deliberately tiny text-data gap must produce a clean LayoutError."""
+    app_src = """
+        .globl __start
+        .ent __start
+__start:
+        clr a0
+        li v0, 1
+        sys
+        .end __start
+        .globl _exit
+        .ent _exit
+_exit:
+        li v0, 1
+        sys
+        halt
+        .end _exit
+    """
+    app = link([assemble(app_src, "tiny.s")],
+               config=LinkConfig(text_base=0x0010_0000,
+                                 data_base=0x0010_2000))
+    anal = build_analysis_unit(["""
+    long big[100000];
+    void Tick(void) { big[0]++; }
+    """])
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Tick()")
+        atom.AddCallProc(atom.GetFirstProc(), ProcBefore, "Tick")
+
+    with pytest.raises(LayoutError, match="gap"):
+        instrument_executable(app, Instrument, anal)
+
+
+def test_program_after_without_exit_proc():
+    """ProgramAfter needs a _exit procedure to hook."""
+    app = link([assemble("""
+        .globl __start
+        .ent __start
+__start:
+        clr a0
+        li v0, 1
+        sys
+        .end __start
+    """, "noexit.s")])
+    anal = build_analysis_unit(["void Done(void) { }"])
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Done()")
+        atom.AddCallProgram(ProgramAfter, "Done")
+
+    with pytest.raises(AtomError, match="_exit"):
+        instrument_executable(app, Instrument, anal)
+
+
+def test_bare_assembly_analysis_unit():
+    """An analysis unit written in pure assembly (no libc, no
+    __libc_init) still works: the veneer simply skips initialization."""
+    app = build_executable(["int main() { return 7; }"])
+    base = run_module(app)
+    anal_asm = assemble("""
+        .text
+        .globl  RawTick
+        .ent    RawTick
+RawTick:
+        la      t0, hits
+        ldq     t1, 0(t0)
+        addq    t1, 1, t1
+        stq     t1, 0(t0)
+        ret     (ra)
+        .end    RawTick
+        .data
+        .align 3
+        .globl  hits
+hits:   .quad 0
+    """, "raw.s")
+    anal = link([anal_asm], config=LinkConfig(require_entry=False))
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("RawTick()")
+        atom.AddCallProc(atom.GetNamedProc("main"), ProcBefore, "RawTick")
+
+    res = instrument_executable(app, Instrument, anal)
+    result = run_module(res.module)
+    assert result.status == base.status == 7
+
+
+def test_partitioned_heap_requires_libc_sbrk():
+    app = build_executable(["int main() { return 0; }"])
+    anal = link([assemble("""
+        .globl NoOp
+        .ent NoOp
+NoOp:   ret
+        .end NoOp
+    """, "n.s")], config=LinkConfig(require_entry=False))
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("NoOp()")
+        atom.AddCallProc(atom.GetFirstProc(), ProcBefore, "NoOp")
+
+    with pytest.raises(AtomError, match="sbrk"):
+        instrument_executable(app, Instrument, anal,
+                              heap_mode="partitioned")
+
+
+def test_symbol_collision_rejected():
+    """An application defining a name in ATOM's reserved partition."""
+    app = build_executable(["int main() { return 0; }"])
+    # Sneak a colliding symbol into the application's table.
+    from repro.objfile.symtab import SymBind, Symbol
+    app.symtab.add(Symbol(name="anal$printf", is_abs=True, value=1,
+                          bind=SymBind.GLOBAL))
+    anal = build_analysis_unit(["void T(void) { printf(\"x\"); }"])
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("T()")
+        atom.AddCallProc(atom.GetNamedProc("main"), ProcBefore, "T")
+
+    with pytest.raises(AtomError, match="collision"):
+        instrument_executable(app, Instrument, anal)

@@ -1,0 +1,111 @@
+"""Fuzzing ATOM with randomized instrumentation plans.
+
+Hypothesis picks arbitrary subsets of instrumentation points, placements,
+argument shapes, and optimization levels; whatever it picks, the
+instrumented program must behave exactly like the uninstrumented one and
+the analysis counters must be internally consistent.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atom import (BlockAfter, BlockBefore, InstBefore, OptLevel,
+                        ProcAfter, ProcBefore, ProgramAfter,
+                        instrument_executable)
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+
+APP = r"""
+long fib(long n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+long grid[8][8];
+
+int main() {
+    long i, j, acc = 0;
+    for (i = 0; i < 8; i++)
+        for (j = 0; j < 8; j++)
+            grid[i][j] = fib((i + j) % 10);
+    for (i = 0; i < 8; i++) acc += grid[i][i];
+    printf("acc=%d\n", acc);
+    return 0;
+}
+"""
+
+ANALYSIS = r"""
+long counters[16];
+void Bump(long n) { counters[n & 15]++; }
+void BumpBy(long n, long k) { counters[n & 15] += k; }
+void Dump(void) {
+    FILE *f = fopen("fuzz.out", "w");
+    long i;
+    for (i = 0; i < 16; i++) fprintf(f, "%d\n", counters[i]);
+    fclose(f);
+}
+"""
+
+_app = None
+_anal = None
+_base = None
+
+
+def _fixtures():
+    global _app, _anal, _base
+    if _app is None:
+        _app = build_executable([APP])
+        _anal = build_analysis_unit([ANALYSIS])
+        _base = run_module(_app)
+    return _app, _anal, _base
+
+
+plan_entry = st.tuples(
+    st.sampled_from(["proc_before", "proc_after", "block_before",
+                     "block_after", "inst_before"]),
+    st.integers(min_value=0, max_value=10_000),   # point selector
+    st.sampled_from(["Bump", "BumpBy"]),
+    st.integers(min_value=0, max_value=15),
+)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(plan=st.lists(plan_entry, min_size=1, max_size=12),
+       level=st.sampled_from([OptLevel.O0, OptLevel.O1, OptLevel.O2]))
+def test_random_plans_preserve_behavior(plan, level):
+    app, anal, base = _fixtures()
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Bump(int)")
+        atom.AddCallProto("BumpBy(int, long)")
+        atom.AddCallProto("Dump()")
+        procs = list(atom.procs())
+        for kind, selector, proc_name, slot in plan:
+            proc = procs[selector % len(procs)]
+            args = (slot,) if proc_name == "Bump" else (slot, 2)
+            if kind == "proc_before":
+                atom.AddCallProc(proc, ProcBefore, proc_name, *args)
+            elif kind == "proc_after":
+                atom.AddCallProc(proc, ProcAfter, proc_name, *args)
+            else:
+                blocks = proc.blocks
+                block = blocks[selector % len(blocks)]
+                if kind == "block_before":
+                    atom.AddCallBlock(block, BlockBefore, proc_name,
+                                      *args)
+                elif kind == "block_after":
+                    atom.AddCallBlock(block, BlockAfter, proc_name, *args)
+                else:
+                    inst = block.insts[selector % len(block.insts)]
+                    if inst.inst.is_control_transfer():
+                        inst = block.insts[0]
+                    if inst.inst.is_control_transfer():
+                        continue   # single-branch block: skip
+                    atom.AddCallInst(inst, InstBefore, proc_name, *args)
+        atom.AddCallProgram(ProgramAfter, "Dump")
+
+    res = instrument_executable(app, Instrument, anal, opt=level)
+    result = run_module(res.module)
+    assert result.stdout == base.stdout
+    assert result.status == base.status
+    counters = [int(x) for x in result.files["fuzz.out"].split()]
+    assert len(counters) == 16
+    assert all(c >= 0 for c in counters)

@@ -1,0 +1,185 @@
+"""Figure 4 memory-layout invariants and the two-sbrk heap schemes."""
+
+import pytest
+
+from repro.atom import OptLevel, ProgramAfter, ProgramBefore, ProcBefore, instrument_executable
+from repro.objfile.sections import BSS, DATA, LITA, TEXT
+
+from .conftest import parse_counts
+
+HEAP_APP = r"""
+int main() {
+    char *a = (char *)malloc(100);
+    char *b = (char *)malloc(200);
+    printf("%p %p\n", a, b);
+    return 0;
+}
+"""
+
+ALLOC_ANALYSIS = r"""
+long counters[8];
+char *mine;
+
+void Count(long n) {
+    counters[n]++;
+    if (!mine) mine = (char *)malloc(4096);   // analysis-side allocation
+    mine[counters[n] & 1023] = 1;
+}
+
+void Report(void) {
+    FILE *f = fopen("counts.out", "w");
+    long i;
+    for (i = 0; i < 8; i++)
+        if (counters[i]) fprintf(f, "%d %d\n", i, counters[i]);
+    fprintf(f, "7 %d\n", (long)mine);
+    fclose(f);
+}
+"""
+
+
+def simple_tool(atom):
+    atom.AddCallProto("Count(int)")
+    atom.AddCallProto("Report()")
+    main = atom.GetNamedProc("main")
+    atom.AddCallProc(main, ProcBefore, "Count", 0)
+    atom.AddCallProgram(ProgramAfter, "Report")
+
+
+def Instrument(iargc, iargv, atom):
+    simple_tool(atom)
+
+
+class TestFigure4Layout:
+    @pytest.fixture(scope="class")
+    def result(self, build_app, build_analysis):
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        return app, instrument_executable(app, Instrument, anal)
+
+    def test_program_data_not_moved(self, result):
+        app, res = result
+        for name in (LITA, DATA, BSS):
+            assert res.module.section(name).vaddr == \
+                app.section(name).vaddr
+            if name != BSS:
+                assert bytes(res.module.section(name).data) == \
+                    bytes(app.section(name).data)
+
+    def test_analysis_segments_in_gap(self, result):
+        app, res = result
+        text_end = res.module.section(TEXT).vaddr + \
+            len(res.module.section(TEXT).data)
+        gap_start = app.section(TEXT).vaddr
+        gap_end = app.section(LITA).vaddr
+        assert gap_start < text_end <= gap_end
+        for name, vaddr, blob in res.module.extra_segments:
+            assert gap_start < vaddr and vaddr + len(blob) <= gap_end, name
+
+    def test_analysis_bss_zero_initialized(self, result):
+        _, res = result
+        bss_segs = [s for s in res.module.extra_segments
+                    if s[0] == "anal.bss"]
+        assert bss_segs, "analysis bss should be materialized"
+        name, vaddr, blob = bss_segs[0]
+        assert blob == b"\x00" * len(blob)
+
+    def test_two_gp_values(self, result):
+        app, res = result
+        assert res.module.gp_value == app.gp_value       # program gp
+        assert res.module.analysis_gp != 0
+        assert res.module.analysis_gp != res.module.gp_value
+
+    def test_entry_is_veneer_in_text(self, result):
+        app, res = result
+        assert res.module.entry != app.entry
+        text = res.module.section(TEXT)
+        assert text.vaddr <= res.module.entry < text.vaddr + text.size
+
+    def test_instrumented_text_larger(self, result):
+        app, res = result
+        assert len(res.module.section(TEXT).data) > \
+            len(app.section(TEXT).data)
+
+    def test_pc_map_targets_original_text(self, result):
+        app, res = result
+        old_text = app.section(TEXT)
+        for new, old in res.module.pc_map.items():
+            assert old_text.vaddr <= old < old_text.vaddr + old_text.size
+
+
+class TestHeapModes:
+    def test_linked_sbrk_default(self, build_app, build_analysis, run):
+        """Both sbrks share one break: app heap addresses unchanged when
+        the analysis allocates after it, and 'each starts where the other
+        left off' (no overlap)."""
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        base = run(app)
+        res = instrument_executable(app, Instrument, anal,
+                                    heap_mode="linked")
+        result = run(res.module)
+        # Analysis allocated (Count runs at main entry) before the app's
+        # mallocs — so app heap addresses *shift* in linked mode...
+        a_base, b_base = base.stdout.split()
+        a_inst, b_inst = result.stdout.split()
+        assert int(a_inst, 16) > int(a_base, 16)
+        # ...but allocations never overlap: analysis block is disjoint.
+        counts = parse_counts(result)
+        mine = counts[7]
+        assert mine != 0
+        assert abs(mine - int(a_inst, 16)) >= 4096 or \
+            mine + 4096 <= int(a_inst, 16)
+
+    def test_partitioned_heap_preserves_app_addresses(self, build_app,
+                                                      build_analysis,
+                                                      run):
+        """Partitioned mode: the application heap keeps its exact
+        uninstrumented addresses even though the analysis allocates."""
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        base = run(app)
+        res = instrument_executable(app, Instrument, anal,
+                                    heap_mode="partitioned",
+                                    heap_offset=0x20_0000)
+        result = run(res.module)
+        assert result.stdout == base.stdout     # identical heap pointers!
+        counts = parse_counts(result)
+        heap2 = res.module.meta["atom:heap2_base"]
+        assert counts[7] >= heap2               # analysis heap far above
+
+    def test_partitioned_offset_respected(self, build_app,
+                                          build_analysis, run):
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        res = instrument_executable(app, Instrument, anal,
+                                    heap_mode="partitioned",
+                                    heap_offset=0x40_0000)
+        end = app.symtab["__end"].value
+        assert res.module.meta["atom:heap2_base"] >= end + 0x40_0000
+
+    def test_bad_heap_mode_rejected(self, build_app, build_analysis):
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        from repro.atom import AtomError
+        with pytest.raises(AtomError):
+            instrument_executable(app, Instrument, anal,
+                                  heap_mode="bogus")
+
+
+class TestSymbolPartitioning:
+    def test_analysis_symbols_prefixed(self, build_app, build_analysis):
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        res = instrument_executable(app, Instrument, anal)
+        symtab = res.module.symtab
+        # Two printfs: the application's and the analysis unit's.
+        assert symtab.get("printf") is not None
+        assert symtab.get("anal$printf") is not None
+        assert symtab["printf"].value != symtab["anal$printf"].value
+
+    def test_wrapper_symbols_present(self, build_app, build_analysis):
+        app = build_app(HEAP_APP)
+        anal = build_analysis(ALLOC_ANALYSIS)
+        res = instrument_executable(app, Instrument, anal)
+        assert res.module.symtab.get("__atomwrap$Count") is not None
+        assert res.module.symtab.get("__atom_veneer") is not None

@@ -1,0 +1,112 @@
+"""O3-specific tests: liveness-restricted saves must never drop a register
+whose original value the snippet itself needs."""
+
+import pytest
+
+from repro.atom import OptLevel, ProcBefore, ProgramAfter, instrument_executable
+from repro.isa import registers as R
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+
+ANALYSIS = r"""
+long seen[4];
+void Grab2(long a, long b) { seen[0] = a; seen[1] = b; }
+void Dump(void) {
+    FILE *f = fopen("o3.out", "w");
+    fprintf(f, "%d %d\n", seen[0], seen[1]);
+    fclose(f);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def anal():
+    return build_analysis_unit([ANALYSIS])
+
+
+def test_regv_source_in_clobbered_argreg(anal):
+    """Passing REGV(a1) as the *first* argument: materializing a0 must
+    not be allowed to corrupt the read of a1, and vice versa — source
+    registers keep their save slots even when dead."""
+    app = build_executable([r"""
+    long probe(long x, long y) { return x * 100 + y; }
+    int main() { return (int)probe(1, 7) % 256; }
+    """])
+    base = run_module(app)
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Grab2(REGV, REGV)")
+        atom.AddCallProto("Dump()")
+        probe = atom.GetNamedProc("probe")
+        # Swapped order on purpose: arg0 <- a1's value, arg1 <- a0's.
+        atom.AddCallProc(probe, ProcBefore, "Grab2", R.A1, R.A0)
+        atom.AddCallProgram(ProgramAfter, "Dump")
+
+    res = instrument_executable(app, Instrument, anal, opt=OptLevel.O3)
+    result = run_module(res.module)
+    assert result.status == base.status
+    a, b = map(int, result.files["o3.out"].split())
+    assert (a, b) == (7, 1)          # original y and x, uncorrupted
+
+
+def test_o3_skips_dead_saves_but_stays_correct(anal):
+    """An O3 build is cheaper than O1 on the same plan yet behaves the
+    same."""
+    app = build_executable([r"""
+    long noisy(long x) {
+        long a = x * 3;
+        long b = a ^ 0x55;
+        return a + b;
+    }
+    int main() {
+        long i, acc = 0;
+        for (i = 0; i < 200; i++) acc += noisy(i);
+        printf("%d\n", acc & 0xFFFF);
+        return 0;
+    }
+    """])
+    base = run_module(app)
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Grab2(REGV, REGV)")
+        atom.AddCallProto("Dump()")
+        noisy = atom.GetNamedProc("noisy")
+        atom.AddCallProc(noisy, ProcBefore, "Grab2", R.A0, R.SP)
+        atom.AddCallProgram(ProgramAfter, "Dump")
+
+    cycles = {}
+    for level in (OptLevel.O1, OptLevel.O3):
+        res = instrument_executable(app, Instrument, anal, opt=level)
+        result = run_module(res.module)
+        assert result.stdout == base.stdout, level
+        cycles[level] = result.cycles
+    assert cycles[OptLevel.O3] < cycles[OptLevel.O1]
+
+
+def test_regv_sp_reports_original_stack_pointer(anal):
+    """REGV of sp must report the *pre-snippet* stack pointer."""
+    app = build_executable([r"""
+    long witness(long x) { return x; }
+    int main() { return (int)witness(5); }
+    """])
+    base = run_module(app)
+    captured = {}
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Grab2(REGV, REGV)")
+        atom.AddCallProto("Dump()")
+        witness = atom.GetNamedProc("witness")
+        atom.AddCallProc(witness, ProcBefore, "Grab2", R.SP, R.SP)
+        atom.AddCallProgram(ProgramAfter, "Dump")
+
+    for level in (OptLevel.O1, OptLevel.O3):
+        res = instrument_executable(app, Instrument, anal, opt=level)
+        result = run_module(res.module)
+        assert result.status == base.status
+        a, b = map(int, result.files["o3.out"].split())
+        assert a == b
+        captured[level] = a
+    # Same application point, same original sp — regardless of strategy.
+    assert captured[OptLevel.O1] == captured[OptLevel.O3]
+    # And it is a plausible stack address (below the text base).
+    assert 0 < captured[OptLevel.O1] < 0x0010_0000

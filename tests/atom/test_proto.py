@@ -1,0 +1,64 @@
+"""Prototype parser tests (AddCallProto grammar)."""
+
+import pytest
+
+from repro.atom.proto import ParamKind, ProtoError, parse_proto
+
+
+def test_no_args():
+    proto = parse_proto("CloseFile()")
+    assert proto.name == "CloseFile" and proto.arg_count == 0
+    assert parse_proto("F(void)").arg_count == 0
+
+
+def test_paper_examples():
+    proto = parse_proto("CondBranch(int, VALUE)")
+    assert proto.name == "CondBranch"
+    assert [p.kind for p in proto.params] == [ParamKind.INT,
+                                              ParamKind.VALUE]
+    proto = parse_proto("PrintBranch(int, long)")
+    assert all(p.kind is ParamKind.INT for p in proto.params)
+
+
+def test_regv():
+    proto = parse_proto("Watch(REGV, REGV)")
+    assert all(p.kind is ParamKind.REGV for p in proto.params)
+
+
+def test_string_and_pointers():
+    proto = parse_proto("Log(char *, void *, long *)")
+    kinds = [p.kind for p in proto.params]
+    assert kinds == [ParamKind.STRING, ParamKind.INT, ParamKind.INT]
+
+
+def test_arrays():
+    proto = parse_proto("Table(long[], int[])")
+    assert proto.params[0].kind is ParamKind.ARRAY
+    assert proto.params[0].elem_size == 8
+    assert proto.params[1].elem_size == 4
+
+
+def test_all_int_spellings():
+    proto = parse_proto(
+        "F(char, short, int, long, unsigned, unsigned long, long long)")
+    assert all(p.kind is ParamKind.INT for p in proto.params)
+
+
+def test_whitespace_tolerant():
+    proto = parse_proto("  Foo ( int ,  VALUE ) ")
+    assert proto.name == "Foo" and proto.arg_count == 2
+
+
+def test_malformed_rejected():
+    for bad in ("", "noparens", "F(", "F)x(", "123(int)"):
+        with pytest.raises(ProtoError):
+            parse_proto(bad)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ProtoError):
+        parse_proto("F(double)")
+    with pytest.raises(ProtoError):
+        parse_proto("F(struct x)")
+    with pytest.raises(ProtoError):
+        parse_proto("F(VALUE[])")

@@ -1,0 +1,177 @@
+"""Unit tests for the register-save machinery (wrappers, delayed saves,
+in-frame transformation)."""
+
+import pytest
+
+from repro.atom.saves import (SAVE_CANDIDATES, OptLevel, compute_plans,
+                              wrapper_body)
+from repro.isa import registers as R
+from repro.mlc import build_analysis_unit
+from repro.om import build_ir
+
+SIMPLE = r"""
+long counter;
+void Tick(long n) { counter += n; }
+"""
+
+CHAINED = r"""
+long total;
+long helper(long x) {
+    char buf[64];
+    sprintf(buf, "%d and %d and %d", x, x * 2, x * 3);
+    return strlen(buf);
+}
+void Validate(long v) {
+    if (v < 0) total += helper(v);   // error path only
+    total += 1;
+}
+"""
+
+LOOPED = r"""
+long total;
+long leaf(long x) { return x + 1; }
+void Spin(long n) {
+    long i;
+    for (i = 0; i < n; i++) total += leaf(i);   // call inside a loop
+}
+"""
+
+
+def plans_for(source: str, targets: dict, level):
+    ir = build_ir(build_analysis_unit([source]))
+    return ir, compute_plans(ir, targets, level)
+
+
+class TestSaveSets:
+    def test_o0_saves_everything(self):
+        _ir, plans = plans_for(SIMPLE, {"Tick": 1}, OptLevel.O0)
+        plan = plans.plan("Tick")
+        expected = SAVE_CANDIDATES - {R.A0, R.RA}
+        assert set(plan.saves) == expected
+
+    def test_o1_saves_only_modified(self):
+        _ir, plans = plans_for(SIMPLE, {"Tick": 1}, OptLevel.O1)
+        plan = plans.plan("Tick")
+        assert len(plan.saves) < len(SAVE_CANDIDATES) - 2
+        assert R.GP in plan.saves          # Tick touches a global
+        assert R.A0 not in plan.saves      # inline-saved at every site
+        assert R.RA not in plan.saves      # wrapper handles its own ra
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(KeyError, match="Nope"):
+            plans_for(SIMPLE, {"Nope": 0}, OptLevel.O1)
+
+    def test_save_order_deterministic(self):
+        _ir, a = plans_for(SIMPLE, {"Tick": 1}, OptLevel.O1)
+        _ir, b = plans_for(SIMPLE, {"Tick": 1}, OptLevel.O1)
+        assert a.plan("Tick").saves == b.plan("Tick").saves
+
+
+class TestDelayedSaves:
+    def test_error_path_routine_gets_delayed(self):
+        ir, plans = plans_for(CHAINED, {"Validate": 1}, OptLevel.O1)
+        plan = plans.plan("Validate")
+        assert plan.delayed
+        # v0 and pv always join the delayed set (callee return values
+        # and indirect-call scratch must survive).
+        assert R.V0 in plan.saves and R.PV in plan.saves
+        # Internal wrappers were appended for the redirected callees.
+        names = {p.name for p in ir.procs}
+        assert "__atomiw$helper" in names
+
+    def test_delayed_smaller_than_full(self):
+        _ir, delayed = plans_for(CHAINED, {"Validate": 1}, OptLevel.O1)
+        _ir, full = plans_for(CHAINED, {"Validate": 1}, OptLevel.O0)
+        assert len(delayed.plan("Validate").saves) < \
+            len(full.plan("Validate").saves)
+
+    def test_call_in_loop_disables_delay(self):
+        ir, plans = plans_for(LOOPED, {"Spin": 1}, OptLevel.O1)
+        plan = plans.plan("Spin")
+        assert not plan.delayed
+        names = {p.name for p in ir.procs}
+        assert not any(n.startswith("__atomiw$") for n in names)
+
+    def test_calls_redirected_in_ir(self):
+        ir, plans = plans_for(CHAINED, {"Validate": 1}, OptLevel.O1)
+        validate = ir.find_proc("Validate")
+        callees = {i.target[1] for i in validate.instructions()
+                   if i.inst.is_call() and i.target}
+        assert callees and all(c.startswith("__atomiw$") for c in callees)
+
+
+class TestWrapperBody:
+    def test_near_wrapper_uses_bsr(self):
+        insts = wrapper_body((R.T0, R.GP), target=("symbol", "F"))
+        mnems = [i.inst.mnemonic for i in insts]
+        assert "bsr" in mnems and "jsr" not in mnems
+        assert mnems[0] == "lda" and mnems[-1] == "ret"
+
+    def test_far_wrapper_loads_pv(self):
+        insts = wrapper_body((R.T0,), target=("absolute", "F"))
+        mnems = [i.inst.mnemonic for i in insts]
+        assert "jsr" in mnems and "ldah" in mnems
+        # pv is implicitly added to the save list.
+        saved = {i.inst.ra for i in insts if i.inst.mnemonic == "stq"}
+        assert R.PV in saved
+
+    def test_saves_balanced(self):
+        insts = wrapper_body((R.T0, R.T1, R.V0), target=("symbol", "F"))
+        stores = [i for i in insts if i.inst.mnemonic == "stq"]
+        loads = [i for i in insts if i.inst.mnemonic == "ldq"]
+        assert len(stores) == len(loads)          # incl. ra
+        assert {(i.inst.ra, i.inst.disp) for i in stores} == \
+            {(i.inst.ra, i.inst.disp) for i in loads}
+
+    def test_stack_args_copied(self):
+        insts = wrapper_body((), target=("symbol", "F"), copy_args=8)
+        frame = -insts[0].inst.disp
+        # Copies read from the caller frame (disp >= our frame size).
+        copies = [i for i in insts
+                  if i.inst.mnemonic == "ldq" and i.inst.ra == R.AT
+                  and i.inst.disp >= frame]
+        assert len(copies) == 2                   # args 7 and 8
+        stores = [i for i in insts
+                  if i.inst.mnemonic == "stq" and i.inst.ra == R.AT
+                  and i.inst.disp < 16]
+        assert len(stores) == 2                   # landed at sp+0, sp+8
+
+    def test_frame_is_16_aligned(self):
+        for saves in ((), (R.T0,), (R.T0, R.T1, R.T2)):
+            insts = wrapper_body(saves, target=("symbol", "F"))
+            assert insts[0].inst.disp % 16 == 0
+
+
+class TestInFrame:
+    def test_frame_bumped_and_refs_shifted(self):
+        ir, plans = plans_for(SIMPLE, {"Tick": 1}, OptLevel.O2)
+        plan = plans.plan("Tick")
+        tick = ir.find_proc("Tick")
+        if plan.mode != "inframe":
+            pytest.skip("Tick compiled frameless; wrapper fallback is "
+                        "the correct behaviour")
+        # The prologue adjust reflects the bumped frame.
+        first = tick.blocks[0].insts[0].inst
+        assert first.mnemonic == "lda" and first.ra == R.SP
+        assert -first.disp == tick.frame_size
+        assert tick.frame_size % 16 == 0
+
+    def test_inframe_on_framed_routine(self):
+        source = r"""
+        long log[64];
+        long n;
+        void Record(long a, long b) {
+            long tmp[4];
+            tmp[0] = a; tmp[1] = b; tmp[2] = a + b; tmp[3] = a * b;
+            log[n & 63] = tmp[0] + tmp[2] + tmp[3];
+            n++;
+        }
+        """
+        ir, plans = plans_for(source, {"Record": 2}, OptLevel.O2)
+        plan = plans.plan("Record")
+        assert plan.mode == "inframe"
+        record = ir.find_proc("Record")
+        stores = [i.inst for i in record.instructions()
+                  if i.inst.mnemonic == "stq" and i.inst.rb == R.SP]
+        saved_regs = {s.ra for s in stores}
+        assert set(plan.saves) <= saved_regs

@@ -1,0 +1,34 @@
+"""Evaluation-harness plumbing tests."""
+
+from repro.eval import analysis_unit_for, apply_tool, run_instrumented, run_uninstrumented
+from repro.tools import get_tool
+from repro.workloads import build_workload
+
+
+def test_analysis_unit_cached_but_fresh():
+    tool = get_tool("malloc")
+    a = analysis_unit_for(tool)
+    b = analysis_unit_for(tool)
+    assert a is not b                 # fresh objects
+    assert a.to_bytes() == b.to_bytes()
+    assert a.symtab.get("MallocCall") is not None
+
+
+def test_apply_and_run():
+    app = build_workload("fileio")
+    tool = get_tool("io")
+    base = run_uninstrumented(app)
+    res = apply_tool(app, tool)
+    out = run_instrumented(res)
+    assert out.stdout == base.stdout
+    assert tool.output_file in out.files
+
+
+def test_apply_tool_opt_levels():
+    from repro.atom import OptLevel
+    app = build_workload("fileio")
+    tool = get_tool("malloc")
+    for level in (OptLevel.O0, OptLevel.O2):
+        res = apply_tool(app, tool, opt=level)
+        out = run_instrumented(res)
+        assert out.status == 0

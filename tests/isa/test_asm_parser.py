@@ -1,0 +1,115 @@
+"""Unit tests for the assembler's line/operand parsing layer."""
+
+import pytest
+
+from repro.isa.asm.parser import (AsmSyntaxError, parse_expr, parse_int,
+                                  parse_line, parse_operand, strip_comment)
+
+
+class TestParseInt:
+    def test_bases(self):
+        assert parse_int("42") == 42
+        assert parse_int("0x2A") == 42
+        assert parse_int("-8") == -8
+        assert parse_int("0") == 0
+
+    def test_char_literals(self):
+        assert parse_int("'A'") == 65
+        assert parse_int("'\\n'") == 10
+        assert parse_int("'\\0'") == 0
+        assert parse_int("'\\\\'") == 92
+
+    def test_bad_literals(self):
+        with pytest.raises(ValueError):
+            parse_int("'ab'")
+        with pytest.raises(ValueError):
+            parse_int("'\\q'")
+        with pytest.raises(ValueError):
+            parse_int("pear")
+
+
+class TestParseExpr:
+    def test_plain_symbol(self):
+        e = parse_expr("main")
+        assert e.symbol == "main" and e.addend == 0 and e.modifier is None
+
+    def test_symbol_plus_offset(self):
+        e = parse_expr("table + 16")
+        assert e.symbol == "table" and e.addend == 16
+        e = parse_expr("table-8")
+        assert e.addend == -8
+
+    def test_modifiers(self):
+        for mod in ("hi", "lo", "got"):
+            e = parse_expr(f"%{mod}(sym)")
+            assert e.modifier == mod and e.symbol == "sym"
+        e = parse_expr("%got(buf + 8)")
+        assert e.symbol == "buf" and e.addend == 8
+
+    def test_const(self):
+        e = parse_expr("100")
+        assert e.is_const and e.addend == 100
+
+    def test_dollar_names(self):
+        e = parse_expr("$str12")
+        assert e.symbol == "$str12"
+
+
+class TestParseOperand:
+    def test_register(self):
+        op = parse_operand("t3")
+        assert op.kind == "reg" and op.reg == 4
+
+    def test_memory(self):
+        op = parse_operand("-16(sp)")
+        assert op.kind == "mem" and op.expr.addend == -16 and op.base == 30
+
+    def test_bare_paren_reg(self):
+        op = parse_operand("(ra)")
+        assert op.kind == "mem" and op.base == 26 and op.expr.addend == 0
+
+    def test_got_memory(self):
+        op = parse_operand("%got(msg)(gp)")
+        assert op.kind == "mem" and op.base == 29
+        assert op.expr.modifier == "got" and op.expr.symbol == "msg"
+
+    def test_symbol_operand(self):
+        op = parse_operand("loop")
+        assert op.kind == "expr" and op.expr.symbol == "loop"
+
+
+class TestStripComment:
+    def test_hash_and_semicolon(self):
+        assert strip_comment("addq t0, t1, t2 # sum") == "addq t0, t1, t2 "
+        assert strip_comment("nop ; note") == "nop "
+
+    def test_comment_chars_inside_strings(self):
+        line = '.asciiz "a#b;c"  # trailing'
+        assert strip_comment(line) == '.asciiz "a#b;c"  '
+
+    def test_char_literal_hash(self):
+        assert strip_comment("li t0, '#' # cmt") == "li t0, '#' "
+
+
+class TestParseLine:
+    def test_label_only(self):
+        (line,) = parse_line("top:", 1)
+        assert line.label == "top" and line.mnemonic is None
+
+    def test_label_plus_statement(self):
+        (line,) = parse_line("top: addq t0, t1, t2", 3)
+        assert line.label == "top" and line.mnemonic == "addq"
+        assert len(line.operands) == 3
+
+    def test_directive_keeps_raw_args(self):
+        (line,) = parse_line('.asciiz "a, b"', 1)
+        assert line.mnemonic == ".asciiz"
+        assert line.raw_args == '"a, b"'
+
+    def test_empty_and_comment_lines(self):
+        assert parse_line("", 1) == []
+        assert parse_line("   # nothing", 2) == []
+
+    def test_operand_commas_in_parens(self):
+        (line,) = parse_line("ldq a0, 8(sp)", 1)
+        assert len(line.operands) == 2

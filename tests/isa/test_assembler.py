@@ -1,0 +1,266 @@
+"""Assembler tests: directives, labels, pseudo-ops, fixups, errors."""
+
+import pytest
+
+from repro.isa import encoding, opcodes, registers as R
+from repro.isa.asm import AsmSyntaxError, assemble
+from repro.objfile.relocs import RelocType
+from repro.objfile.sections import BSS, DATA, TEXT
+from repro.objfile.symtab import SymBind, SymKind
+
+
+def insts_of(mod):
+    return encoding.decode_stream(bytes(mod.section(TEXT).data))
+
+
+def test_simple_text():
+    mod = assemble("""
+        addq t0, t1, t2
+        subq t0, 8, t1
+        ldq  a0, 16(sp)
+        stq  a0, -8(sp)
+    """)
+    insts = insts_of(mod)
+    assert [i.op for i in insts] == [opcodes.ADDQ, opcodes.SUBQ,
+                                     opcodes.LDQ, opcodes.STQ]
+    assert insts[1].is_lit and insts[1].lit == 8
+    assert insts[3].disp == -8
+
+
+def test_labels_and_local_branch_resolution():
+    mod = assemble("""
+loop:   subq t0, 1, t0
+        bne  t0, loop
+        br   end
+        nop
+end:    ret
+    """)
+    insts = insts_of(mod)
+    assert insts[1].disp == -2          # back to loop
+    assert insts[2].disp == 1           # skip the nop
+    assert mod.relocs == []             # everything resolved locally
+
+
+def test_forward_branch_backpatched():
+    mod = assemble("""
+        beq t0, fwd
+        nop
+        nop
+fwd:    ret
+    """)
+    assert insts_of(mod)[0].disp == 2
+
+
+def test_external_branch_becomes_reloc():
+    mod = assemble("bsr ra, printf")
+    assert len(mod.relocs) == 1
+    rel = mod.relocs[0]
+    assert rel.type is RelocType.BRANCH21 and rel.symbol == "printf"
+    assert not mod.symtab["printf"].defined
+
+
+def test_call_pseudo():
+    mod = assemble("call helper")
+    inst = insts_of(mod)[0]
+    assert inst.op is opcodes.BSR and inst.ra == R.RA
+    assert mod.relocs[0].symbol == "helper"
+
+
+def test_data_directives():
+    mod = assemble("""
+        .data
+vals:   .quad 1, 2, 3
+        .long 7
+        .word 5
+        .byte 0xff, 'A'
+s:      .asciiz "hi\\n"
+    """)
+    data = bytes(mod.section(DATA).data)
+    assert data[:24] == (1).to_bytes(8, "little") + \
+        (2).to_bytes(8, "little") + (3).to_bytes(8, "little")
+    assert data[24:28] == (7).to_bytes(4, "little")
+    assert data[28:30] == (5).to_bytes(2, "little")
+    assert data[30:32] == b"\xffA"
+    assert data[32:] == b"hi\n\x00"
+    assert mod.symtab["s"].value == 32
+
+
+def test_quad_with_symbol_ref_emits_reloc():
+    mod = assemble("""
+        .data
+tbl:    .quad main, main+8
+        .text
+main:   ret
+    """)
+    relocs = [r for r in mod.relocs if r.type is RelocType.QUAD64]
+    assert len(relocs) == 2
+    assert relocs[1].addend == 8
+
+
+def test_bss_and_comm():
+    mod = assemble("""
+        .bss
+        .align 3
+buf:    .space 128
+        .comm shared, 64
+    """)
+    assert mod.section(BSS).bss_size == 192
+    assert mod.symtab["buf"].section == BSS
+    shared = mod.symtab["shared"]
+    assert shared.bind is SymBind.GLOBAL and shared.size == 64
+
+
+def test_ent_end_sets_function_size():
+    mod = assemble("""
+        .text
+        .ent f
+f:      nop
+        nop
+        ret
+        .end f
+    """)
+    sym = mod.symtab["f"]
+    assert sym.kind is SymKind.FUNC
+    assert sym.size == 12
+
+
+def test_globl():
+    mod = assemble("""
+        .globl f
+f:      ret
+    """)
+    assert mod.symtab["f"].bind is SymBind.GLOBAL
+
+
+def test_got_load_and_la():
+    mod = assemble("""
+        ldq a0, %got(msg)(gp)
+        la  a1, msg
+    """)
+    got = [r for r in mod.relocs if r.type is RelocType.GOT16]
+    assert len(got) == 2
+    insts = insts_of(mod)
+    assert insts[0].rb == R.GP and insts[1].rb == R.GP
+
+
+def test_got_requires_gp_base():
+    with pytest.raises(AsmSyntaxError):
+        assemble("ldq a0, %got(msg)(t0)")
+
+
+def test_laa_absolute_pair():
+    mod = assemble("laa a0, msg")
+    insts = insts_of(mod)
+    assert insts[0].op is opcodes.LDAH and insts[1].op is opcodes.LDA
+    types = [r.type for r in mod.relocs]
+    assert types == [RelocType.HI16, RelocType.LO16]
+
+
+def test_ldgp_pair():
+    mod = assemble("ldgp")
+    insts = insts_of(mod)
+    assert insts[0].ra == R.GP and insts[1].ra == R.GP
+    types = [r.type for r in mod.relocs]
+    assert types == [RelocType.GPHI16, RelocType.GPLO16]
+
+
+def test_li_widths():
+    small = assemble("li t0, 100")
+    assert len(insts_of(small)) == 1
+    mid = assemble("li t0, 0x123456")
+    assert len(insts_of(mid)) == 2
+    big = assemble("li t0, 0x123456789a")
+    assert len(insts_of(big)) >= 3
+
+
+def test_mov_clr_not_negq():
+    mod = assemble("""
+        mov t0, t1
+        clr t2
+        not t0, t3
+        negq t0, t4
+    """)
+    insts = insts_of(mod)
+    assert insts[0].op is opcodes.BIS and insts[0].ra == R.T0
+    assert insts[1].rc == R.T2
+    assert insts[2].op is opcodes.ORNOT and insts[2].ra == R.ZERO
+    assert insts[3].op is opcodes.SUBQ and insts[3].ra == R.ZERO
+
+
+def test_negative_literal_folding():
+    mod = assemble("addq t0, -8, t0")
+    inst = insts_of(mod)[0]
+    assert inst.op is opcodes.SUBQ and inst.lit == 8
+
+
+def test_oversized_literal_materialized_via_at():
+    mod = assemble("addq t0, 1000, t1")
+    insts = insts_of(mod)
+    assert insts[-1].op is opcodes.ADDQ and insts[-1].rb == R.AT
+    assert len(insts) == 2
+
+
+def test_sext_two_operand_form():
+    mod = assemble("sextl t0, t1")
+    inst = insts_of(mod)[0]
+    assert inst.op is opcodes.SEXTL and inst.rb == R.T0 and inst.rc == R.T1
+
+
+def test_ret_forms():
+    mod = assemble("""
+        ret
+        ret (ra)
+        ret zero, (ra)
+        jsr (pv)
+        jsr ra, (pv)
+        jmp (t0)
+    """)
+    insts = insts_of(mod)
+    assert all(i.rb == R.RA for i in insts[:3])
+    assert insts[3].ra == R.RA and insts[3].rb == R.PV
+    assert insts[5].op is opcodes.JMP and insts[5].ra == R.ZERO
+
+
+def test_comments_and_char_literals():
+    mod = assemble("""
+        li t0, 'A'      # letter A
+        li t1, '\\n'     ; newline
+    """)
+    insts = insts_of(mod)
+    assert insts[0].disp == 65 and insts[1].disp == 10
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("x: nop\nx: nop")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble("frobnicate t0, t1, t2")
+
+
+def test_instruction_in_data_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble(".data\naddq t0, t1, t2")
+
+
+def test_branch_out_of_range_rejected():
+    lines = ["b: nop"] + ["nop"] * ((1 << 20) + 2) + ["br b"]
+    with pytest.raises(AsmSyntaxError):
+        assemble("\n".join(lines))
+
+
+def test_ent_without_end_rejected():
+    with pytest.raises(AsmSyntaxError):
+        assemble(".ent f\nf: ret")
+
+
+def test_alignment():
+    mod = assemble("""
+        .data
+        .byte 1
+        .align 3
+q:      .quad 2
+    """)
+    assert mod.symtab["q"].value == 8

@@ -1,0 +1,86 @@
+"""Property tests for constant materialization (isa.const)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import const, opcodes, registers
+from repro.isa.instruction import Instruction
+
+MASK = (1 << 64) - 1
+
+
+def evaluate(insts: list[Instruction], rd: int) -> int:
+    """Interpret the lda/ldah/sll subset used by materialize."""
+    regs = [0] * 32
+    for inst in insts:
+        if inst.op is opcodes.LDA:
+            regs[inst.ra] = (regs[inst.rb] + inst.disp) & MASK
+        elif inst.op is opcodes.LDAH:
+            regs[inst.ra] = (regs[inst.rb] + (inst.disp << 16)) & MASK
+        elif inst.op is opcodes.SLL:
+            src2 = inst.lit if inst.is_lit else regs[inst.rb]
+            regs[inst.rc] = (regs[inst.ra] << (src2 & 63)) & MASK
+        else:
+            raise AssertionError(f"unexpected op {inst.op.mnemonic}")
+        regs[31] = 0
+    return regs[rd]
+
+
+@given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_materialize_is_exact(value):
+    insts = const.materialize(value, registers.T0)
+    assert evaluate(insts, registers.T0) == value & MASK
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_materialize_accepts_raw_bit_patterns(value):
+    insts = const.materialize(value, registers.T1)
+    assert evaluate(insts, registers.T1) == value & MASK
+
+
+def test_cost_ladder_matches_paper():
+    """16-bit constants take 1 instruction, 32-bit take 2 (paper Sec. 4)."""
+    assert const.cost(0) == 1
+    assert const.cost(42) == 1
+    assert const.cost(-42) == 1
+    assert const.cost(0x7FFF) == 1
+    assert const.cost(0x8000) == 2
+    assert const.cost(0x12345678) == 2
+    assert const.cost(0x1234_5678_9ABC) >= 3
+    # Values just below 2**31 have no signed hi/lo split but must still work.
+    assert const.cost(0x7FFF_FFFF) >= 3
+
+
+def test_hi_lo_split_roundtrip():
+    for value in (0, 1, -1, 0x7FFF, 0x8000, -0x8000,
+                  -0x8000_0000, 0x1234_5678, 0x7FFF_7FFF):
+        hi, lo = const.split_hi_lo(value)
+        assert (hi << 16) + const.sext16(lo & 0xFFFF) == value
+
+
+@given(hi=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1),
+       lo=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+def test_hi_lo_split_property(hi, lo):
+    """Every representable in-domain (hi, lo) combination round-trips."""
+    from hypothesis import assume
+    value = (hi << 16) + lo
+    assume(-(1 << 31) <= value < (1 << 31))
+    got_hi, got_lo = const.split_hi_lo(value)
+    assert (got_hi << 16) + got_lo == value
+    assert -(1 << 15) <= got_hi < (1 << 15)
+    assert -(1 << 15) <= got_lo < (1 << 15)
+
+
+def test_unsplittable_values_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        const.split_hi_lo(0x7FFF_FFFF)
+    with pytest.raises(ValueError):
+        const.split_hi_lo(1 << 40)
+
+
+def test_sext16():
+    assert const.sext16(0x7FFF) == 0x7FFF
+    assert const.sext16(0x8000) == -0x8000
+    assert const.sext16(0xFFFF) == -1
+    assert const.sext16(0x1_0005) == 5

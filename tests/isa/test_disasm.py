@@ -1,0 +1,57 @@
+"""Disassembler tests."""
+
+from repro.isa import disasm, opcodes, registers as R
+from repro.isa.asm import assemble
+from repro.isa.encoding import encode_stream
+from repro.isa.instruction import Instruction
+from repro.objfile.linker import link
+
+
+def test_branch_target_math():
+    inst = Instruction(opcodes.BR, ra=R.ZERO, disp=3)
+    assert disasm.branch_target(inst, 0x1000) == 0x1000 + 4 + 12
+    back = Instruction(opcodes.BEQ, ra=R.T0, disp=-2)
+    assert disasm.branch_target(back, 0x1000) == 0x1000 + 4 - 8
+    assert disasm.branch_target(
+        Instruction(opcodes.ADDQ, ra=0, rb=0, rc=0), 0x1000) is None
+
+
+def test_render_annotates_symbols():
+    inst = Instruction(opcodes.BSR, ra=R.RA, disp=1)
+    text = disasm.render(inst, 0x1000, {0x1008: "helper"})
+    assert "helper" in text and "0x1008" in text
+
+
+def test_disassemble_stream():
+    insts = [Instruction(opcodes.LDA, ra=R.SP, rb=R.SP, disp=-16),
+             Instruction(opcodes.STQ, ra=R.RA, rb=R.SP, disp=0),
+             Instruction(opcodes.RET, ra=R.ZERO, rb=R.RA)]
+    lines = disasm.disassemble(encode_stream(insts), 0x2000)
+    assert len(lines) == 3
+    assert "0x00002000" in lines[0]
+    assert "lda sp, -16(sp)" in lines[0]
+    assert "ret" in lines[2]
+
+
+def test_symbol_map_from_module():
+    exe = link([assemble("""
+        .globl __start
+        .ent __start
+__start:
+        bsr ra, f
+        li v0, 1
+        sys
+        .end __start
+        .globl f
+        .ent f
+f:      ret
+        .end f
+    """, "t.s")])
+    symbols = disasm.symbol_map(exe)
+    assert symbols[exe.entry] == "__start"
+    assert symbols[exe.addr_of("f")] == "f"
+    text = "\n".join(disasm.disassemble(
+        bytes(exe.section(".text").data), exe.section(".text").vaddr,
+        symbols))
+    assert "<f>" in text
+    assert "f:" in text

@@ -1,0 +1,108 @@
+"""Encode/decode round-trip tests for every WRL-64 instruction format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import encoding, opcodes
+from repro.isa.encoding import EncodingError, decode, decode_stream, encode, encode_stream
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format
+
+MEMORY_OPS = [o for o in opcodes.ALL_OPS if o.format is Format.MEMORY]
+BRANCH_OPS = [o for o in opcodes.ALL_OPS if o.format is Format.BRANCH]
+JUMP_OPS = [o for o in opcodes.ALL_OPS if o.format is Format.JUMP]
+OPERATE_OPS = [o for o in opcodes.ALL_OPS if o.format is Format.OPERATE]
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+@given(op=st.sampled_from(MEMORY_OPS), ra=regs, rb=regs,
+       disp=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+def test_memory_roundtrip(op, ra, rb, disp):
+    inst = Instruction(op, ra=ra, rb=rb, disp=disp)
+    back = decode(encode(inst))
+    assert (back.op, back.ra, back.rb, back.disp) == (op, ra, rb, disp)
+
+
+@given(op=st.sampled_from(BRANCH_OPS), ra=regs,
+       disp=st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1))
+def test_branch_roundtrip(op, ra, disp):
+    inst = Instruction(op, ra=ra, disp=disp)
+    back = decode(encode(inst))
+    assert (back.op, back.ra, back.disp) == (op, ra, disp)
+
+
+@given(op=st.sampled_from(JUMP_OPS), ra=regs, rb=regs)
+def test_jump_roundtrip(op, ra, rb):
+    back = decode(encode(Instruction(op, ra=ra, rb=rb)))
+    assert (back.op, back.ra, back.rb) == (op, ra, rb)
+
+
+@given(op=st.sampled_from(OPERATE_OPS), ra=regs, rb=regs, rc=regs)
+def test_operate_reg_roundtrip(op, ra, rb, rc):
+    back = decode(encode(Instruction(op, ra=ra, rb=rb, rc=rc)))
+    assert (back.op, back.ra, back.rb, back.rc, back.is_lit) == \
+        (op, ra, rb, rc, False)
+
+
+@given(op=st.sampled_from(OPERATE_OPS), ra=regs,
+       lit=st.integers(min_value=0, max_value=255), rc=regs)
+def test_operate_lit_roundtrip(op, ra, lit, rc):
+    back = decode(encode(Instruction(op, ra=ra, lit=lit, is_lit=True, rc=rc)))
+    assert (back.op, back.ra, back.lit, back.rc, back.is_lit) == \
+        (op, ra, lit, rc, True)
+
+
+def test_system_roundtrip():
+    back = decode(encode(Instruction(opcodes.SYS, imm=123)))
+    assert back.op is opcodes.SYS and back.imm == 123
+    assert decode(encode(Instruction(opcodes.HALT))).op is opcodes.HALT
+
+
+def test_memory_disp_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(opcodes.LDQ, ra=1, rb=2, disp=1 << 15))
+    with pytest.raises(EncodingError):
+        encode(Instruction(opcodes.LDQ, ra=1, rb=2, disp=-(1 << 15) - 1))
+
+
+def test_branch_disp_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(opcodes.BR, disp=1 << 20))
+
+
+def test_literal_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(opcodes.ADDQ, ra=1, lit=256, is_lit=True, rc=2))
+
+
+def test_illegal_opcode_rejected():
+    # 0x3F is used (bgt); find an unused opcode number.
+    used = set(opcodes.BY_OPCODE)
+    free = next(n for n in range(64) if n not in used)
+    with pytest.raises(EncodingError):
+        decode(free << 26)
+
+
+def test_stream_roundtrip():
+    insts = [Instruction(opcodes.LDA, ra=1, rb=2, disp=-8),
+             Instruction(opcodes.ADDQ, ra=1, rb=2, rc=3),
+             Instruction(opcodes.RET, ra=31, rb=26)]
+    blob = encode_stream(insts)
+    assert len(blob) == 12
+    back = decode_stream(blob)
+    assert [b.op for b in back] == [i.op for i in insts]
+
+
+def test_stream_rejects_ragged_length():
+    with pytest.raises(EncodingError):
+        decode_stream(b"\x00\x01\x02")
+
+
+def test_branch_reach_helper():
+    assert encoding.branch_reach_ok(0)
+    assert encoding.branch_reach_ok((1 << 20) - 1)
+    assert not encoding.branch_reach_ok(1 << 20)
+    assert encoding.branch_reach_ok(-(1 << 20))
+    assert not encoding.branch_reach_ok(-(1 << 20) - 1)

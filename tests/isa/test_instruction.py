@@ -1,0 +1,105 @@
+"""Def/use sets and classification predicates of Instruction."""
+
+from repro.isa import opcodes, registers as R
+from repro.isa.instruction import Instruction, nop
+
+
+def test_load_def_use():
+    inst = Instruction(opcodes.LDQ, ra=R.T0, rb=R.SP, disp=8)
+    assert inst.defs() == {R.T0}
+    assert inst.uses() == {R.SP}
+    assert inst.is_load() and inst.is_memory_ref() and not inst.is_store()
+
+
+def test_store_def_use():
+    inst = Instruction(opcodes.STQ, ra=R.T0, rb=R.SP, disp=8)
+    assert inst.defs() == frozenset()
+    assert inst.uses() == {R.T0, R.SP}
+    assert inst.is_store() and inst.is_memory_ref()
+
+
+def test_lda_def_use():
+    inst = Instruction(opcodes.LDA, ra=R.A0, rb=R.ZERO, disp=5)
+    assert inst.defs() == {R.A0}
+    assert inst.uses() == frozenset()        # zero never appears
+
+
+def test_operate_def_use():
+    inst = Instruction(opcodes.ADDQ, ra=R.T0, rb=R.T1, rc=R.T2)
+    assert inst.defs() == {R.T2}
+    assert inst.uses() == {R.T0, R.T1}
+    lit = Instruction(opcodes.ADDQ, ra=R.T0, lit=4, is_lit=True, rc=R.T2)
+    assert lit.uses() == {R.T0}
+
+
+def test_cmov_uses_destination():
+    inst = Instruction(opcodes.CMOVEQ, ra=R.T0, rb=R.T1, rc=R.T2)
+    assert R.T2 in inst.uses()
+    assert inst.defs() == {R.T2}
+
+
+def test_cond_branch_def_use():
+    inst = Instruction(opcodes.BNE, ra=R.T3, disp=4)
+    assert inst.is_cond_branch() and inst.ends_block()
+    assert inst.uses() == {R.T3}
+    assert inst.defs() == frozenset()        # link register is zero
+
+
+def test_bsr_defines_link_register():
+    inst = Instruction(opcodes.BSR, ra=R.RA, disp=100)
+    assert inst.is_call() and inst.ends_block()
+    assert inst.defs() == {R.RA}
+
+
+def test_jsr_def_use():
+    inst = Instruction(opcodes.JSR, ra=R.RA, rb=R.PV)
+    assert inst.is_call()
+    assert inst.defs() == {R.RA}
+    assert inst.uses() == {R.PV}
+
+
+def test_ret_def_use():
+    inst = Instruction(opcodes.RET, ra=R.ZERO, rb=R.RA)
+    assert inst.is_ret() and inst.ends_block()
+    assert inst.uses() == {R.RA}
+    assert inst.defs() == frozenset()
+
+
+def test_syscall_conservative_sets():
+    inst = Instruction(opcodes.SYS)
+    assert inst.is_syscall() and inst.ends_block()
+    assert R.V0 in inst.defs()
+    assert {R.V0, R.A0, R.A5} <= inst.uses()
+
+
+def test_writes_to_zero_are_discarded():
+    inst = Instruction(opcodes.ADDQ, ra=R.T0, rb=R.T1, rc=R.ZERO)
+    assert inst.defs() == frozenset()
+
+
+def test_nop_has_no_effects():
+    inst = nop()
+    assert inst.defs() == frozenset()
+    assert inst.uses() == frozenset()
+    assert not inst.ends_block()
+
+
+def test_zero_not_in_uses_even_as_source():
+    inst = Instruction(opcodes.ADDQ, ra=R.ZERO, rb=R.ZERO, rc=R.T0)
+    assert inst.uses() == frozenset()
+
+
+def test_block_enders():
+    assert Instruction(opcodes.BR).ends_block()
+    assert Instruction(opcodes.JMP, ra=R.ZERO, rb=R.T0).ends_block()
+    assert Instruction(opcodes.HALT).ends_block()
+    assert not Instruction(opcodes.LDQ, ra=R.T0, rb=R.SP).ends_block()
+    assert not Instruction(opcodes.SYS).is_control_transfer()
+    assert Instruction(opcodes.BR).is_control_transfer()
+
+
+def test_str_rendering():
+    assert "ldq t0, 8(sp)" in str(Instruction(opcodes.LDQ, ra=R.T0, rb=R.SP,
+                                              disp=8))
+    assert "addq t0, #4, t1" in str(
+        Instruction(opcodes.ADDQ, ra=R.T0, lit=4, is_lit=True, rc=R.T1))

@@ -1,0 +1,347 @@
+"""CPU semantics tests: each instruction family via small programs."""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.machine import MachineError, run_module
+from repro.objfile.linker import link
+
+
+def run_asm(body: str, **kw):
+    """Assemble a test kernel that runs ``body`` and exits with t9 & 0xff."""
+    lines = body.splitlines()
+    cut = len(lines)
+    for i, line in enumerate(lines):
+        if line.strip().startswith((".data", ".bss")):
+            cut = i
+            break
+    code = "\n".join(lines[:cut])
+    rest = "\n".join(lines[cut:])
+    src = f"""
+        .text
+        .globl __start
+__start:
+        ldgp
+{code}
+        mov  t9, a0
+        li   v0, 1
+        sys
+{rest}
+"""
+    return run_module(link([assemble(src, "t.s")]), **kw)
+
+
+def expect(body: str, status: int, **kw):
+    result = run_asm(body, **kw)
+    assert result.status == status, \
+        f"expected exit {status}, got {result.status}"
+    return result
+
+
+class TestAlu:
+    def test_add_sub(self):
+        expect("li t0, 40\n addq t0, 2, t9", 42)
+        expect("li t0, 50\n subq t0, 8, t9", 42)
+
+    def test_mul_div_rem(self):
+        expect("li t0, 6\n li t1, 7\n mulq t0, t1, t9", 42)
+        expect("li t0, 85\n li t1, 2\n divq t0, t1, t9", 42)
+        expect("li t0, 85\n li t1, 43\n remq t0, t1, t9", 42)
+
+    def test_signed_division_truncates_toward_zero(self):
+        expect("li t0, -7\n li t1, 2\n divq t0, t1, t9\n negq t9, t9", 3)
+        expect("li t0, -7\n li t1, 2\n remq t0, t1, t9\n negq t9, t9", 1)
+
+    def test_divide_by_zero_traps(self):
+        with pytest.raises(MachineError, match="division by zero"):
+            run_asm("li t0, 1\n clr t1\n divq t0, t1, t9")
+
+    def test_logic(self):
+        expect("li t0, 0xF0\n li t1, 0x3C\n and t0, t1, t9", 0x30)
+        expect("li t0, 0xF0\n li t1, 0x0F\n bis t0, t1, t9", 0xFF)
+        expect("li t0, 0xFF\n li t1, 0x0F\n xor t0, t1, t9", 0xF0)
+        expect("li t0, 0xFF\n li t1, 0x0F\n bic t0, t1, t9", 0xF0)
+
+    def test_shifts(self):
+        expect("li t0, 1\n sll t0, 5, t9", 32)
+        expect("li t0, 128\n srl t0, 2, t9", 32)
+        expect("li t0, -128\n sra t0, 2, t9\n negq t9, t9", 32)
+
+    def test_sra_vs_srl_on_negative(self):
+        # srl of -1 keeps high zeros coming in; low byte stays 0xff.
+        expect("li t0, -1\n srl t0, 8, t9\n and t9, 0xff, t9", 0xFF)
+        expect("li t0, -256\n sra t0, 8, t9\n addq t9, 1, t9", 0)
+
+    def test_compares(self):
+        expect("li t0, 3\n li t1, 5\n cmplt t0, t1, t9", 1)
+        expect("li t0, 5\n li t1, 5\n cmplt t0, t1, t9", 0)
+        expect("li t0, 5\n li t1, 5\n cmple t0, t1, t9", 1)
+        expect("li t0, 5\n li t1, 5\n cmpeq t0, t1, t9", 1)
+        # Unsigned: -1 is huge.
+        expect("li t0, -1\n li t1, 5\n cmpult t0, t1, t9", 0)
+        expect("li t0, -1\n li t1, 5\n cmplt t0, t1, t9", 1)
+        expect("li t0, -1\n li t1, -1\n cmpule t0, t1, t9", 1)
+
+    def test_cmov(self):
+        expect("li t0, 0\n li t1, 42\n li t9, 7\n cmoveq t0, t1, t9", 42)
+        expect("li t0, 1\n li t1, 42\n li t9, 7\n cmoveq t0, t1, t9", 7)
+        expect("li t0, 1\n li t1, 42\n li t9, 7\n cmovne t0, t1, t9", 42)
+
+    def test_sign_extensions(self):
+        expect("li t0, 0x1FF\n sextb t0, t9\n addq t9, 2, t9", 1)
+        expect("li t0, 0x1FFFF\n sextw t0, t9\n addq t9, 2, t9", 1)
+        expect("li t0, 0x80\n sextb t0, t9\n addq t9, 0x81, t9", 1)
+
+    def test_umulh(self):
+        expect("li t0, -1\n li t1, 16\n umulh t0, t1, t9", 15)
+
+    def test_wraparound(self):
+        expect("li t0, -1\n addq t0, 1, t9", 0)
+
+    def test_writes_to_zero_discarded(self):
+        expect("li t9, 7\n addq t9, 35, zero\n addq t9, 35, t9", 42)
+        expect("lda zero, 99(zero)\n clr t9", 0)
+
+
+class TestControlFlow:
+    def test_branches(self):
+        expect("""
+        li  t0, 3
+        clr t9
+loop:   addq t9, 14, t9
+        subq t0, 1, t0
+        bne t0, loop
+        """, 42)
+
+    def test_taken_and_fallthrough(self):
+        expect("""
+        clr t9
+        clr t0
+        beq t0, yes
+        li  t9, 1
+        br  out
+yes:    li  t9, 2
+out:
+        """, 2)
+
+    def test_blt_bge(self):
+        expect("li t0, -5\n li t9, 1\n blt t0, ok\n li t9, 0\nok:", 1)
+        expect("li t0, 5\n li t9, 1\n bge t0, ok\n li t9, 0\nok:", 1)
+        expect("clr t0\n li t9, 1\n bge t0, ok\n li t9, 0\nok:", 1)
+
+    def test_blbs_blbc(self):
+        expect("li t0, 3\n li t9, 1\n blbs t0, ok\n li t9, 0\nok:", 1)
+        expect("li t0, 2\n li t9, 1\n blbc t0, ok\n li t9, 0\nok:", 1)
+
+    def test_bsr_ret(self):
+        expect("""
+        bsr  ra, sub
+        br   out
+sub:    li   t9, 42
+        ret  (ra)
+out:
+        """, 42)
+
+    def test_jsr_indirect(self):
+        expect("""
+        laa  pv, sub
+        jsr  ra, (pv)
+        br   out
+sub:    li   t9, 42
+        ret  (ra)
+out:
+        """, 42)
+
+    def test_jump_outside_text_traps(self):
+        with pytest.raises(MachineError, match="outside text"):
+            run_asm("clr t0\n jmp (t0)")
+
+    def test_halt_traps(self):
+        with pytest.raises(MachineError, match="halt"):
+            run_asm("halt")
+
+    def test_instruction_budget(self):
+        with pytest.raises(MachineError, match="budget"):
+            run_asm("loop: br loop", max_insts=10_000)
+
+
+class TestMemoryOps:
+    def test_stack_store_load(self):
+        expect("""
+        lda  sp, -16(sp)
+        li   t0, 42
+        stq  t0, 8(sp)
+        clr  t0
+        ldq  t9, 8(sp)
+        lda  sp, 16(sp)
+        """, 42)
+
+    def test_widths_and_extension(self):
+        expect("""
+        lda  sp, -16(sp)
+        li   t0, -1
+        stl  t0, 0(sp)
+        ldl  t9, 0(sp)       # sign-extends
+        addq t9, 43, t9
+        """, 42)
+        expect("""
+        lda  sp, -16(sp)
+        li   t0, 0x1FF
+        stb  t0, 0(sp)
+        li   t1, 0
+        stb  t1, 1(sp)
+        ldbu t9, 0(sp)       # zero-extends: 0xFF
+        subq t9, 0xBD, t9
+        """, 0x42)
+        expect("""
+        lda  sp, -16(sp)
+        li   t0, 0x1234
+        stw  t0, 0(sp)
+        ldwu t9, 0(sp)
+        subq t9, 0x11F2, t9
+        """, 0x42)
+
+    def test_data_segment_access(self):
+        result = run_asm("""
+        la   t0, cell
+        ldq  t9, 0(t0)
+        """ + "\n        .data\n        .align 3\ncell: .quad 42")
+        assert result.status == 42
+
+    def test_bss_zero_initialized(self):
+        expect("""
+        la   t0, buf
+        ldq  t9, 0(t0)
+        addq t9, 42, t9
+        .bss
+        .align 3
+buf:    .space 64
+        """, 42)
+
+    def test_wild_pointer_faults(self):
+        with pytest.raises(MachineError):
+            run_asm("li t0, 0x90000000\n ldq t9, 0(t0)")
+
+
+class TestSyscalls:
+    def test_write_stdout_stderr(self):
+        result = run_asm("""
+        la   a1, msg
+        li   a2, 3
+        li   a0, 1
+        li   v0, 2
+        sys
+        li   a0, 2
+        li   v0, 2
+        la   a1, msg
+        li   a2, 3
+        sys
+        clr  t9
+        .data
+msg:    .ascii "abc"
+        """)
+        assert result.stdout == b"abc" and result.stderr == b"abc"
+
+    def test_file_write_and_read_back(self):
+        result = run_asm("""
+        la   a0, name
+        li   a1, 1          # O_WRONLY (create)
+        li   v0, 4          # open
+        sys
+        mov  v0, s0
+        mov  s0, a0
+        la   a1, msg
+        li   a2, 5
+        li   v0, 2          # write
+        sys
+        mov  s0, a0
+        li   v0, 5          # close
+        sys
+        clr  t9
+        .data
+name:   .asciiz "out.txt"
+msg:    .ascii "hello"
+        """)
+        assert result.files["out.txt"] == b"hello"
+
+    def test_read_stdin(self):
+        result = run_asm("""
+        lda  sp, -16(sp)
+        clr  a0             # fd 0
+        mov  sp, a1
+        li   a2, 4
+        li   v0, 3          # read
+        sys
+        ldbu t9, 0(sp)
+        """, stdin=b"Q")
+        assert result.status == ord("Q")
+
+    def test_sbrk(self):
+        result = run_asm("""
+        li   a0, 4096
+        li   v0, 6          # sbrk
+        sys
+        mov  v0, s0         # old break
+        li   t0, 7
+        stq  t0, 0(s0)      # newly mapped page is writable
+        ldq  t9, 0(s0)
+        addq t9, 35, t9
+        """)
+        assert result.status == 42
+
+    def test_open_missing_file_fails(self):
+        result = run_asm("""
+        la   a0, name
+        clr  a1             # O_RDONLY
+        li   v0, 4
+        sys
+        blt  v0, failed
+        li   t9, 0
+        br   out
+failed: li   t9, 1
+out:
+        .data
+name:   .asciiz "no-such-file"
+        """)
+        assert result.status == 1
+
+    def test_preloaded_file_readable(self):
+        result = run_asm("""
+        lda  sp, -16(sp)
+        la   a0, name
+        clr  a1
+        li   v0, 4
+        sys
+        mov  v0, a0
+        mov  sp, a1
+        li   a2, 1
+        li   v0, 3
+        sys
+        ldbu t9, 0(sp)
+        .data
+name:   .asciiz "in.dat"
+        """, preload_files={"in.dat": b"Z"})
+        assert result.status == ord("Z")
+
+
+class TestProcessModel:
+    def test_argv_on_stack(self):
+        result = run_asm("""
+        # a0=argc a1=argv were set by the loader; crt-less test reads them.
+        mov  a0, t9
+        """, args=("x", "y"))
+        assert result.status == 3
+
+    def test_stack_below_text(self):
+        mod = link([assemble(".globl __start\n__start: mov sp, a0\n"
+                             "li v0, 1\n sys", "t.s")])
+        result = run_module(mod)
+        assert result.status == result.initial_sp & 0xFF
+        assert result.initial_sp % 16 == 0
+        assert result.initial_sp < 0x0010_0000   # stack below text base
+
+    def test_cycles_accumulate(self):
+        r1 = expect("clr t9", 0)
+        r2 = expect("clr t9\n nop\n nop", 0)
+        assert r2.cycles > r1.cycles
+        assert r2.inst_count == r1.inst_count + 2

@@ -1,0 +1,123 @@
+"""Kernel model tests: descriptors, dual break pointers, error codes."""
+
+import pytest
+
+from repro.machine.memory import Memory
+from repro.machine.syscalls import (O_APPEND, O_RDONLY, O_WRONLY,
+                                    SYS_CLOSE, SYS_CYCLES, SYS_EXIT,
+                                    SYS_OPEN, SYS_READ, SYS_SBRK,
+                                    SYS_SBRK2, SYS_WRITE, ExitProgram,
+                                    Kernel, SyscallError)
+
+
+@pytest.fixture
+def kernel():
+    mem = Memory()
+    mem.map_region(0x1000, 0x10000, "data")
+    mem.map_region(0x100000, 0, "heap")
+    k = Kernel(mem)
+    k.brk = 0x100000
+    return k
+
+
+def call(kernel, num, *args):
+    padded = tuple(args) + (0,) * (6 - len(args))
+    return kernel.syscall(num, padded, cycles=123)
+
+
+def put_string(kernel, addr, text):
+    kernel.memory.write(addr, text.encode() + b"\x00")
+
+
+class TestFiles:
+    def test_write_read_roundtrip(self, kernel):
+        put_string(kernel, 0x1000, "f.dat")
+        fd = call(kernel, SYS_OPEN, 0x1000, O_WRONLY)
+        assert fd >= 3
+        kernel.memory.write(0x2000, b"hello")
+        assert call(kernel, SYS_WRITE, fd, 0x2000, 5) == 5
+        assert call(kernel, SYS_CLOSE, fd) == 0
+        fd = call(kernel, SYS_OPEN, 0x1000, O_RDONLY)
+        n = call(kernel, SYS_READ, fd, 0x3000, 16)
+        assert n == 5
+        assert kernel.memory.read(0x3000, 5) == b"hello"
+
+    def test_read_from_missing_file(self, kernel):
+        put_string(kernel, 0x1000, "ghost")
+        fd = call(kernel, SYS_OPEN, 0x1000, O_RDONLY)
+        assert fd > (1 << 63)         # negative errno as u64
+
+    def test_append_mode(self, kernel):
+        put_string(kernel, 0x1000, "log")
+        kernel.memory.write(0x2000, b"abdef")
+        fd = call(kernel, SYS_OPEN, 0x1000, O_WRONLY)
+        call(kernel, SYS_WRITE, fd, 0x2000, 2)
+        call(kernel, SYS_CLOSE, fd)
+        fd = call(kernel, SYS_OPEN, 0x1000, O_APPEND)
+        call(kernel, SYS_WRITE, fd, 0x2002, 3)
+        call(kernel, SYS_CLOSE, fd)
+        assert bytes(kernel.files["log"]) == b"abdef"
+
+    def test_write_to_read_only_fd_fails(self, kernel):
+        put_string(kernel, 0x1000, "r.dat")
+        kernel.files["r.dat"] = bytearray(b"x")
+        fd = call(kernel, SYS_OPEN, 0x1000, O_RDONLY)
+        result = call(kernel, SYS_WRITE, fd, 0x2000, 1)
+        assert result > (1 << 63)
+
+    def test_bad_fd(self, kernel):
+        assert call(kernel, SYS_WRITE, 42, 0x2000, 1) > (1 << 63)
+        assert call(kernel, SYS_READ, 42, 0x2000, 1) > (1 << 63)
+
+    def test_stdout_stderr_capture(self, kernel):
+        kernel.memory.write(0x2000, b"out")
+        call(kernel, SYS_WRITE, 1, 0x2000, 3)
+        call(kernel, SYS_WRITE, 2, 0x2000, 3)
+        assert bytes(kernel.stdout) == b"out"
+        assert bytes(kernel.stderr) == b"out"
+
+    def test_stdin(self, kernel):
+        kernel.stdin = b"input!"
+        n = call(kernel, SYS_READ, 0, 0x2000, 4)
+        assert n == 4
+        assert kernel.memory.read(0x2000, 4) == b"inpu"
+        n = call(kernel, SYS_READ, 0, 0x2000, 100)
+        assert n == 2
+
+
+class TestHeap:
+    def test_sbrk_returns_old_break(self, kernel):
+        old = call(kernel, SYS_SBRK, 64)
+        assert old == 0x100000
+        assert call(kernel, SYS_SBRK, 0) == 0x100040
+        kernel.memory.write_u8(0x100000, 7)   # newly mapped
+
+    def test_sbrk2_partitioned(self, kernel):
+        base = 0x200000
+        old = call(kernel, SYS_SBRK2, 128, base)
+        assert old == base
+        assert call(kernel, SYS_SBRK2, 0, 0) == base + 128
+        kernel.memory.write_u8(base, 1)
+        # The two breaks are independent.
+        assert call(kernel, SYS_SBRK, 0) == 0x100000
+
+    def test_negative_sbrk(self, kernel):
+        call(kernel, SYS_SBRK, 4096)
+        old = call(kernel, SYS_SBRK, -4096 & ((1 << 64) - 1))
+        assert old == 0x101000
+        assert call(kernel, SYS_SBRK, 0) == 0x100000
+
+
+class TestMisc:
+    def test_exit_raises(self, kernel):
+        with pytest.raises(ExitProgram) as info:
+            call(kernel, SYS_EXIT, 3)
+        assert info.value.status == 3
+        assert kernel.exit_status == 3
+
+    def test_cycles_reports_counter(self, kernel):
+        assert call(kernel, SYS_CYCLES) == 123
+
+    def test_unknown_syscall(self, kernel):
+        with pytest.raises(SyscallError):
+            call(kernel, 999)

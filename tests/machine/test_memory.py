@@ -1,0 +1,97 @@
+"""Sparse memory: mapping, typed access, faults, strings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.memory import Memory, MemoryFault, PAGE_SIZE
+
+
+def mapped():
+    mem = Memory()
+    mem.map_region(0x1000, 0x10000, "r")
+    return mem
+
+
+def test_unmapped_access_faults():
+    mem = Memory()
+    with pytest.raises(MemoryFault):
+        mem.read_u8(0x1000)
+    with pytest.raises(MemoryFault):
+        mem.write_u8(0x1000, 1)
+
+
+def test_access_past_region_end_faults():
+    mem = mapped()
+    mem.read_uint(0x1000 + 0x10000 - 8, 8)
+    with pytest.raises(MemoryFault):
+        mem.read_uint(0x1000 + 0x10000 - 4, 8)
+
+
+def test_byte_roundtrip():
+    mem = mapped()
+    mem.write_u8(0x1234, 0xAB)
+    assert mem.read_u8(0x1234) == 0xAB
+
+
+@given(addr=st.integers(min_value=0x1000, max_value=0x10F00),
+       value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+       size=st.sampled_from([1, 2, 4, 8]))
+def test_uint_roundtrip(addr, value, size):
+    mem = mapped()
+    mem.write_uint(addr, value, size)
+    assert mem.read_uint(addr, size) == value & ((1 << (8 * size)) - 1)
+
+
+def test_cross_page_access():
+    mem = Memory()
+    mem.map_region(0, 4 * PAGE_SIZE, "r")
+    addr = PAGE_SIZE - 3
+    mem.write_uint(addr, 0x1122334455667788, 8)
+    assert mem.read_uint(addr, 8) == 0x1122334455667788
+    blob = bytes(range(100)) * 100
+    mem.write(PAGE_SIZE - 50, blob)
+    assert mem.read(PAGE_SIZE - 50, len(blob)) == blob
+
+
+def test_extend_region():
+    mem = Memory()
+    mem.map_region(0x1000, 0, "heap")
+    with pytest.raises(MemoryFault):
+        mem.read_u8(0x1000)
+    mem.extend_region("heap", 0x2000)
+    mem.write_u8(0x1800, 7)
+    assert mem.read_u8(0x1800) == 7
+    with pytest.raises(KeyError):
+        mem.extend_region("nothere", 0x3000)
+
+
+def test_region_lookup():
+    mem = mapped()
+    region = mem.region_at(0x1000)
+    assert region is not None and region.label == "r"
+    assert mem.region_at(0x999) is None
+
+
+def test_cstring():
+    mem = mapped()
+    mem.write(0x2000, b"hello\x00world")
+    assert mem.read_cstring(0x2000) == b"hello"
+    mem.write(0x3000, b"\x00")
+    assert mem.read_cstring(0x3000) == b""
+
+
+def test_unterminated_cstring_faults():
+    mem = Memory()
+    mem.map_region(0, PAGE_SIZE, "r")
+    mem.write(0, b"\x01" * PAGE_SIZE)
+    with pytest.raises(MemoryFault):
+        mem.read_cstring(0, limit=PAGE_SIZE // 2)
+
+
+def test_unaligned_access_allowed():
+    """Unaligned accesses work (the unalign tool detects them, the
+    hardware model does not forbid them)."""
+    mem = mapped()
+    mem.write_uint(0x1001, 0xDEADBEEF, 4)
+    assert mem.read_uint(0x1001, 4) == 0xDEADBEEF

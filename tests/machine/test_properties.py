@@ -1,0 +1,163 @@
+"""Property tests: the CPU against an independent reference model.
+
+Hypothesis generates random straight-line operate/memory instruction
+sequences; a tiny Python interpreter predicts the machine state, and the
+real machine must agree on every register.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import encoding, opcodes, registers as R
+from repro.isa.instruction import Instruction
+from repro.machine.costmodel import DEFAULT
+from repro.machine.cpu import Cpu
+from repro.machine.memory import Memory
+from repro.machine.syscalls import Kernel
+
+MASK = (1 << 64) - 1
+
+# Registers random programs may touch (no sp/gp/ra plumbing needed).
+REGS = [R.T0, R.T1, R.T2, R.T3, R.V0, R.A0, R.A1, R.S0]
+
+OPERATE_OPS = [opcodes.ADDQ, opcodes.SUBQ, opcodes.MULQ, opcodes.AND,
+               opcodes.BIS, opcodes.XOR, opcodes.BIC, opcodes.ORNOT,
+               opcodes.SLL, opcodes.SRL, opcodes.SRA, opcodes.CMPEQ,
+               opcodes.CMPLT, opcodes.CMPLE, opcodes.CMPULT,
+               opcodes.CMPULE, opcodes.SEXTB, opcodes.SEXTW,
+               opcodes.SEXTL, opcodes.UMULH]
+
+reg = st.sampled_from(REGS)
+
+operate = st.builds(
+    lambda op, ra, rb, rc, lit, is_lit: Instruction(
+        op, ra=ra, rb=rb, rc=rc, lit=lit, is_lit=is_lit),
+    op=st.sampled_from(OPERATE_OPS), ra=reg, rb=reg, rc=reg,
+    lit=st.integers(min_value=0, max_value=255), is_lit=st.booleans())
+
+lda = st.builds(
+    lambda ra, disp: Instruction(opcodes.LDA, ra=ra, rb=R.ZERO, disp=disp),
+    ra=reg, disp=st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1))
+
+program = st.lists(st.one_of(operate, lda), min_size=1, max_size=40)
+
+
+def _signed(v):
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+def reference(insts, init):
+    regs = dict(init)
+
+    def get(n):
+        return 0 if n == R.ZERO else regs.get(n, 0)
+
+    for inst in insts:
+        op = inst.op
+        if op is opcodes.LDA:
+            value = inst.disp & MASK
+        else:
+            a = get(inst.ra)
+            b = inst.lit if inst.is_lit else get(inst.rb)
+            name = op.mnemonic
+            if name == "addq":
+                value = (a + b) & MASK
+            elif name == "subq":
+                value = (a - b) & MASK
+            elif name == "mulq":
+                value = (a * b) & MASK
+            elif name == "and":
+                value = a & b
+            elif name == "bis":
+                value = a | b
+            elif name == "xor":
+                value = a ^ b
+            elif name == "bic":
+                value = a & ~b & MASK
+            elif name == "ornot":
+                value = (a | ~b) & MASK
+            elif name == "sll":
+                value = (a << (b & 63)) & MASK
+            elif name == "srl":
+                value = a >> (b & 63)
+            elif name == "sra":
+                value = (_signed(a) >> (b & 63)) & MASK
+            elif name == "cmpeq":
+                value = int(a == b)
+            elif name == "cmplt":
+                value = int(_signed(a) < _signed(b))
+            elif name == "cmple":
+                value = int(_signed(a) <= _signed(b))
+            elif name == "cmpult":
+                value = int(a < b)
+            elif name == "cmpule":
+                value = int(a <= b)
+            elif name == "sextb":
+                value = (b & 0xFF) | (MASK ^ 0xFF) if b & 0x80 else b & 0xFF
+            elif name == "sextw":
+                value = (b & 0xFFFF) | (MASK ^ 0xFFFF) if b & 0x8000 \
+                    else b & 0xFFFF
+            elif name == "sextl":
+                value = (b & 0xFFFFFFFF) | (MASK ^ 0xFFFFFFFF) \
+                    if b & 0x80000000 else b & 0xFFFFFFFF
+            elif name == "umulh":
+                value = (a * b) >> 64
+            else:  # pragma: no cover
+                raise AssertionError(name)
+        if inst.ra != R.ZERO or op is not opcodes.LDA:
+            target = inst.ra if op is opcodes.LDA else inst.rc
+            if target != R.ZERO:
+                regs[target] = value & MASK
+    return regs
+
+
+def run_machine(insts, init):
+    text_base = 0x1000
+    body = list(insts)
+    # Exit: status irrelevant; halt guards the end.
+    body.append(Instruction(opcodes.LDA, ra=R.V0, rb=R.ZERO, disp=1))
+    body.append(Instruction(opcodes.SYS))
+    memory = Memory()
+    blob = encoding.encode_stream(body)
+    memory.map_region(text_base, len(blob), "text")
+    memory.write(text_base, blob)
+    kernel = Kernel(memory)
+    cpu = Cpu(memory, kernel, text_base, blob, DEFAULT)
+    for n, v in init.items():
+        cpu.regs[n] = v
+    try:
+        cpu.run(text_base)
+    except Exception:
+        pass
+    return cpu
+
+
+@settings(max_examples=120, deadline=None)
+@given(insts=program,
+       seed=st.lists(st.integers(min_value=0, max_value=MASK),
+                     min_size=len(REGS), max_size=len(REGS)))
+def test_machine_matches_reference(insts, seed):
+    init = dict(zip(REGS, seed))
+    expected = reference(insts, init)
+    cpu = run_machine(insts, init)
+    for n in REGS:
+        if n == R.V0:
+            continue            # clobbered by the exit sequence
+        want = expected.get(n, init.get(n, 0))
+        assert cpu.regs[n] == want, \
+            f"reg {R.reg_name(n)}: machine {cpu.regs[n]:#x} != " \
+            f"model {want:#x}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(insts=program,
+       seed=st.lists(st.integers(min_value=0, max_value=MASK),
+                     min_size=len(REGS), max_size=len(REGS)))
+def test_encode_decode_preserves_semantics(insts, seed):
+    """Round-tripping a program through binary changes nothing."""
+    init = dict(zip(REGS, seed))
+    decoded = encoding.decode_stream(encoding.encode_stream(insts))
+    a = run_machine(insts, init)
+    b = run_machine(decoded, init)
+    assert a.regs == b.regs
+    assert a.cycles == b.cycles

@@ -1,0 +1,17 @@
+import pytest
+
+from repro.machine import run_module
+from repro.mlc import build_executable
+
+
+@pytest.fixture
+def run_c():
+    """Compile an MLC program (with libc) and run it."""
+
+    def runner(source: str, *, stdin: bytes = b"", args=(),
+               preload_files=None, max_insts=50_000_000):
+        exe = build_executable([source])
+        return run_module(exe, stdin=stdin, args=tuple(args),
+                          preload_files=preload_files or {},
+                          max_insts=max_insts)
+    return runner

@@ -1,0 +1,199 @@
+"""MLC front-end unit tests: lexer, parser, and checker diagnostics."""
+
+import pytest
+
+from repro.mlc import MlcError, compile_source, compile_to_asm
+from repro.mlc.check import CheckError, check
+from repro.mlc.lexer import LexError, Token, tokenize
+from repro.mlc.parser import ParseError, const_eval, parse
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize("int x = 42; // comment\nchar *s = \"hi\";")
+        kinds = [(t.kind, t.text) for t in toks if t.kind != "eof"]
+        assert ("kw", "int") in kinds
+        assert ("id", "x") in kinds
+        assert ("op", "=") in kinds
+        assert ("op", ";") in kinds
+
+    def test_numbers(self):
+        toks = tokenize("10 0x1F 017 42L 7u")
+        values = [t.value for t in toks if t.kind == "int"]
+        assert values == [10, 31, 15, 42, 7]
+
+    def test_char_literals(self):
+        toks = tokenize(r"'a' '\n' '\\' '\x41' '\0'")
+        values = [t.value for t in toks if t.kind == "int"]
+        assert values == [97, 10, 92, 65, 0]
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\tb\n\x21"')
+        assert toks[0].value == b"a\tb\n\x21"
+
+    def test_block_comment(self):
+        toks = tokenize("a /* lots \n of \n lines */ b")
+        assert [t.text for t in toks if t.kind == "id"] == ["a", "b"]
+        assert toks[1].line == 3      # line numbers survive comments
+
+    def test_maximal_munch(self):
+        toks = tokenize("a+++b <<= c")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["++", "+", "<<="]
+
+    def test_errors(self):
+        with pytest.raises(LexError):
+            tokenize('"unterminated')
+        with pytest.raises(LexError):
+            tokenize("/* unterminated")
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestParser:
+    def test_const_eval(self):
+        def ev(src):
+            prog = parse(f"long x[{src}];")
+            return prog.decls[0].var_type.length
+        assert ev("3 + 4 * 2") == 11
+        assert ev("1 << 6") == 64
+        assert ev("sizeof(long) * 4") == 32
+        assert ev("10 / 3") == 3
+        assert ev("1 ? 5 : 9") == 5
+
+    def test_declarator_shapes(self):
+        prog = parse("""
+        long a;
+        long *b;
+        long c[4];
+        long *d[4];
+        long (*e)(long);
+        long (*f[2])(void);
+        """)
+        types = [str(d.var_type) for d in prog.decls]
+        assert types[0] == "long"
+        assert types[1] == "long*"
+        assert types[2] == "long[4]"
+        assert types[3] == "long*[4]"
+        assert "(" in types[4]            # function pointer
+        assert types[5].endswith("[2]")
+
+    def test_precedence_tree(self):
+        from repro.mlc import astnodes as A
+        prog = parse("long x[1 + 2 * 3];")
+        assert prog.decls[0].var_type.length == 7
+
+    def test_errors(self):
+        for bad in ("int f( {",
+                    "int f() { return }",
+                    "int f() { if }",
+                    "struct { long x; } v;"):
+            with pytest.raises((ParseError, LexError)):
+                parse(bad)
+
+    def test_struct_redefinition_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct S { long a; }; struct S { long b; };")
+
+
+class TestChecker:
+    def run(self, src):
+        return check(parse(src))
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(CheckError, match="undeclared"):
+            self.run("int main() { return missing; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(CheckError, match="redeclaration"):
+            self.run("int main() { long x; long x; return 0; }")
+
+    def test_scopes_nest(self):
+        self.run("""
+        int main() {
+            long x = 1;
+            { long x = 2; }
+            return (int)x;
+        }
+        """)
+
+    def test_call_arity(self):
+        with pytest.raises(CheckError, match="args"):
+            self.run("long f(long a) { return a; } "
+                     "int main() { return (int)f(1, 2); }")
+
+    def test_call_non_function(self):
+        with pytest.raises(CheckError, match="callable"):
+            self.run("int main() { long x = 1; return (int)x(); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CheckError, match="break"):
+            self.run("int main() { break; return 0; }")
+
+    def test_void_return_mismatch(self):
+        with pytest.raises(CheckError):
+            self.run("void f() { return 1; }")
+        with pytest.raises(CheckError):
+            self.run("long f() { return; }")
+
+    def test_lvalue_required(self):
+        with pytest.raises(CheckError, match="lvalue"):
+            self.run("int main() { 1 = 2; return 0; }")
+        with pytest.raises(CheckError, match="lvalue"):
+            self.run("int main() { long a = 0; (a + 1)++; return 0; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CheckError, match="dereference"):
+            self.run("int main() { long a = 0; return (int)*a; }")
+
+    def test_member_of_non_struct(self):
+        with pytest.raises(CheckError):
+            self.run("int main() { long a = 0; return (int)a.x; }")
+
+    def test_unknown_member(self):
+        with pytest.raises(Exception, match="member"):
+            self.run("struct S { long a; }; "
+                     "int main() { struct S s; return (int)s.b; }")
+
+    def test_va_start_outside_variadic(self):
+        with pytest.raises(CheckError, match="variadic"):
+            self.run("int main() { long *p = __va_start(); return 0; }")
+
+    def test_global_redefinition(self):
+        with pytest.raises(CheckError, match="redefined"):
+            self.run("long g = 1; long g = 2;")
+        # extern + definition is fine, in either order.
+        self.run("extern long g; long g = 1;")
+        self.run("long g = 1; extern long g;")
+
+    def test_function_redefinition(self):
+        with pytest.raises(CheckError, match="redefined"):
+            self.run("long f() { return 1; } long f() { return 2; }")
+
+    def test_incomplete_struct_variable(self):
+        with pytest.raises(CheckError, match="incomplete"):
+            self.run("struct Later; int main() "
+                     "{ struct Later x; return 0; }")
+
+
+class TestDriver:
+    def test_error_carries_source_name(self):
+        with pytest.raises(MlcError, match="bad.mlc"):
+            compile_source("int main() { return missing; }", "bad.mlc")
+
+    def test_prelude_line_numbers_adjusted(self):
+        try:
+            compile_to_asm("\nint main() { return missing; }", "x.mlc")
+        except MlcError as exc:
+            assert "line 2" in str(exc)
+        else:
+            pytest.fail("expected MlcError")
+
+    def test_asm_output_shape(self):
+        asm = compile_to_asm("long g = 7; int main() { return (int)g; }")
+        assert "\t.ent main" in asm
+        assert "\t.globl main" in asm
+        assert "\t.frame " in asm
+        assert "g:" in asm and "\t.quad 7" in asm

@@ -1,0 +1,596 @@
+"""End-to-end MLC language tests: compile, link, run, check output."""
+
+
+class TestBasics:
+    def test_return_status(self, run_c):
+        assert run_c("int main() { return 42; }").status == 42
+
+    def test_arithmetic(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long a = 7, b = 3;
+            printf("%d %d %d %d %d\n", a + b, a - b, a * b, a / b, a % b);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "10 4 21 2 1\n"
+
+    def test_precedence_and_parens(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d\n", 2 + 3 * 4 - (1 << 2) / 2);
+            printf("%d\n", (2 + 3) * 4);
+            printf("%d\n", 10 - 4 - 3);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "12\n20\n3\n"
+
+    def test_negative_numbers(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x = -5;
+            printf("%d %d %d\n", x, -x, x * -3);
+            printf("%d %d\n", -7 / 2, -7 % 2);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "-5 5 15\n-3 -1\n"
+
+    def test_bitwise(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d %d %d %d\n", 12 & 10, 12 | 10, 12 ^ 10, ~0 & 255);
+            printf("%d %d\n", 1 << 10, 1024 >> 3);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "8 14 6 255\n1024 128\n"
+
+    def test_comparisons(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d%d%d%d%d%d\n", 1 < 2, 2 <= 2, 3 > 2, 2 >= 3,
+                   5 == 5, 5 != 5);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "111010\n"
+
+    def test_unsigned_comparison(self, run_c):
+        r = run_c(r"""
+        int main() {
+            unsigned long big = -1;
+            long small = 5;
+            printf("%d\n", big > (unsigned long)small);
+            printf("%d\n", (long)big > small);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "1\n0\n"
+
+    def test_logical_short_circuit(self, run_c):
+        r = run_c(r"""
+        long calls;
+        long bump() { calls++; return 1; }
+        int main() {
+            long r = 0 && bump();
+            r = r + (1 || bump());
+            printf("r=%d calls=%d\n", r, calls);
+            printf("%d %d\n", 1 && 2, 0 || 0);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "r=1 calls=0\n1 0\n"
+
+    def test_ternary(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x = 5;
+            printf("%s\n", x > 3 ? "big" : "small");
+            printf("%d\n", x < 3 ? 1 : 2);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "big\n2\n"
+
+    def test_comma_operator(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long a, b;
+            a = (b = 3, b + 1);
+            printf("%d %d\n", a, b);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "4 3\n"
+
+
+class TestControlFlow:
+    def test_if_else_chain(self, run_c):
+        r = run_c(r"""
+        char *grade(long score) {
+            if (score >= 90) return "A";
+            else if (score >= 80) return "B";
+            else if (score >= 70) return "C";
+            else return "F";
+        }
+        int main() {
+            printf("%s%s%s%s\n", grade(95), grade(85), grade(75), grade(10));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "ABCF\n"
+
+    def test_while_break_continue(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long i = 0, sum = 0;
+            while (1) {
+                i++;
+                if (i > 10) break;
+                if (i % 2) continue;
+                sum += i;
+            }
+            printf("%d\n", sum);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "30\n"
+
+    def test_do_while(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long i = 10, n = 0;
+            do { n++; i--; } while (i > 0);
+            printf("%d\n", n);
+            do { n++; } while (0);
+            printf("%d\n", n);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "10\n11\n"
+
+    def test_nested_for(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long i, j, total = 0;
+            for (i = 0; i < 5; i++)
+                for (j = 0; j <= i; j++)
+                    total += j;
+            printf("%d\n", total);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "20\n"
+
+    def test_switch(self, run_c):
+        r = run_c(r"""
+        char *name(long op) {
+            switch (op) {
+            case 1: return "add";
+            case 2: return "sub";
+            case 100: return "mul";
+            default: return "?";
+            }
+        }
+        int main() {
+            printf("%s %s %s %s\n", name(1), name(2), name(100), name(7));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "add sub mul ?\n"
+
+    def test_switch_fallthrough(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x = 2, n = 0;
+            switch (x) {
+            case 1: n += 1;
+            case 2: n += 2;
+            case 3: n += 4; break;
+            case 4: n += 8;
+            }
+            printf("%d\n", n);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "6\n"
+
+    def test_for_with_decl(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long sum = 0;
+            for (long i = 0; i < 4; i++) sum += i;
+            printf("%d\n", sum);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "6\n"
+
+
+class TestFunctions:
+    def test_recursion(self, run_c):
+        r = run_c(r"""
+        long fact(long n) { return n <= 1 ? 1 : n * fact(n - 1); }
+        int main() { printf("%d\n", fact(10)); return 0; }
+        """)
+        assert r.output_text() == "3628800\n"
+
+    def test_mutual_recursion(self, run_c):
+        r = run_c(r"""
+        long is_odd(long n);
+        long is_even(long n) { return n == 0 ? 1 : is_odd(n - 1); }
+        long is_odd(long n) { return n == 0 ? 0 : is_even(n - 1); }
+        int main() {
+            printf("%d %d %d\n", is_even(10), is_odd(10), is_odd(7));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "1 0 1\n"
+
+    def test_many_arguments_stack_passing(self, run_c):
+        r = run_c(r"""
+        long sum9(long a, long b, long c, long d, long e,
+                  long f, long g, long h, long i) {
+            return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h + 9*i;
+        }
+        int main() {
+            printf("%d\n", sum9(1, 2, 3, 4, 5, 6, 7, 8, 9));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "285\n"
+
+    def test_function_pointer(self, run_c):
+        r = run_c(r"""
+        long add(long a, long b) { return a + b; }
+        long sub(long a, long b) { return a - b; }
+        int main() {
+            long (*op)(long, long);
+            op = add;
+            printf("%d ", op(10, 4));
+            op = sub;
+            printf("%d\n", (*op)(10, 4));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "14 6\n"
+
+    def test_function_pointer_table(self, run_c):
+        r = run_c(r"""
+        long add(long a, long b) { return a + b; }
+        long sub(long a, long b) { return a - b; }
+        long mul(long a, long b) { return a * b; }
+        long (*ops[3])(long, long) = { add, sub, mul };
+        int main() {
+            long i;
+            for (i = 0; i < 3; i++) printf("%d ", ops[i](8, 2));
+            printf("\n");
+            return 0;
+        }
+        """)
+        assert r.output_text() == "10 6 16 \n"
+
+    def test_void_function(self, run_c):
+        r = run_c(r"""
+        long counter;
+        void bump(void) { counter += 7; }
+        int main() { bump(); bump(); printf("%d\n", counter); return 0; }
+        """)
+        assert r.output_text() == "14\n"
+
+    def test_expression_temps_across_calls(self, run_c):
+        r = run_c(r"""
+        long f(long x) { return x * 2; }
+        int main() {
+            long a = 3;
+            printf("%d\n", a + f(a) + a * f(a + 1));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "33\n"
+
+    def test_deeply_nested_expression(self, run_c):
+        # Forces temp-stack spilling past the 12-register pool.
+        terms = "+".join(f"(a{i}*2)" for i in range(14))
+        decls = "".join(f"long a{i} = {i + 1};" for i in range(14))
+        r = run_c("int main() { %s printf(\"%%d\\n\", ((((((((((((((%s))))))))))))))); return 0; }"
+                  % (decls, terms))
+        assert r.output_text() == str(sum(2 * (i + 1) for i in range(14))) + "\n"
+
+
+class TestPointersArrays:
+    def test_array_basics(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long a[5];
+            long i, sum = 0;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            for (i = 0; i < 5; i++) sum += a[i];
+            printf("%d\n", sum);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "30\n"
+
+    def test_pointer_arith(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long a[4];
+            long *p = a;
+            a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+            printf("%d %d %d\n", *p, *(p + 2), p[3]);
+            p++;
+            printf("%d %d\n", *p, (long)(p - a));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "10 30 40\n20 1\n"
+
+    def test_pointer_diff(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long a[10];
+            long *p = &a[7];
+            long *q = &a[2];
+            printf("%d\n", p - q);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "5\n"
+
+    def test_char_pointers_and_strings(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char *s = "hello";
+            long n = 0;
+            while (*s) { n++; s++; }
+            printf("%d %d\n", n, strlen("world!"));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "5 6\n"
+
+    def test_2d_array(self, run_c):
+        r = run_c(r"""
+        long m[3][4];
+        int main() {
+            long i, j, sum = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            for (i = 0; i < 3; i++) sum += m[i][3];
+            printf("%d %d\n", sum, sizeof(m));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "39 96\n"
+
+    def test_pointer_to_pointer(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x = 42;
+            long *p = &x;
+            long **pp = &p;
+            **pp = 43;
+            printf("%d\n", x);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "43\n"
+
+    def test_argv(self, run_c):
+        r = run_c(r"""
+        int main(int argc, char **argv) {
+            long i;
+            for (i = 1; i < argc; i++) printf("[%s]", argv[i]);
+            printf("\n");
+            return 0;
+        }
+        """, args=("alpha", "beta"))
+        assert r.output_text() == "[alpha][beta]\n"
+
+    def test_global_array_initializer(self, run_c):
+        r = run_c(r"""
+        long primes[5] = { 2, 3, 5, 7, 11 };
+        char *names[3] = { "one", "two", "three" };
+        int main() {
+            printf("%d %s\n", primes[4], names[1]);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "11 two\n"
+
+
+class TestStructs:
+    def test_struct_members(self, run_c):
+        r = run_c(r"""
+        struct Point { long x; long y; };
+        int main() {
+            struct Point p;
+            p.x = 3; p.y = 4;
+            printf("%d\n", p.x * p.x + p.y * p.y);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "25\n"
+
+    def test_struct_pointer_arrow(self, run_c):
+        r = run_c(r"""
+        struct Node { long value; struct Node *next; };
+        int main() {
+            struct Node a, b;
+            a.value = 1; a.next = &b;
+            b.value = 2; b.next = 0;
+            printf("%d %d\n", a.next->value, a.next->next == 0);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "2 1\n"
+
+    def test_array_of_structs(self, run_c):
+        """The paper's branch-statistics pattern: bstats[n].taken++."""
+        r = run_c(r"""
+        struct BranchInfo { long taken; long notTaken; };
+        struct BranchInfo *bstats;
+        int main() {
+            long i;
+            bstats = (struct BranchInfo *)
+                malloc(4 * sizeof(struct BranchInfo));
+            for (i = 0; i < 4; i++) {
+                bstats[i].taken = 0;
+                bstats[i].notTaken = 0;
+            }
+            bstats[2].taken++;
+            bstats[2].taken++;
+            bstats[2].notTaken++;
+            printf("%d %d\n", bstats[2].taken, bstats[2].notTaken);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "2 1\n"
+
+    def test_linked_list(self, run_c):
+        r = run_c(r"""
+        struct Node { long value; struct Node *next; };
+        int main() {
+            struct Node *head = 0;
+            struct Node *n;
+            long i, sum = 0;
+            for (i = 0; i < 5; i++) {
+                n = (struct Node *)malloc(sizeof(struct Node));
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            for (n = head; n; n = n->next) sum = sum * 10 + n->value;
+            printf("%d\n", sum);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "43210\n"
+
+    def test_struct_layout_alignment(self, run_c):
+        r = run_c(r"""
+        struct Mixed { char c; long q; int i; };
+        int main() {
+            printf("%d\n", sizeof(struct Mixed));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "24\n"
+
+    def test_typedef(self, run_c):
+        r = run_c(r"""
+        struct Pair_ { long a; long b; };
+        typedef struct Pair_ Pair;
+        typedef long Number;
+        int main() {
+            Pair p;
+            Number n = 5;
+            p.a = n; p.b = n * 2;
+            printf("%d %d\n", p.a, p.b);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "5 10\n"
+
+
+class TestTypesAndCasts:
+    def test_char_signedness(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char c = -1;
+            unsigned char u = -1;
+            printf("%d %d\n", (long)c, (long)u);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "-1 255\n"
+
+    def test_int_truncation_via_memory(self, run_c):
+        r = run_c(r"""
+        int main() {
+            int x;
+            x = 0x1_0000_0005;   // doesn't fit in int
+            printf("%d\n", x);
+            return 0;
+        }
+        """.replace("_", ""))
+        assert r.output_text() == "5\n"
+
+    def test_short_roundtrip(self, run_c):
+        r = run_c(r"""
+        int main() {
+            short s = -2;
+            unsigned short u = 0xFFFE;
+            printf("%d %d\n", (long)s, (long)u);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "-2 65534\n"
+
+    def test_cast_truncations(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long v = 0x1234567890;
+            printf("%x %x %x\n", (long)(unsigned char)v,
+                   (long)(unsigned short)v, (unsigned long)(unsigned int)v);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "90 7890 34567890\n"
+
+    def test_sizeof(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x;
+            printf("%d %d %d %d %d %d\n", sizeof(char), sizeof(short),
+                   sizeof(int), sizeof(long), sizeof(char *), sizeof x);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "1 2 4 8 8 8\n"
+
+    def test_increment_decrement(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x = 5;
+            printf("%d ", x++);
+            printf("%d ", x);
+            printf("%d ", ++x);
+            printf("%d ", x--);
+            printf("%d\n", --x);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "5 6 7 7 5\n"
+
+    def test_compound_assignment(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long x = 10;
+            x += 5; x -= 3; x *= 4; x /= 2; x %= 13;
+            x <<= 2; x >>= 1; x |= 8; x &= 14; x ^= 5;
+            printf("%d\n", x);
+            return 0;
+        }
+        """)
+        x = 10
+        x += 5; x -= 3; x *= 4; x //= 2; x %= 13
+        x <<= 2; x >>= 1; x |= 8; x &= 14; x ^= 5
+        assert r.output_text() == f"{x}\n"
+
+    def test_pointer_compound_assignment(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long a[5];
+            long *p = a;
+            a[3] = 99;
+            p += 3;
+            printf("%d\n", *p);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "99\n"

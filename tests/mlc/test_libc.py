@@ -1,0 +1,344 @@
+"""Runtime library tests: stdio, strings, heap, varargs, syscall surface."""
+
+
+class TestPrintf:
+    def test_basic_directives(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d|%u|%x|%X|%o|%c|%s|%%|%p\n",
+                   -42, 42, 255, 255, 8, 'Z', "str", (void *)0x10);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "-42|42|ff|FF|10|Z|str|%|0x10\n"
+
+    def test_width_and_flags(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("[%5d][%-5d][%05d]\n", 42, 42, 42);
+            printf("[%8x]\n", 0xbeef);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "[   42][42   ][00042]\n[    beef]\n"
+
+    def test_unsigned_full_range(self, run_c):
+        r = run_c(r"""
+        int main() {
+            unsigned long big = -1;
+            printf("%u\n", big);
+            printf("%u\n", (unsigned long)1 << 63);
+            return 0;
+        }
+        """)
+        assert r.output_text() == \
+            "18446744073709551615\n9223372036854775808\n"
+
+    def test_long_modifier_ignored(self, run_c):
+        r = run_c('int main() { printf("%ld %lx\\n", 7, 15); return 0; }')
+        assert r.output_text() == "7 f\n"
+
+    def test_sprintf(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char buf[64];
+            long n = sprintf(buf, "x=%d y=%s", 5, "q");
+            printf("%s|%d\n", buf, n);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "x=5 y=q|7\n"
+
+    def test_fprintf_to_file(self, run_c):
+        r = run_c(r"""
+        int main() {
+            FILE *f = fopen("out.txt", "w");
+            fprintf(f, "PC\tTaken\n");
+            fprintf(f, "0x%x\t%d\n", 4096, 17);
+            fclose(f);
+            return 0;
+        }
+        """)
+        assert r.file_text("out.txt") == "PC\tTaken\n0x1000\t17\n"
+
+
+class TestStdio:
+    def test_puts_putchar(self, run_c):
+        r = run_c(r"""
+        int main() {
+            puts("line");
+            putchar('A');
+            putchar('\n');
+            return 0;
+        }
+        """)
+        assert r.output_text() == "line\nA\n"
+
+    def test_fopen_read(self, run_c):
+        r = run_c(r"""
+        int main() {
+            FILE *f = fopen("in.dat", "r");
+            long c, n = 0;
+            if (!f) return 1;
+            while ((c = fgetc(f)) != -1) n++;
+            fclose(f);
+            printf("%d\n", n);
+            return 0;
+        }
+        """, preload_files={"in.dat": b"hello world"})
+        assert r.output_text() == "11\n"
+
+    def test_fopen_missing_returns_null(self, run_c):
+        r = run_c(r"""
+        int main() {
+            FILE *f = fopen("nope", "r");
+            printf("%d\n", f == 0);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "1\n"
+
+    def test_fwrite_fread_roundtrip(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long data[4];
+            long back[4];
+            long i;
+            FILE *f;
+            for (i = 0; i < 4; i++) data[i] = i * 100;
+            f = fopen("bin", "w");
+            fwrite(data, sizeof(long), 4, f);
+            fclose(f);
+            f = fopen("bin", "r");
+            fread(back, sizeof(long), 4, f);
+            fclose(f);
+            printf("%d %d\n", back[3], back[1]);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "300 100\n"
+
+    def test_getchar_stdin(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long c, n = 0;
+            while ((c = getchar()) != -1) n += c == 'a';
+            printf("%d\n", n);
+            return 0;
+        }
+        """, stdin=b"banana")
+        assert r.output_text() == "3\n"
+
+    def test_append_mode(self, run_c):
+        r = run_c(r"""
+        int main() {
+            FILE *f = fopen("log", "w");
+            fputs("one.", f);
+            fclose(f);
+            f = fopen("log", "a");
+            fputs("two.", f);
+            fclose(f);
+            return 0;
+        }
+        """)
+        assert r.file_text("log") == "one.two."
+
+
+class TestStrings:
+    def test_strcmp_family(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d %d %d ", strcmp("abc", "abc") == 0,
+                   strcmp("abc", "abd") < 0, strcmp("b", "a") > 0);
+            printf("%d %d\n", strncmp("hello", "help", 3) == 0,
+                   strncmp("hello", "help", 4) < 0);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "1 1 1 1 1\n"
+
+    def test_strcpy_strcat_strchr(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char buf[32];
+            strcpy(buf, "foo");
+            strcat(buf, "bar");
+            printf("%s %d\n", buf, strchr(buf, 'b') - buf);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "foobar 3\n"
+
+    def test_mem_family(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char a[8];
+            char b[8];
+            memset(a, 'x', 8);
+            memcpy(b, a, 8);
+            printf("%d %c\n", memcmp(a, b, 8), b[7]);
+            b[7] = 'y';
+            printf("%d\n", memcmp(a, b, 8) < 0);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "0 x\n1\n"
+
+    def test_atol(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d %d %d %d\n", atol("123"), atol("-45"),
+                   atol("  77x"), atoi("+9"));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "123 -45 77 9\n"
+
+
+class TestHeap:
+    def test_malloc_free_reuse(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char *a = (char *)malloc(100);
+            char *b;
+            free(a);
+            b = (char *)malloc(50);    // fits in the freed block
+            printf("%d\n", a == b);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "1\n"
+
+    def test_calloc_zeroes(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long *p = (long *)calloc(10, sizeof(long));
+            long i, sum = 0;
+            for (i = 0; i < 10; i++) sum += p[i];
+            printf("%d\n", sum);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "0\n"
+
+    def test_realloc_preserves(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long *p = (long *)malloc(2 * sizeof(long));
+            p[0] = 11; p[1] = 22;
+            p = (long *)realloc(p, 64 * sizeof(long));
+            p[63] = 33;
+            printf("%d %d %d\n", p[0], p[1], p[63]);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "11 22 33\n"
+
+    def test_many_allocations(self, run_c):
+        r = run_c(r"""
+        int main() {
+            long i;
+            long *ptrs[100];
+            for (i = 0; i < 100; i++) {
+                ptrs[i] = (long *)malloc(24);
+                *ptrs[i] = i;
+            }
+            long sum = 0;
+            for (i = 0; i < 100; i++) sum += *ptrs[i];
+            printf("%d\n", sum);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "4950\n"
+
+    def test_sbrk_direct(self, run_c):
+        r = run_c(r"""
+        int main() {
+            char *a = (char *)sbrk(4096);
+            char *b = (char *)sbrk(0);
+            printf("%d\n", b - a);
+            return 0;
+        }
+        """)
+        assert r.output_text() == "4096\n"
+
+
+class TestVarargs:
+    def test_user_variadic_function(self, run_c):
+        r = run_c(r"""
+        long sum_n(long n, ...) {
+            long *ap = __va_start();
+            long total = 0;
+            long i;
+            for (i = 0; i < n; i++) total += ap[i];
+            return total;
+        }
+        int main() {
+            printf("%d %d\n", sum_n(3, 10, 20, 30),
+                   sum_n(8, 1, 2, 3, 4, 5, 6, 7, 8));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "60 36\n"
+
+    def test_varargs_spanning_stack(self, run_c):
+        """More than 6 total args: the va area and stack args are contiguous."""
+        r = run_c(r"""
+        long pick(long idx, ...) {
+            long *ap = __va_start();
+            return ap[idx];
+        }
+        int main() {
+            printf("%d %d %d\n",
+                   pick(0, 100, 200, 300, 400, 500, 600, 700, 800),
+                   pick(4, 100, 200, 300, 400, 500, 600, 700, 800),
+                   pick(7, 100, 200, 300, 400, 500, 600, 700, 800));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "100 500 800\n"
+
+
+class TestMisc:
+    def test_rand_deterministic(self, run_c):
+        src = r"""
+        int main() {
+            long i;
+            srand(42);
+            for (i = 0; i < 5; i++) printf("%d ", rand() % 100);
+            printf("\n");
+            return 0;
+        }
+        """
+        a = run_c(src).output_text()
+        b = run_c(src).output_text()
+        assert a == b
+        values = [int(x) for x in a.split()]
+        assert len(values) == 5 and all(0 <= v < 100 for v in values)
+
+    def test_ctype(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("%d%d%d%d%d%d\n", isdigit('5'), isdigit('x'),
+                   isalpha('g'), isalpha('!'), isspace(' '), isspace('.'));
+            return 0;
+        }
+        """)
+        assert r.output_text() == "101010\n"
+
+    def test_labs(self, run_c):
+        r = run_c('int main() { printf("%d %d\\n", labs(-7), labs(7)); '
+                  'return 0; }')
+        assert r.output_text() == "7 7\n"
+
+    def test_exit_status(self, run_c):
+        r = run_c(r"""
+        int main() {
+            printf("before\n");
+            exit(3);
+            printf("after\n");
+            return 0;
+        }
+        """)
+        assert r.status == 3
+        assert r.output_text() == "before\n"

@@ -1,0 +1,235 @@
+"""Linker tests: merging, layout, GOT, archives, relocation, relocate_unit."""
+
+import struct
+
+import pytest
+
+from repro.isa import encoding
+from repro.isa.asm import assemble
+from repro.objfile import BSS, DATA, LITA, TEXT, Module, RelocType
+from repro.objfile.archive import Archive
+from repro.objfile.linker import (GP_OFFSET, LinkConfig, LinkError,
+                                  apply_relocation, link, relocate_unit)
+
+
+def _word(mod, addr):
+    text = mod.section(TEXT)
+    return struct.unpack_from("<I", text.data, addr - text.vaddr)[0]
+
+
+def test_simple_link_layout():
+    main = assemble("""
+        .globl __start
+__start: call f
+        ret
+        .data
+d:      .quad 1
+    """, "main.o")
+    helper = assemble("""
+        .globl f
+f:      ret
+        .bss
+        .globl buf
+buf:    .space 64
+    """, "f.o")
+    exe = link([main, helper])
+    assert exe.linked
+    text = exe.section(TEXT)
+    assert text.vaddr == 0x0010_0000
+    assert exe.entry == text.vaddr
+    assert exe.addr_of("f") == text.vaddr + 8
+    lita = exe.section(LITA)
+    assert lita.vaddr >= 0x0200_0000
+    assert exe.gp_value == lita.vaddr + GP_OFFSET
+    data = exe.section(DATA)
+    bss = exe.section(BSS)
+    assert data.vaddr >= lita.vaddr + lita.size
+    assert bss.vaddr >= data.vaddr + data.size
+    assert exe.addr_of("buf") == bss.vaddr
+    assert exe.addr_of("__end") >= bss.vaddr + 64
+
+
+def test_cross_module_call_resolved():
+    main = assemble(".globl __start\n__start: call f\n ret", "main.o")
+    helper = assemble(".globl f\nf: ret", "f.o")
+    exe = link([main, helper])
+    word = _word(exe, exe.entry)
+    disp = word & 0x1FFFFF
+    if disp & (1 << 20):
+        disp -= 1 << 21
+    assert exe.entry + 4 + 4 * disp == exe.addr_of("f")
+
+
+def test_undefined_symbol_rejected():
+    main = assemble(".globl __start\n__start: call nowhere", "main.o")
+    with pytest.raises(LinkError, match="nowhere"):
+        link([main])
+
+
+def test_duplicate_global_rejected():
+    a = assemble(".globl f\nf: ret", "a.o")
+    b = assemble(".globl f\nf: nop", "b.o")
+    c = assemble(".globl __start\n__start: ret", "c.o")
+    with pytest.raises(LinkError, match="multiply defined"):
+        link([c, a, b])
+
+
+def test_local_symbols_do_not_collide():
+    a = assemble(".globl __start\n__start: br done\ndone: ret", "a.o")
+    b = assemble(".globl f\nf: br done\ndone: nop\n ret", "b.o")
+    exe = link([a, b])
+    names = {s.name for s in exe.symtab}
+    assert "done@0" in names and "done@1" in names
+
+
+def test_missing_entry_rejected():
+    mod = assemble(".globl f\nf: ret", "f.o")
+    with pytest.raises(LinkError, match="entry"):
+        link([mod])
+
+
+def test_entry_optional_for_units():
+    mod = assemble(".globl f\nf: ret", "f.o")
+    unit = link([mod], config=LinkConfig(require_entry=False))
+    assert unit.linked and unit.entry == 0
+
+
+def test_got_slots_shared_and_patched():
+    mod = assemble("""
+        .globl __start
+__start:
+        la a0, msg
+        la a1, msg          # same symbol: same slot
+        la a2, other
+        ret
+        .data
+msg:    .asciiz "x"
+other:  .quad 0
+    """, "m.o")
+    exe = link([mod])
+    lita = exe.section(LITA)
+    assert lita.size == 16       # two distinct slots
+    slot0 = struct.unpack_from("<Q", lita.data, 0)[0]
+    slot1 = struct.unpack_from("<Q", lita.data, 8)[0]
+    assert {slot0, slot1} == {exe.addr_of("msg@0"), exe.addr_of("other@0")}
+    # The two 'msg' loads carry identical displacements.
+    w0, w1 = _word(exe, exe.entry), _word(exe, exe.entry + 4)
+    assert (w0 & 0xFFFF) == (w1 & 0xFFFF)
+
+
+def test_gp_materialization():
+    mod = assemble(".globl __start\n__start: ldgp\n ret", "m.o")
+    exe = link([mod])
+    w_hi, w_lo = _word(exe, exe.entry), _word(exe, exe.entry + 4)
+    hi = w_hi & 0xFFFF
+    lo = w_lo & 0xFFFF
+    hi_signed = hi - 0x10000 if hi & 0x8000 else hi
+    lo_signed = lo - 0x10000 if lo & 0x8000 else lo
+    assert (hi_signed << 16) + lo_signed == exe.gp_value
+
+
+def test_quad_reloc_to_text_symbol():
+    mod = assemble("""
+        .globl __start
+__start: ret
+        .data
+ptr:    .quad __start
+    """, "m.o")
+    exe = link([mod])
+    data = exe.section(DATA)
+    value = struct.unpack_from("<Q", data.data, 0)[0]
+    assert value == exe.entry
+
+
+def test_archive_pull_on_demand():
+    lib = Archive([
+        assemble(".globl used\nused: call also\n ret", "used.o"),
+        assemble(".globl unused\nunused: ret", "unused.o"),
+        assemble(".globl also\nalso: ret", "also.o"),
+    ])
+    main = assemble(".globl __start\n__start: call used\n ret", "main.o")
+    exe = link([main], [lib])
+    names = {s.name for s in exe.symtab if s.defined}
+    assert "used" in names and "also" in names
+    assert "unused" not in names
+
+
+def test_archive_roundtrip():
+    lib = Archive([assemble(".globl f\nf: ret", "f.o")], name="libx.a")
+    back = Archive.from_bytes(lib.to_bytes())
+    assert back.member_defining("f") is not None
+    assert back.member_defining("g") is None
+    assert back.defined_symbols() == {"f"}
+
+
+def test_text_overrun_rejected():
+    mod = assemble(".globl __start\n__start: ret", "m.o")
+    cfg = LinkConfig(text_base=0x1000, data_base=0x1000)
+    with pytest.raises(LinkError, match="overruns"):
+        link([mod], config=cfg)
+
+
+def test_relocate_unit_shifts_everything():
+    mod = assemble("""
+        .globl f
+f:      ldgp
+        la a0, msg
+        laa a1, f
+        ret
+        .data
+msg:    .asciiz "hi"
+        .align 3
+ptr:    .quad f
+    """, "m.o")
+    unit = link([mod], config=LinkConfig(require_entry=False))
+    old_f = unit.addr_of("f")
+    old_gp = unit.gp_value
+
+    relocate_unit(unit, 0x0050_0000, 0x0060_0000)
+    new_f = unit.addr_of("f")
+    assert new_f == 0x0050_0000
+    assert unit.gp_value != old_gp
+    assert unit.section(LITA).vaddr >= 0x0060_0000
+    # The GOT slot for msg now holds the shifted address.
+    lita = unit.section(LITA)
+    slot = struct.unpack_from("<Q", lita.data, 0)[0]
+    assert slot == unit.addr_of("msg@0")
+    # The laa pair resolves to the new text address.  Layout of f:
+    # ldgp (2 words), la (1 word), then the laa pair at +12/+16.
+    w_hi, w_lo = _word(unit, new_f + 12), _word(unit, new_f + 16)
+    hi = w_hi & 0xFFFF
+    lo = w_lo & 0xFFFF
+    hi_s = hi - 0x10000 if hi & 0x8000 else hi
+    lo_s = lo - 0x10000 if lo & 0x8000 else lo
+    assert (hi_s << 16) + lo_s == new_f
+    # The data-segment function pointer tracks the move too.
+    data = unit.section(DATA)
+    assert struct.unpack_from("<Q", data.data, 8)[0] == new_f
+    assert old_f != new_f
+
+
+def test_relocate_unit_requires_linked():
+    mod = assemble("f: ret", "m.o")
+    with pytest.raises(LinkError):
+        relocate_unit(mod, 0x1000, 0x2000)
+
+
+def test_branch_out_of_range_at_link_time():
+    # Force a cross-module call whose displacement cannot reach.
+    far = assemble(".globl f\nf: ret", "f.o")
+    main = assemble(".globl __start\n__start: call f\n ret", "main.o")
+    cfg = LinkConfig(text_base=0x0010_0000, data_base=0x7000_0000)
+    # Pad the text segment with a huge module between them.
+    filler_src = ".text\n" + "nop\n" * 0x130000
+    filler = assemble(filler_src, "filler.o")
+    with pytest.raises(LinkError, match="out of range"):
+        link([main, filler, far], config=cfg)
+
+
+def test_linker_symbols_present():
+    mod = assemble(".globl __start\n__start: ret", "m.o")
+    exe = link([mod])
+    for name in ("_gp", "__text_start", "__text_end", "__data_start",
+                 "__bss_start", "__end"):
+        assert exe.symtab[name].defined, name
+    assert exe.symtab["__text_start"].value == exe.section(TEXT).vaddr

@@ -1,0 +1,134 @@
+"""WOF module serialization round-trips and section/symbol semantics."""
+
+import pytest
+
+from repro.objfile import (BSS, DATA, TEXT, Module, ObjError, Relocation,
+                           RelocType, Section, SymBind, SymKind)
+from repro.objfile.symtab import Symbol, SymbolTable
+
+
+def test_section_append_and_reserve():
+    sec = Section(TEXT)
+    assert sec.append(b"\x01\x02") == 0
+    assert sec.append(b"\x03") == 2
+    assert sec.size == 3
+    assert sec.reserve(5) == 3
+    assert sec.size == 8
+    assert bytes(sec.data[3:]) == b"\x00" * 5
+
+
+def test_bss_reserve_only():
+    sec = Section(BSS)
+    assert sec.reserve(16) == 0
+    assert sec.size == 16
+    with pytest.raises(ValueError):
+        sec.append(b"x")
+
+
+def test_align_to():
+    sec = Section(DATA)
+    sec.append(b"abc")
+    sec.align_to(8)
+    assert sec.size == 8
+    sec.align_to(8)
+    assert sec.size == 8      # already aligned: no-op
+
+
+def test_contains_addr():
+    sec = Section(DATA)
+    sec.append(b"\x00" * 16)
+    assert not sec.contains_addr(0x1000)   # not laid out yet
+    sec.vaddr = 0x1000
+    assert sec.contains_addr(0x1000)
+    assert sec.contains_addr(0x100F)
+    assert not sec.contains_addr(0x1010)
+
+
+def test_symbol_define_and_redefine():
+    tab = SymbolTable()
+    tab.define("f", TEXT, 0, kind=SymKind.FUNC, bind=SymBind.GLOBAL)
+    with pytest.raises(ValueError):
+        tab.define("f", TEXT, 4)
+    assert tab["f"].kind is SymKind.FUNC
+
+
+def test_refer_creates_undefined():
+    tab = SymbolTable()
+    sym = tab.refer("printf")
+    assert not sym.defined
+    assert tab.undefined() == [sym]
+
+
+def test_module_roundtrip():
+    mod = Module(name="m.o")
+    mod.section(TEXT).append(b"\x01\x02\x03\x04")
+    mod.section(DATA).append(b"hello")
+    mod.section(BSS).reserve(32)
+    mod.symtab.define("main", TEXT, 0, kind=SymKind.FUNC,
+                      bind=SymBind.GLOBAL, size=4)
+    mod.symtab.refer("printf")
+    mod.relocs.append(Relocation(TEXT, 0, RelocType.BRANCH21, "printf", 0))
+    mod.relocs.append(Relocation(DATA, 0, RelocType.QUAD64, "main", 8))
+    mod.meta["text_base"] = 0x100000
+    mod.pc_map[0x100004] = 0x100000
+
+    back = Module.from_bytes(mod.to_bytes())
+    assert back.name == "m.o"
+    assert bytes(back.section(TEXT).data) == b"\x01\x02\x03\x04"
+    assert bytes(back.section(DATA).data) == b"hello"
+    assert back.section(BSS).bss_size == 32
+    main = back.symtab["main"]
+    assert main.kind is SymKind.FUNC and main.bind is SymBind.GLOBAL
+    assert main.size == 4
+    assert not back.symtab["printf"].defined
+    assert len(back.relocs) == 2
+    assert back.relocs[0].type is RelocType.BRANCH21
+    assert back.relocs[1].addend == 8
+    assert back.meta["text_base"] == 0x100000
+    assert back.pc_map == {0x100004: 0x100000}
+
+
+def test_linked_module_roundtrip():
+    mod = Module(name="a.out", linked=True, entry=0x100000,
+                 gp_value=0x200_8000, analysis_gp=0x180_8000)
+    sec = mod.section(TEXT)
+    sec.append(b"\x00" * 8)
+    sec.vaddr = 0x100000
+    back = Module.from_bytes(mod.to_bytes())
+    assert back.linked and back.entry == 0x100000
+    assert back.gp_value == 0x200_8000
+    assert back.analysis_gp == 0x180_8000
+    assert back.section(TEXT).vaddr == 0x100000
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ObjError):
+        Module.from_bytes(b"NOPE" + b"\x00" * 40)
+
+
+def test_truncated_rejected():
+    mod = Module()
+    mod.section(TEXT).append(b"\x00" * 4)
+    blob = mod.to_bytes()
+    with pytest.raises(ObjError):
+        Module.from_bytes(blob[:len(blob) // 2])
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(ObjError):
+        Module().section(".weird")
+
+
+def test_addr_of_requires_linked():
+    mod = Module()
+    mod.symtab.define("x", DATA, 0)
+    with pytest.raises(ObjError):
+        mod.addr_of("x")
+
+
+def test_functions_sorted():
+    mod = Module()
+    mod.symtab.define("b", TEXT, 8, kind=SymKind.FUNC)
+    mod.symtab.define("a", TEXT, 0, kind=SymKind.FUNC)
+    mod.symtab.define("d", DATA, 4, kind=SymKind.OBJECT)
+    assert [s.name for s in mod.functions_sorted()] == ["a", "b"]

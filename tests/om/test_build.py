@@ -1,0 +1,139 @@
+"""IR construction tests: procedures, blocks, edges, targets."""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.mlc import build_executable
+from repro.objfile.linker import link
+from repro.om import build_ir
+from repro.om.build import BuildError
+
+
+def asm_exe(body: str):
+    return link([assemble(body, "t.s")])
+
+
+BRANCHY = """
+        .text
+        .globl __start
+        .ent __start
+__start:
+        clr t0
+loop:   addq t0, 1, t0
+        subq t0, 10, t1
+        bne t1, loop
+        beq t0, skip
+        bsr ra, helper
+skip:
+        li v0, 1
+        clr a0
+        sys
+        .end __start
+        .globl helper
+        .ent helper
+helper: ret
+        .end helper
+"""
+
+
+def test_procedures_recovered():
+    prog = build_ir(asm_exe(BRANCHY))
+    names = [p.name for p in prog.procs]
+    assert names == ["__start", "helper"]
+    assert prog.proc("helper").inst_count() == 1
+
+
+def test_block_boundaries():
+    prog = build_ir(asm_exe(BRANCHY))
+    start = prog.proc("__start")
+    # Blocks: [clr], [addq,subq,bne], [beq], [bsr], [li,clr,sys]
+    sizes = [len(b.insts) for b in start.blocks]
+    assert sizes == [1, 3, 1, 1, 3]
+
+
+def test_edges():
+    prog = build_ir(asm_exe(BRANCHY))
+    b = prog.proc("__start").blocks
+    # entry falls into loop block
+    assert b[1] in b[0].succs
+    # loop block: taken -> itself, fallthrough -> beq block
+    assert b[1] in b[1].succs and b[2] in b[1].succs
+    assert b[0] in b[1].preds
+    # beq: taken -> skip block (b[4]), fallthrough -> bsr block
+    assert b[4] in b[2].succs and b[3] in b[2].succs
+    # call block falls through
+    assert b[4] in b[3].succs
+    # final block ends in sys (block-ending, no successor in-proc)
+    assert b[4].last.inst.is_syscall()
+
+
+def test_call_target_symbolic():
+    prog = build_ir(asm_exe(BRANCHY))
+    bsr_block = prog.proc("__start").blocks[3]
+    assert bsr_block.last.target == ("symbol", "helper")
+
+
+def test_branch_target_is_block():
+    prog = build_ir(asm_exe(BRANCHY))
+    loop_block = prog.proc("__start").blocks[1]
+    kind, payload = loop_block.last.target
+    assert kind == "block" and payload is loop_block
+
+
+def test_orig_pcs_recorded():
+    exe = asm_exe(BRANCHY)
+    prog = build_ir(exe)
+    base = exe.section(".text").vaddr
+    pcs = [i.orig_pc for i in prog.instructions()]
+    assert pcs == [base + 4 * k for k in range(len(pcs))]
+
+
+def test_relocs_attached():
+    exe = asm_exe("""
+        .globl __start
+        .ent __start
+__start:
+        ldgp
+        la a0, msg
+        li v0, 1
+        sys
+        .end __start
+        .data
+msg:    .asciiz "x"
+    """)
+    prog = build_ir(exe)
+    ir = list(prog.instructions())
+    # ldgp: two relocs; la: one GOT16
+    assert len(ir[0].relocs) == 1 and len(ir[1].relocs) == 1
+    assert len(ir[2].relocs) == 1
+
+
+def test_requires_linked_module():
+    with pytest.raises(BuildError):
+        build_ir(assemble("f: ret", "t.s"))
+
+
+def test_full_program_coverage():
+    """Every text instruction of a real program lands in exactly one proc."""
+    exe = build_executable(["int main() { return 0; }"])
+    prog = build_ir(exe)
+    total = sum(p.inst_count() for p in prog.procs)
+    assert total * 4 == len(exe.section(".text").data)
+    seen = set()
+    for proc in prog.procs:
+        for ir in proc.instructions():
+            assert ir.orig_pc not in seen
+            seen.add(ir.orig_pc)
+
+
+def test_program_hierarchy_traversal():
+    """The paper's GetFirstProc/GetNextProc walk maps to procs order."""
+    exe = build_executable(["""
+    long a() { return 1; }
+    long b() { return 2; }
+    int main() { return a() + b(); }
+    """])
+    prog = build_ir(exe)
+    names = [p.name for p in prog.procs]
+    assert names.index("a") < names.index("b")   # layout order
+    assert "main" in names and "__start" in names

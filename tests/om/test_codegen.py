@@ -1,0 +1,162 @@
+"""OM code generation: identity round-trips, insertion, relocation, opt."""
+
+import pytest
+
+from repro.isa import opcodes, registers as R
+from repro.isa.instruction import Instruction
+from repro.machine import run_module
+from repro.mlc import build_executable
+from repro.om import build_ir, eliminate_unreachable, emit
+from repro.om.codegen import CodegenError
+from repro.om.ir import IRInst
+
+PROGRAM = r"""
+long square(long x) { return x * x; }
+long (*indirect)(long) = square;
+long table[3] = { 5, 6, 7 };
+
+int main() {
+    long i, total = 0;
+    for (i = 0; i < 3; i++) total += square(table[i]);
+    printf("total=%d indirect=%d\n", total, indirect(9));
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def exe():
+    return build_executable([PROGRAM])
+
+
+@pytest.fixture(scope="module")
+def baseline(exe):
+    return run_module(exe)
+
+
+def test_identity_roundtrip(exe, baseline):
+    out = emit(build_ir(exe))
+    result = run_module(out.module)
+    assert result.stdout == baseline.stdout
+    assert result.status == baseline.status
+    assert result.inst_count == baseline.inst_count
+    assert result.cycles == baseline.cycles
+
+
+def test_identity_preserves_bytes(exe):
+    out = emit(build_ir(exe))
+    assert bytes(out.module.section(".text").data) == \
+        bytes(exe.section(".text").data)
+    assert bytes(out.module.section(".data").data) == \
+        bytes(exe.section(".data").data)
+
+
+def test_shifted_text_base(exe, baseline):
+    out = emit(build_ir(exe), text_base=exe.section(".text").vaddr + 0x4000)
+    result = run_module(out.module)
+    assert result.stdout == baseline.stdout
+    # Data did not move.
+    assert out.module.section(".data").vaddr == exe.section(".data").vaddr
+
+
+def test_insertion_shifts_code_but_not_data(exe, baseline):
+    prog = build_ir(exe)
+    main = prog.proc("main")
+    # Insert two counting no-ops at procedure entry.
+    pad = [IRInst(Instruction(opcodes.BIS, ra=R.ZERO, rb=R.ZERO,
+                              rc=R.ZERO)) for _ in range(2)]
+    main.blocks[0].insts[:0] = pad
+    out = emit(prog)
+    result = run_module(out.module)
+    assert result.stdout == baseline.stdout
+    assert result.inst_count > baseline.inst_count
+    assert len(out.module.section(".text").data) == \
+        len(exe.section(".text").data) + 8
+
+
+def test_pc_map(exe):
+    prog = build_ir(exe)
+    main = prog.proc("main")
+    main.blocks[0].insts[:0] = [
+        IRInst(Instruction(opcodes.BIS, ra=R.ZERO, rb=R.ZERO, rc=R.ZERO))]
+    out = emit(prog)
+    # Every original instruction has a pc_map entry; inserted one doesn't.
+    orig_count = sum(1 for i in build_ir(exe).instructions())
+    assert len(out.pc_map) == orig_count
+    # Instructions after the insertion point map back 4 bytes.
+    main_new = out.module.addr_of("main")
+    main_old = exe.addr_of("main")
+    assert out.pc_map[main_new + 4] == main_old
+
+
+def test_function_pointer_reresolved_after_insertion(exe, baseline):
+    """The GOT slot and data-word holding square's address must track it."""
+    prog = build_ir(exe)
+    # Insert padding into a procedure *before* square in layout order.
+    first = prog.procs[0]
+    first.blocks[0].insts[:0] = [
+        IRInst(Instruction(opcodes.BIS, ra=R.ZERO, rb=R.ZERO, rc=R.ZERO))
+        for _ in range(4)]
+    out = emit(prog)
+    result = run_module(out.module)
+    assert result.stdout == baseline.stdout      # indirect(9) still works
+
+
+def test_entry_tracks_start(exe):
+    prog = build_ir(exe)
+    start = prog.proc("__start")
+    start.blocks[0].insts[:0] = [
+        IRInst(Instruction(opcodes.BIS, ra=R.ZERO, rb=R.ZERO, rc=R.ZERO))]
+    # __start is the first proc, so its address is unchanged, but inserting
+    # into a proc before it would move it; either way entry == __start.
+    out = emit(prog)
+    assert out.module.entry == out.module.addr_of("__start")
+
+
+def test_extra_symbols_resolution(exe):
+    from repro.om.ir import IRBlock, IRProc
+    prog = build_ir(exe)
+    # A new proc that calls an external symbol supplied via extra_symbols.
+    blk = IRBlock(index=10_000)
+    blk.insts.append(IRInst(Instruction(opcodes.BSR, ra=R.RA),
+                            target=("symbol", "__analysis_entry")))
+    blk.insts.append(IRInst(Instruction(opcodes.RET, ra=R.ZERO, rb=R.RA)))
+    proc = IRProc(name="__wrapper", blocks=[blk])
+    prog.procs.append(proc)
+    target = exe.section(".text").vaddr + 0x100  # arbitrary, reachable
+    out = emit(prog, extra_symbols={"__analysis_entry": target})
+    assert out.module.addr_of("__wrapper") > 0
+    with pytest.raises(CodegenError, match="unresolved"):
+        emit(prog)  # without extra_symbols the target cannot resolve
+
+
+def test_unreachable_procedure_elimination():
+    exe2 = build_executable([r"""
+    long used() { return 1; }
+    long dead_helper() { return 2; }
+    long dead() { return dead_helper(); }
+    int main() { return used(); }
+    """])
+    baseline = run_module(exe2)
+    prog = build_ir(exe2)
+    removed = eliminate_unreachable(prog)
+    assert "dead" in removed and "dead_helper" in removed
+    assert "used" not in removed and "main" not in removed
+    out = emit(prog)
+    assert len(out.module.section(".text").data) < \
+        len(exe2.section(".text").data)
+    result = run_module(out.module)
+    assert result.status == baseline.status
+
+
+def test_address_taken_procs_survive_elimination():
+    exe2 = build_executable([r"""
+    long maybe() { return 3; }
+    long (*hook)(void) = maybe;      // address escapes into data
+    int main() { return hook(); }
+    """])
+    prog = build_ir(exe2)
+    removed = eliminate_unreachable(prog)
+    assert "maybe" not in removed
+    out = emit(prog)
+    assert run_module(out.module).status == 3

@@ -1,0 +1,160 @@
+"""Link-time optimization tests: address calculation (ref [12]) and its
+interaction with ATOM."""
+
+import pytest
+
+from repro.atom import BlockBefore, ProgramAfter, instrument_executable
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+from repro.om import build_ir, emit
+from repro.om.opt import optimize_address_calculation, optimize_got_loads
+from repro.workloads import build_workload
+
+GLOBALS_HEAVY = r"""
+long a;
+long b;
+long total;
+
+int main() {
+    long i;
+    for (i = 0; i < 50; i++) {
+        a = a + i;
+        b = b + a;
+        total = total + a + b;
+    }
+    printf("%d %d %d\n", a, b, total);
+    return 0;
+}
+"""
+
+
+class TestAddressCalculation:
+    def test_rewrites_and_preserves(self):
+        app = build_executable([GLOBALS_HEAVY])
+        base = run_module(app)
+        prog = build_ir(app)
+        n = optimize_address_calculation(prog)
+        assert n > 10              # every global access had a GOT load
+        out = emit(prog)
+        result = run_module(out.module)
+        assert result.stdout == base.stdout
+        assert result.cycles < base.cycles
+        assert result.inst_count == base.inst_count   # lda replaces ldq
+
+    def test_text_symbols_not_rewritten(self):
+        """Function-pointer GOT loads must keep their relocations (ATOM
+        moves text)."""
+        app = build_executable([r"""
+        long f(long x) { return x + 1; }
+        long (*fp)(long) = f;
+        int main() {
+            long (*g)(long) = f;     // GOT load of a *text* symbol
+            return (int)g(41);
+        }
+        """])
+        prog = build_ir(app)
+        optimize_address_calculation(prog)
+        # The load of f's address must still carry its GOT16 reloc.
+        from repro.objfile.relocs import RelocType
+        got_text = [
+            r for ir in prog.instructions() for r in ir.relocs
+            if r.type is RelocType.GOT16 and r.symbol.startswith("f")]
+        assert got_text, "text-symbol GOT load should survive"
+        out = emit(prog)
+        assert run_module(out.module).status == 42
+
+    @pytest.mark.parametrize("name", ("quick", "hashtab", "compress"))
+    def test_workloads_preserved_and_faster(self, name):
+        app = build_workload(name)
+        base = run_module(app)
+        prog = build_ir(app)
+        assert optimize_address_calculation(prog) > 0
+        result = run_module(emit(prog).module)
+        assert result.stdout == base.stdout
+        assert result.cycles < base.cycles
+
+    def test_optimized_program_still_instrumentable(self):
+        """The pipeline composes: optimize at link time, then ATOM."""
+        app = build_executable([GLOBALS_HEAVY])
+        base = run_module(app)
+        prog = build_ir(app)
+        optimize_address_calculation(prog)
+        optimized = emit(prog).module
+
+        anal = build_analysis_unit([r"""
+        long n;
+        void Tick(void) { n++; }
+        void Dump(void) {
+            FILE *f = fopen("n.out", "w");
+            fprintf(f, "%d\n", n);
+            fclose(f);
+        }
+        """])
+
+        def Instrument(iargc, iargv, atom):
+            atom.AddCallProto("Tick()")
+            atom.AddCallProto("Dump()")
+            for p in atom.procs():
+                for blk in atom.blocks(p):
+                    atom.AddCallBlock(blk, BlockBefore, "Tick")
+            atom.AddCallProgram(ProgramAfter, "Dump")
+
+        res = instrument_executable(optimized, Instrument, anal)
+        result = run_module(res.module)
+        assert result.stdout == base.stdout
+        assert int(result.files["n.out"]) > 100
+
+
+class TestGotLoadCse:
+    def test_same_block_duplicate_collapsed(self):
+        from repro.isa.asm import assemble
+        from repro.objfile.linker import link
+        exe = link([assemble("""
+        .globl __start
+        .ent __start
+__start:
+        ldgp
+        la   t0, cell
+        ldq  t1, 0(t0)
+        la   t2, cell          # duplicate GOT load, t0 still live
+        addq t1, 1, t1
+        stq  t1, 0(t2)
+        la   a0, cell
+        ldq  a0, 0(a0)
+        li   v0, 1
+        sys
+        .end __start
+        .data
+        .align 3
+cell:   .quad 41
+        """, "t.s")])
+        base = run_module(exe)
+        prog = build_ir(exe)
+        n = optimize_got_loads(prog)
+        assert n >= 1
+        result = run_module(emit(prog).module)
+        assert result.status == base.status == 42
+
+    def test_clobbered_register_kills_fact(self):
+        from repro.isa.asm import assemble
+        from repro.objfile.linker import link
+        exe = link([assemble("""
+        .globl __start
+        .ent __start
+__start:
+        ldgp
+        la   t0, cell
+        ldq  t0, 0(t0)         # t0 overwritten: fact must die
+        la   t1, cell
+        ldq  t1, 0(t1)
+        addq t0, t1, a0
+        li   v0, 1
+        sys
+        .end __start
+        .data
+        .align 3
+cell:   .quad 21
+        """, "t.s")])
+        prog = build_ir(exe)
+        assert optimize_got_loads(prog) == 0
+        assert run_module(emit(prog).module).status == 42

@@ -1,0 +1,230 @@
+"""Tests for all eleven tools of the paper's evaluation.
+
+Each test instruments a representative application, runs it, and checks
+the analysis report — and that the application's own behaviour is
+untouched.
+"""
+
+import pytest
+
+from repro.eval import apply_tool, run_instrumented, run_uninstrumented
+from repro.mlc import build_executable
+from repro.tools import TOOL_NAMES, all_tools, get_tool
+
+APP = r"""
+long sums[32];
+
+long work(long n) {
+    long i, acc = 0;
+    long *buf = (long *)malloc(n * sizeof(long));
+    for (i = 0; i < n; i++) {
+        buf[i] = i * 7 % 13;
+        if (buf[i] & 1) acc += buf[i];
+        else acc -= buf[i];
+        sums[i & 31] += buf[i];
+    }
+    free(buf);
+    return acc;
+}
+
+int main() {
+    long r1 = work(50);
+    long r2 = work(80);
+    printf("r1=%d r2=%d\n", r1, r2);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_executable([APP])
+
+
+@pytest.fixture(scope="module")
+def baseline(app):
+    return run_uninstrumented(app)
+
+
+def run_tool(app, name, **kw):
+    tool = get_tool(name)
+    res = apply_tool(app, tool, **kw)
+    result = run_instrumented(res)
+    return tool, res, result
+
+
+def report(result, tool):
+    return result.files[tool.output_file].decode()
+
+
+class TestRegistry:
+    def test_all_eleven_present(self):
+        assert len(TOOL_NAMES) == 11
+        tools = all_tools()
+        assert [t.name for t in tools] == list(TOOL_NAMES)
+        for tool in tools:
+            assert tool.description and tool.points
+            assert tool.args >= 1
+            assert tool.analysis_source.strip()
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(KeyError):
+            get_tool("valgrind")
+
+    def test_figure6_metadata(self):
+        """Points/args columns match the paper's Figure 6."""
+        expected = {
+            "branch": ("each conditional branch", 3),
+            "cache": ("each memory reference", 1),
+            "dyninst": ("each basic block", 3),
+            "gprof": ("each procedure/each basic block", 2),
+            "inline": ("each call site", 1),
+            "io": ("before/after write procedure", 4),
+            "malloc": ("before/after malloc procedure", 1),
+            "pipe": ("each basic block", 2),
+            "prof": ("each procedure/each basic block", 2),
+            "syscall": ("before/after each system call", 2),
+            "unalign": ("each memory reference", 3),
+        }
+        for tool in all_tools():
+            points, args = expected[tool.name]
+            assert tool.points == points, tool.name
+            assert tool.args == args, tool.name
+
+
+@pytest.mark.parametrize("name", TOOL_NAMES)
+def test_tool_preserves_behavior(app, baseline, name):
+    _tool, _res, result = run_tool(app, name)
+    assert result.stdout == baseline.stdout
+    assert result.status == baseline.status
+
+
+class TestBranch:
+    def test_report(self, app, baseline):
+        tool, _res, result = run_tool(app, "branch")
+        text = report(result, tool)
+        assert "predicted:" in text
+        # The loop branches are overwhelmingly predictable.
+        accuracy = int(text.split("(")[1].split("%")[0])
+        assert accuracy > 60
+        dynamic = int(text.split("static, ")[1].split(" dynamic")[0])
+        assert dynamic > 100
+
+
+class TestCache:
+    def test_report(self, app, baseline):
+        tool, _res, result = run_tool(app, "cache")
+        text = report(result, tool)
+        refs = int(text.split("references: ")[1].split("\n")[0])
+        misses = int(text.split("misses: ")[1].split("\n")[0])
+        assert 0 < misses < refs
+        # Every load/store executed is one reference.
+        assert refs > 500
+
+
+class TestDyninst:
+    def test_counts_match_machine(self, app, baseline):
+        """The tool's dynamic instruction count equals the simulator's
+        count for the uninstrumented run — an end-to-end cross-check of
+        tool, ATOM, and machine."""
+        tool, _res, result = run_tool(app, "dyninst")
+        text = report(result, tool)
+        counted = int(text.split("dynamic instructions: ")[1]
+                      .split("\n")[0])
+        assert counted == baseline.inst_count
+
+
+class TestGprof:
+    def test_call_graph(self, app, baseline):
+        tool, _res, result = run_tool(app, "gprof")
+        text = report(result, tool)
+        assert "work\t2\t" in text                 # work called twice
+        assert "main -> work: 2" in text
+        assert "work -> malloc: 2" in text
+
+
+class TestInline:
+    def test_hot_sites(self, app, baseline):
+        tool, _res, result = run_tool(app, "inline")
+        text = report(result, tool)
+        total = int(text.split("dynamic calls")[0].split(",")[-1].strip())
+        assert total > 4
+        assert "inlining candidates:" in text
+
+
+class TestIo:
+    def test_write_summary(self, app, baseline):
+        tool, _res, result = run_tool(app, "io")
+        text = report(result, tool)
+        lines = [l for l in text.splitlines()[1:] if l]
+        by_fd = {int(l.split("\t")[0]): l for l in lines}
+        assert 1 in by_fd                         # stdout was written
+        wr_bytes = int(by_fd[1].split("\t")[2])
+        assert wr_bytes == len(baseline.stdout)
+
+
+class TestMalloc:
+    def test_histogram(self, app, baseline):
+        tool, _res, result = run_tool(app, "malloc")
+        text = report(result, tool)
+        calls = int(text.split("malloc calls: ")[1].split(",")[0])
+        # work() allocates twice; fopen-free app side allocates none.
+        assert calls == 2
+        total = int(text.split("bytes: ")[1].split("\n")[0])
+        assert total == 50 * 8 + 80 * 8
+
+
+class TestPipe:
+    def test_stall_accounting(self, app, baseline):
+        tool, _res, result = run_tool(app, "pipe")
+        text = report(result, tool)
+        dual = int(text.split("scheduled cycles: ")[1].split("\n")[0])
+        single = int(text.split("single-issue cycles: ")[1]
+                     .split("\n")[0])
+        stalls = int(text.split("stall cycles: ")[1].split("\n")[0])
+        speedup = int(text.split("dual-issue speedup: ")[1]
+                      .split(" per")[0])
+        # Dual-issue can at best halve the single-issue schedule, and a
+        # schedule can never beat ceil(n/2) issue slots.
+        assert baseline.inst_count / 2 <= dual <= single
+        assert stalls >= 0
+        assert 1000 <= speedup <= 2000
+
+
+class TestSyscall:
+    def test_summary(self, app, baseline):
+        tool, _res, result = run_tool(app, "syscall")
+        text = report(result, tool)
+        issued = int(text.split("system calls: ")[1].split(" issued")[0])
+        # write (printf) + sbrk (malloc) at least.
+        assert issued >= 2
+        numbers = {int(l.split("\t")[0])
+                   for l in text.splitlines()[2:] if "\t" in l}
+        assert 2 in numbers                      # SYS_WRITE
+        assert 6 in numbers                      # SYS_SBRK
+
+
+class TestUnalign:
+    def test_aligned_app_is_clean(self, app, baseline):
+        tool, _res, result = run_tool(app, "unalign")
+        text = report(result, tool)
+        checked = int(text.split("checked: ")[1].split("\n")[0])
+        unaligned = int(text.split("unaligned: ")[1].split("\n")[0])
+        assert checked > 100
+        assert unaligned == 0                    # MLC aligns everything
+
+    def test_detects_unaligned(self):
+        app = build_executable([r"""
+        char raw[64];
+        int main() {
+            long *p = (long *)(raw + 3);     // deliberately misaligned
+            *p = 42;
+            printf("%d\n", (int)*p);
+            return 0;
+        }
+        """])
+        tool, _res, result = run_tool(app, "unalign")
+        text = report(result, tool)
+        unaligned = int(text.split("unaligned: ")[1].split("\n")[0])
+        assert unaligned >= 2                    # the store and the load
+        assert "at 0x" in text
