@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench bench-smoke validate-baseline
+
+# Tier-1 gate: full test suite, then a bench smoke run whose report (and
+# the committed baseline, if present) must satisfy the v1 schema.
+check: test bench-smoke validate-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full matrix; rewrites the committed baseline at the repo root.
+bench:
+	$(PYTHON) -m repro.perf.bench --out BENCH_interp.json
+
+# One workload/tool/opt cell, written to a scratch path.
+bench-smoke:
+	$(PYTHON) -m repro.perf.bench --quick --reps 1 --out /tmp/bench_smoke.json
+
+validate-baseline:
+	$(PYTHON) -c "import json, sys; \
+	from repro.perf.bench import validate_report, load_report; \
+	validate_report(json.load(open('/tmp/bench_smoke.json'))); \
+	base = load_report(); \
+	print('baseline ok' if base else 'no committed baseline', \
+	      file=sys.stderr)"

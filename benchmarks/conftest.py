@@ -66,6 +66,21 @@ def ratio_table():
     return {}
 
 
+@pytest.fixture(scope="session")
+def bench_baseline():
+    """The committed ``BENCH_interp.json`` report, or None if absent.
+
+    Benchmarks may compare fresh measurements against this trajectory
+    (simulated-cycle fields are deterministic and safe to assert on;
+    wall-clock fields are host-dependent and informational only).
+    """
+    from repro.perf.bench import load_report
+    try:
+        return load_report()
+    except ValueError as exc:
+        pytest.fail(f"committed BENCH_interp.json is invalid: {exc}")
+
+
 def print_table(title: str, header: list[str], rows: list[list]) -> None:
     """Print a result table and append it to benchmarks/latest_tables.txt
     (so the figures survive pytest's output capture)."""

@@ -1,0 +1,40 @@
+"""Consume the committed ``BENCH_interp.json`` baseline.
+
+Only the simulated side of the report is asserted on — cycles and
+instruction counts are deterministic functions of the workload, so any
+drift means the interpreter or a workload changed behaviour.  Wall-clock
+fields (insts/sec, speedups) are host-dependent and left alone.
+"""
+
+import pytest
+
+from repro.machine import run_module
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="session")
+def baseline_or_skip(bench_baseline):
+    if bench_baseline is None:
+        pytest.skip("no committed BENCH_interp.json baseline")
+    return bench_baseline
+
+
+def test_simulated_counts_match_baseline(baseline_or_skip):
+    """A fresh run of each recorded workload reproduces the baseline's
+    simulated cycles and instruction count exactly."""
+    for name, row in baseline_or_skip["interpreter"].items():
+        result = run_module(build_workload(name))
+        assert result.inst_count == row["insts"], name
+        assert result.cycles == row["cycles"], name
+
+
+def test_tool_rows_are_consistent(baseline_or_skip):
+    """Every recorded tool cell shows instrumentation overhead >= 1 and
+    internally consistent cycle ratios."""
+    rows = baseline_or_skip["tools"]
+    assert rows
+    for row in rows:
+        assert row["instr_cycles"] >= row["base_cycles"], row
+        assert row["cycle_overhead"] >= 1.0, row
+        ratio = row["instr_cycles"] / row["base_cycles"]
+        assert abs(ratio - row["cycle_overhead"]) < 0.01, row

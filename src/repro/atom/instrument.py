@@ -51,7 +51,11 @@ class LayoutError(AtomError):
 
 @dataclass
 class InstrumentStats:
+    #: Distinct instrumentation points: program/proc/block/inst hook sites
+    #: with at least one action attached.  A site with several actions is
+    #: still one point (each action counts in ``calls_added``).
     points: int = 0
+    #: Analysis-procedure calls spliced in, one per action.
     calls_added: int = 0
     snippet_insts: int = 0
     wrappers: int = 0
@@ -226,9 +230,14 @@ def _collect_targets(app_ir: IRProgram, ctx: AtomContext,
                      stats: InstrumentStats) -> dict[str, int]:
     """Every analysis procedure referenced by any action, with arg counts."""
     targets: dict[str, int] = {}
+    seen_sites: set[int] = set()
 
     def note(actions):
-        if actions:
+        # One point per distinct non-empty action list: hook sites can
+        # alias the same list (and nothing stops a caller noting a site
+        # twice), which must not inflate the point count.
+        if actions and id(actions) not in seen_sites:
+            seen_sites.add(id(actions))
             stats.points += 1
         for action in actions:
             stats.calls_added += 1
@@ -264,7 +273,13 @@ def _splice_proc(proc: IRProc, lowerer: Lowerer, liveness, stats) -> None:
         for block in proc.blocks:
             for idx in range(len(block.insts) - 1, -1, -1):
                 if block.insts[idx].inst.is_ret():
-                    live = None
+                    # Registers live just before the ret — i.e. live at
+                    # procedure exit.  (Indexing against the spliced
+                    # instruction list is fine: live_before walks back
+                    # from the block's current end, and earlier splices
+                    # for this block all landed before the ret.)
+                    live = liveness.live_before(block, idx) \
+                        if liveness else None
                     block.insts[idx:idx] = lowerer.snippet(
                         proc.after, None, live)
     if proc.before:
@@ -274,13 +289,9 @@ def _splice_proc(proc: IRProc, lowerer: Lowerer, liveness, stats) -> None:
 
 
 def _splice_block(block: IRBlock, lowerer: Lowerer, liveness) -> None:
-    # Plan first against original indices (liveness positions), then build.
-    plan: list[tuple[int, str, IRInst]] = []
-    for idx, ir in enumerate(block.insts):
-        if ir.before or ir.after:
-            plan.append((idx, "", ir))
+    has_inst_hooks = any(ir.before or ir.after for ir in block.insts)
     has_block_after = bool(block.after)
-    if not plan and not has_block_after:
+    if not has_inst_hooks and not has_block_after:
         return
     new_insts: list[IRInst] = []
     for idx, ir in enumerate(block.insts):

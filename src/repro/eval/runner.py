@@ -7,6 +7,8 @@ version on the simulated machine collecting cycle counts.
 
 from __future__ import annotations
 
+import hashlib
+
 from ..atom import OptLevel, instrument_executable
 from ..atom.instrument import InstrumentResult
 from ..machine import RunResult, run_module
@@ -14,17 +16,27 @@ from ..mlc import build_analysis_unit
 from ..objfile.module import Module
 from ..tools import Tool
 
+#: Compiled analysis units keyed by a content hash of the analysis
+#: source.  Keying on the tool *name* served stale units whenever a
+#: tool's source changed between calls (or two tools shared a name);
+#: the content key makes the cache insensitive to naming entirely.
+#: Evicted FIFO past the cap — insertion order is good enough here
+#: since the working set is "every distinct tool in one process".
 _analysis_cache: dict[str, bytes] = {}
+_ANALYSIS_CACHE_CAP = 64
 
 
 def analysis_unit_for(tool: Tool) -> Module:
     """Compile the tool's analysis routines into a linked unit (cached)."""
-    blob = _analysis_cache.get(tool.name)
+    key = hashlib.sha256(tool.analysis_source.encode()).hexdigest()
+    blob = _analysis_cache.get(key)
     if blob is None:
         unit = build_analysis_unit([tool.analysis_source],
                                    name=f"{tool.name}-analysis")
         blob = unit.to_bytes()
-        _analysis_cache[tool.name] = blob
+        while len(_analysis_cache) >= _ANALYSIS_CACHE_CAP:
+            _analysis_cache.pop(next(iter(_analysis_cache)))
+        _analysis_cache[key] = blob
     return Module.from_bytes(blob)
 
 

@@ -5,6 +5,27 @@ machine never self-modifies code), so the dispatch loop is a tight
 ``i = code[i]()``.  Each closure charges its cycle cost, updates registers
 or memory, and returns the index of the next instruction.
 
+On top of the per-instruction closures the decoder builds *superblocks*:
+maximal straight-line runs of non-control-transfer instructions (loads,
+stores, operates, address arithmetic) are fused into a single closure that
+executes the whole run with one dispatch and a single batched ``stats``
+update.  The branch or jump that ends a run is absorbed into the
+superblock as its *terminator* (the fused closure computes and returns the
+successor index itself), so a tight loop body costs exactly one dispatch
+per iteration.  Runs end at every syscall and are split at every static
+branch target, so control entering a run's head takes the fused path.  Control can also enter a run mid-way (computed jumps); every
+index keeps its per-instruction closure, so such entries simply execute
+per-instruction until the next control transfer re-synchronizes them with
+a superblock head.  Architectural state (``regs``, ``stats``, ``memory``)
+is bit-identical either way.
+
+The fused executor is *compiled*: the run's semantics are emitted as
+Python source and ``compile()``d into one code object, so straight-line
+code pays no per-instruction dispatch, closure call, or stats update at
+all — the classic threaded-code-to-template-JIT step.  Compilation is
+lazy (a counting trampoline compiles a superblock on its second entry),
+so cold startup code never pays the compile cost.
+
 This simulator is the reproduction's stand-in for Alpha silicon.  ATOM
 itself uses *no* simulation — the instrumented executable is ordinary
 machine code that runs here natively, analysis routines and all.
@@ -21,6 +42,23 @@ from .syscalls import ExitProgram, Kernel
 
 MASK = (1 << 64) - 1
 SIGN = 1 << 63
+
+#: Longest run fused into one superblock.  Bounds how far a single
+#: dispatch can advance ``stats``, which in turn bounds how close to the
+#: instruction budget the fused path may run (see :meth:`Cpu.run`).
+FUSE_CAP = 64
+
+#: Runs shorter than this stay on per-instruction closures: a superblock
+#: of one saves nothing.
+FUSE_MIN = 2
+
+#: Compiled superblock code objects, keyed by generated source.  The
+#: source is a pure function of the decoded text, so separate runs of the
+#: same executable (common in tests and benchmarking) share one
+#: ``compile()`` — the per-Cpu state is bound at ``exec`` time through
+#: default arguments.  Cleared wholesale when it grows past the cap.
+_SB_CACHE: dict[str, object] = {}
+_SB_CACHE_CAP = 4096
 
 
 class MachineError(Exception):
@@ -41,16 +79,23 @@ class Cpu:
     """Decoder + dispatch loop over a fixed text segment."""
 
     def __init__(self, memory: Memory, kernel: Kernel, text_base: int,
-                 text: bytes, cost_model: CostModel = DEFAULT):
+                 text: bytes, cost_model: CostModel = DEFAULT,
+                 fuse: bool = True):
         self.memory = memory
         self.kernel = kernel
         self.text_base = text_base
         self.regs: list[int] = [0] * 32
         #: stats[0] = cycles, stats[1] = instructions executed
         self.stats = [0, 0]
+        self.fused = fuse
         self._insts = encoding.decode_stream(text)
-        self._code = [self._compile(inst, i, cost_model.cost(inst.op))
+        self._costs = [cost_model.cost(inst.op) for inst in self._insts]
+        self._code = [self._compile(inst, i, self._costs[i])
                       for i, inst in enumerate(self._insts)]
+        if fuse:
+            self._dispatch, self._max_fused = self._build_superblocks()
+        else:
+            self._dispatch, self._max_fused = self._code, 1
 
     # ---- public API -------------------------------------------------------
 
@@ -65,9 +110,18 @@ class Cpu:
     def run(self, entry: int, max_insts: int = 2_000_000_000) -> int:
         """Run from ``entry`` until the program exits; returns exit status."""
         index = self._index_of(entry)
+        dispatch = self._dispatch
         code = self._code
         stats = self.stats
+        # While at least ``_max_fused`` instructions of budget remain, no
+        # single dispatch — superblock or not — can push stats[1] past
+        # max_insts, so the fast loop needs only one check per dispatch.
+        fused_safe = max_insts - self._max_fused
         try:
+            while stats[1] <= fused_safe:
+                index = dispatch[index]()
+            # Budget nearly exhausted: finish per-instruction so the
+            # budget is charged (and checked) one instruction at a time.
             while True:
                 index = code[index]()
                 if stats[1] > max_insts:
@@ -87,6 +141,161 @@ class Cpu:
             raise MachineError(f"bad text address {addr:#x}")
         return offset >> 2
 
+    # ---- superblock fusion -------------------------------------------------
+
+    def superblock_runs(self) -> list[tuple[int, int, int | None]]:
+        """``(start, end, term)`` ranges fused into superblocks.
+
+        ``[start, end)`` is a maximal straight-line stretch of fusible
+        instructions (memory and operate formats) containing no static
+        join point: every control transfer or syscall ends a run, and
+        every branch target splits one.  When the instruction at ``end``
+        is a branch or jump, it is included as the superblock's
+        *terminator* (``term == end``); syscalls and halts stay on their
+        per-instruction closures (``term is None``).  Runs longer than
+        :data:`FUSE_CAP` are chained as consecutive superblocks.
+        """
+        insts = self._insts
+        n = len(insts)
+        fusible = [False] * n
+        # leader[i]: control may enter at i from somewhere other than i-1.
+        leader = bytearray(n + 1)
+        for i, inst in enumerate(insts):
+            fmt = inst.op.format
+            if fmt is Format.MEMORY or fmt is Format.OPERATE:
+                fusible[i] = True
+                continue
+            leader[i + 1] = 1
+            if fmt is Format.BRANCH:
+                target = i + 1 + inst.disp
+                if 0 <= target <= n:
+                    leader[target] = 1
+        runs: list[tuple[int, int, int | None]] = []
+        i = 0
+        while i < n:
+            if not fusible[i]:
+                i += 1
+                continue
+            j = i + 1
+            while j < n and fusible[j] and not leader[j] \
+                    and j - i < FUSE_CAP:
+                j += 1
+            term = None
+            if j < n and j - i < FUSE_CAP and not fusible[j] \
+                    and insts[j].op.format in (Format.BRANCH, Format.JUMP):
+                term = j
+            if (j - i) + (term is not None) >= FUSE_MIN:
+                runs.append((i, j, term))
+            i = j if term is None else j + 1
+        return runs
+
+    def _build_superblocks(self):
+        dispatch = list(self._code)
+        max_len = 1
+        for start, end, term in self.superblock_runs():
+            dispatch[start] = self._trampoline(start, end, term)
+            max_len = max(max_len, (end - start) + (term is not None))
+        return dispatch, max_len
+
+    def _trampoline(self, start: int, end: int, term: int | None):
+        """Lazy superblock installer.
+
+        The first entry executes the run on the ordinary per-instruction
+        closures (startup code that runs once never pays a compile); the
+        second entry compiles the fused executor and patches it into the
+        dispatch table, where every later entry finds it directly.
+        """
+        cold = True
+
+        def trampoline():
+            nonlocal cold
+            if cold:
+                cold = False
+                code = self._code
+                i = start
+                try:
+                    while i < end:
+                        i = code[i]()
+                except MemoryFault as exc:
+                    raise MachineError(str(exc),
+                                       self.text_base + 4 * i) from None
+                return code[term]() if term is not None else i
+            fused = self._fuse(start, end, term)
+            self._dispatch[start] = fused
+            return fused()
+        return trampoline
+
+    def _fuse(self, start: int, end: int, term: int | None):
+        """Compile insts [start, end) (+ terminator) into one function.
+
+        The generated source charges the whole superblock's cost and
+        count with one batched ``stats`` update, then executes every
+        instruction's semantics inline — no per-instruction dispatch or
+        call — and returns the successor index (the terminator's target
+        or fall-through, or ``end`` for a terminator-less run).  Reads of
+        the zero register constant-fold to 0 and writes to it are elided
+        (their cycles are still charged), exactly matching the
+        per-instruction closures.  ``p`` tracks the pc of the trappable
+        instruction being executed so faults escape with a precise
+        location.
+        """
+        base = self.text_base
+        body: list[str] = []
+        trappable = False
+        for k in range(start, end):
+            lines, traps = _gen_inst(self._insts[k], base + 4 * k)
+            trappable |= traps
+            body.extend(lines)
+        if term is not None:
+            body.extend(_gen_term(self._insts[term], term, base))
+            count = (end - start) + 1
+            total_cost = sum(self._costs[start:term + 1])
+        else:
+            body.append(f"return {end}")
+            count = end - start
+            total_cost = sum(self._costs[start:end])
+        head = (f"def sb(r=_regs, read=_read, write=_write, "
+                f"stats=_stats, div=_div, rem=_rem, "
+                f"fast=_fast, fb=_fb):\n"
+                f"    stats[0] += {total_cost}; stats[1] += {count}\n")
+        if trappable:
+            src = head
+            src += f"    p = {base + 4 * start}\n"
+            src += "    try:\n"
+            src += "".join(f"        {line}\n" for line in body)
+            src += ("    except MemoryFault as exc:\n"
+                    "        raise MachineError(str(exc), p) from None\n"
+                    "    except MachineError as exc:\n"
+                    "        if exc.pc is not None:\n"
+                    "            raise\n"
+                    "        raise MachineError(str(exc), p) from None\n")
+        else:
+            src = head + "".join(f"    {line}\n" for line in body)
+        env = {
+            "_regs": self.regs,
+            "_read": self.memory.read_uint,
+            "_write": self.memory.write_uint,
+            # The generated fast path shares Memory's validated-page map
+            # directly (same trust domain as the read_uint/write_uint
+            # fast path — see memory.py).
+            "_fast": self.memory._fast,
+            "_fb": int.from_bytes,
+            "_stats": self.stats,
+            "_div": _divq,
+            "_rem": _remq,
+            "MemoryFault": MemoryFault,
+            "MachineError": MachineError,
+        }
+        code = _SB_CACHE.get(src)
+        if code is None:
+            if len(_SB_CACHE) >= _SB_CACHE_CAP:
+                _SB_CACHE.clear()
+            code = compile(src, f"<superblock@{base + 4 * start:#x}>",
+                           "exec")
+            _SB_CACHE[src] = code
+        exec(code, env)
+        return env["sb"]
+
     # ---- per-instruction compilation ------------------------------------------
 
     def _compile(self, inst: Instruction, index: int, cost: int):
@@ -103,7 +312,7 @@ class Cpu:
         if op.format is Format.JUMP:
             return self._compile_jump(inst, nxt, cost, pc_addr)
         if op.format is Format.OPERATE:
-            return self._compile_operate(inst, nxt, cost)
+            return self._compile_operate(inst, nxt, cost, pc_addr)
         if op is opcodes.SYS:
             kernel = self.kernel
 
@@ -212,12 +421,25 @@ class Cpu:
             return offset >> 2
         return do_jump
 
-    def _compile_operate(self, inst: Instruction, nxt: int, cost: int):
+    def _compile_operate(self, inst: Instruction, nxt: int, cost: int,
+                         pc_addr: int):
         regs, stats = self.regs, self.stats
         op, ra, rc = inst.op, inst.ra, inst.rc
         fn = _ALU[op.mnemonic]
+        can_trap = op.mnemonic in ("divq", "remq")
         if inst.is_lit:
             lit = inst.lit
+            if can_trap:
+                def do_trap_lit():
+                    stats[0] += cost
+                    stats[1] += 1
+                    if rc != 31:
+                        try:
+                            regs[rc] = fn(regs[ra], lit, regs[rc])
+                        except MachineError as exc:
+                            raise MachineError(str(exc), pc_addr) from None
+                    return nxt
+                return do_trap_lit
 
             def do_op_lit():
                 stats[0] += cost
@@ -227,6 +449,17 @@ class Cpu:
                 return nxt
             return do_op_lit
         rb = inst.rb
+        if can_trap:
+            def do_trap_reg():
+                stats[0] += cost
+                stats[1] += 1
+                if rc != 31:
+                    try:
+                        regs[rc] = fn(regs[ra], regs[rb], regs[rc])
+                    except MachineError as exc:
+                        raise MachineError(str(exc), pc_addr) from None
+                return nxt
+            return do_trap_reg
 
         def do_op_reg():
             stats[0] += cost
@@ -235,6 +468,213 @@ class Cpu:
                 regs[rc] = fn(regs[ra], regs[rb], regs[rc])
             return nxt
         return do_op_reg
+
+
+# ---- superblock source generation ------------------------------------------
+
+_M = f"{MASK:#x}"
+_S = f"{SIGN:#x}"
+
+
+def _reg(i: int) -> str:
+    """Source expression for a register read (zero folds to a constant)."""
+    return "0" if i == 31 else f"r[{i}]"
+
+
+def _gen_inst(inst: Instruction, pc: int) -> tuple[list[str], bool]:
+    """Python source lines executing one fusible instruction's semantics.
+
+    Returns ``(lines, trappable)``; an architectural no-op yields no lines
+    (the superblock's batched stats update still charges it).  Trappable
+    instructions set the local ``p`` to their pc first, so the enclosing
+    handler reports faults precisely.
+    """
+    op = inst.op
+    if op.format is Format.MEMORY:
+        ra, rb, disp = inst.ra, inst.rb, inst.disp
+        if op is opcodes.LDA or op is opcodes.LDAH:
+            add = disp if op is opcodes.LDA else (disp << 16)
+            if ra == 31:
+                return [], False
+            if rb == 31:
+                return [f"r[{ra}] = {add & MASK:#x}"], False
+            return [f"r[{ra}] = (r[{rb}] + {add}) & {_M}"], False
+        size = op.access_size
+        addr = f"{disp & MASK:#x}" if rb == 31 \
+            else f"(r[{rb}] + {disp}) & {_M}"
+        # Loads and stores inline the fully-mapped-page fast path (see
+        # Memory._fast): a known-valid allocated page needs no region
+        # check and no call into Memory at all.  Page-crossing or
+        # not-yet-validated accesses fall back to read()/write(), which
+        # keep full fault semantics; ``p`` is set only on that slow path
+        # since the fast path cannot fault.
+        lim = 4097 - size
+        head = [f"a = {addr}",
+                "o = a & 4095",
+                "pg = fast.get(a >> 12)",
+                f"if pg is not None and o < {lim}:"]
+        if op.inst_class is InstClass.LOAD:
+            if ra == 31:
+                # Discarded load: only the fault check is architectural.
+                return [f"a = {addr}",
+                        f"if fast.get(a >> 12) is None "
+                        f"or (a & 4095) >= {lim}:",
+                        f"    p = {pc}",
+                        f"    read(a, {size})"], True
+            fetch = "pg[o]" if size == 1 \
+                else f"fb(pg[o:o + {size}], 'little')"
+            if op.sign_extend:
+                top = 1 << (8 * size - 1)
+                wrap = 1 << (8 * size)
+                return head + [
+                    f"    v = {fetch}",
+                    "else:",
+                    f"    p = {pc}",
+                    f"    v = read(a, {size})",
+                    f"r[{ra}] = (v - {wrap:#x}) & {_M} "
+                    f"if v & {top:#x} else v"], True
+            return head + [
+                f"    r[{ra}] = {fetch}",
+                "else:",
+                f"    p = {pc}",
+                f"    r[{ra}] = read(a, {size})"], True
+        if ra == 31:
+            store = f"pg[o] = 0" if size == 1 \
+                else f"pg[o:o + {size}] = {bytes(size)!r}"
+        elif size == 1:
+            store = f"pg[o] = r[{ra}] & 0xFF"
+        elif size == 8:
+            store = f"pg[o:o + 8] = r[{ra}].to_bytes(8, 'little')"
+        else:
+            mask = (1 << (8 * size)) - 1
+            store = (f"pg[o:o + {size}] = "
+                     f"(r[{ra}] & {mask:#x}).to_bytes({size}, 'little')")
+        return head + [
+            f"    {store}",
+            "else:",
+            f"    p = {pc}",
+            f"    write(a, {_reg(ra)}, {size})"], True
+
+    # Operate format.
+    rc = inst.rc
+    if rc == 31:
+        # The per-instruction closure never evaluates the ALU function
+        # when rc is the zero register, so neither do we (a divq into
+        # zero does not trap).
+        return [], False
+    mn = op.mnemonic
+    a = _reg(inst.ra)
+    b = str(inst.lit) if inst.is_lit else _reg(inst.rb)
+    c = f"r[{rc}]"
+    if mn == "addq":
+        return [f"{c} = ({a} + {b}) & {_M}"], False
+    if mn == "subq":
+        return [f"{c} = ({a} - {b}) & {_M}"], False
+    if mn == "mulq":
+        return [f"{c} = ({a} * {b}) & {_M}"], False
+    if mn == "umulh":
+        return [f"{c} = ({a} * {b}) >> 64"], False
+    if mn == "and":
+        return [f"{c} = {a} & {b}"], False
+    if mn == "bis":
+        return [f"{c} = {a} | {b}"], False
+    if mn == "xor":
+        return [f"{c} = {a} ^ {b}"], False
+    if mn == "bic":
+        return [f"{c} = {a} & ~{b} & {_M}"], False
+    if mn == "ornot":
+        return [f"{c} = ({a} | ~{b}) & {_M}"], False
+    if mn == "sll":
+        sh = str(inst.lit & 63) if inst.is_lit else f"({b} & 63)"
+        return [f"{c} = ({a} << {sh}) & {_M}"], False
+    if mn == "srl":
+        sh = str(inst.lit & 63) if inst.is_lit else f"({b} & 63)"
+        return [f"{c} = {a} >> {sh}"], False
+    if mn == "sra":
+        sh = str(inst.lit & 63) if inst.is_lit else f"s"
+        lines = [] if inst.is_lit else [f"s = {b} & 63"]
+        lines += [f"v = {a}",
+                  f"{c} = ((v - {(1 << 64):#x}) >> {sh}) & {_M} "
+                  f"if v & {_S} else v >> {sh}"]
+        return lines, False
+    if mn == "cmpeq":
+        return [f"{c} = 1 if {a} == {b} else 0"], False
+    if mn == "cmplt":
+        return [f"{c} = 1 if ({a} ^ {_S}) < ({b} ^ {_S}) else 0"], False
+    if mn == "cmple":
+        return [f"{c} = 1 if ({a} ^ {_S}) <= ({b} ^ {_S}) else 0"], False
+    if mn == "cmpult":
+        return [f"{c} = 1 if {a} < {b} else 0"], False
+    if mn == "cmpule":
+        return [f"{c} = 1 if {a} <= {b} else 0"], False
+    if mn == "cmoveq":
+        return [f"if {a} == 0: {c} = {b}"], False
+    if mn == "cmovne":
+        return [f"if {a} != 0: {c} = {b}"], False
+    if mn == "sextb":
+        return [f"v = {b}",
+                f"{c} = ((v & 0xFF) - 0x100) & {_M} "
+                f"if v & 0x80 else v & 0xFF"], False
+    if mn == "sextw":
+        return [f"v = {b}",
+                f"{c} = ((v & 0xFFFF) - 0x10000) & {_M} "
+                f"if v & 0x8000 else v & 0xFFFF"], False
+    if mn == "sextl":
+        return [f"v = {b}",
+                f"{c} = ((v & 0xFFFFFFFF) - 0x100000000) & {_M} "
+                f"if v & 0x80000000 else v & 0xFFFFFFFF"], False
+    if mn == "divq":
+        return [f"p = {pc}", f"{c} = div({a}, {b}, 0)"], True
+    if mn == "remq":
+        return [f"p = {pc}", f"{c} = rem({a}, {b}, 0)"], True
+    # Unknown operate: fall back to the shared ALU table via div-style
+    # call would lose cmov-old-value semantics; keep it strict instead.
+    raise AssertionError(f"no superblock template for {mn}")
+
+
+def _gen_term(inst: Instruction, index: int, base: int) -> list[str]:
+    """Source lines for a superblock's terminating control transfer.
+
+    Mirrors :meth:`Cpu._compile_branch` / :meth:`Cpu._compile_jump`: the
+    generated code writes the link register when appropriate and returns
+    the successor index (taken target, fall-through, or computed jump
+    destination).
+    """
+    op = inst.op
+    nxt = index + 1
+    if op.format is Format.BRANCH:
+        target = index + 1 + inst.disp
+        if op.inst_class in (InstClass.UNCOND_BRANCH, InstClass.CALL):
+            lines = []
+            if inst.ra != 31:
+                retaddr = (base + 4 * nxt) & MASK
+                lines.append(f"r[{inst.ra}] = {retaddr:#x}")
+            lines.append(f"return {target}")
+            return lines
+        a = _reg(inst.ra)
+        test = {
+            "beq": f"{a} == 0",
+            "bne": f"{a} != 0",
+            "blt": f"{a} & {_S}",
+            "ble": f"{a} == 0 or {a} & {_S}",
+            "bgt": f"{a} != 0 and not {a} & {_S}",
+            "bge": f"not {a} & {_S}",
+            "blbc": f"not {a} & 1",
+            "blbs": f"{a} & 1",
+        }[op.mnemonic]
+        return [f"return {target} if {test} else {nxt}"]
+
+    # Jump format: computed destination, optional link.
+    pc = base + 4 * index
+    lines = [f"dest = {_reg(inst.rb)} & ~3"]
+    if op.inst_class in (InstClass.CALL, InstClass.JUMP) and inst.ra != 31:
+        lines.append(f"r[{inst.ra}] = {(pc + 4) & MASK:#x}")
+    lines.append(f"o = dest - {base}")
+    lines.append("if o < 0:")
+    lines.append(f"    raise MachineError('jump to %#x outside text' % dest, "
+                 f"{pc})")
+    lines.append("return o >> 2")
+    return lines
 
 
 _BRANCH_TESTS = {

@@ -54,6 +54,9 @@ class Machine:
     stack_size: int = DEFAULT_STACK_SIZE
     cost_model: CostModel = field(default_factory=lambda: DEFAULT)
     preload_files: dict[str, bytes] = field(default_factory=dict)
+    #: Superblock fusion in the interpreter (architecturally invisible;
+    #: disable to A/B the per-instruction dispatch loop).
+    fuse: bool = True
 
     def __post_init__(self) -> None:
         if not self.module.linked:
@@ -64,7 +67,7 @@ class Machine:
             self.kernel.files[name] = bytearray(content)
         self._load_segments()
         self.cpu = Cpu(self.memory, self.kernel, self._text_vaddr,
-                       self._text_bytes, self.cost_model)
+                       self._text_bytes, self.cost_model, fuse=self.fuse)
         self._setup_stack()
 
     # ---- loading ----------------------------------------------------------
@@ -153,9 +156,11 @@ def run_module(module: Module, *, stdin: bytes = b"",
                args: tuple[str, ...] = (),
                cost_model: CostModel | None = None,
                preload_files: dict[str, bytes] | None = None,
-               max_insts: int = 2_000_000_000) -> RunResult:
+               max_insts: int = 2_000_000_000,
+               fuse: bool = True) -> RunResult:
     """Convenience: load and run an executable module in one call."""
     machine = Machine(module, stdin=stdin, args=args,
                       cost_model=cost_model or DEFAULT,
-                      preload_files=preload_files or {})
+                      preload_files=preload_files or {},
+                      fuse=fuse)
     return machine.run(max_insts=max_insts)

@@ -41,6 +41,22 @@ class Memory:
         #: most-recently-hit region: memory accesses are highly local, so
         #: this turns the region scan into one compare almost always.
         self._hot: Region | None = None
+        #: page numbers that lie entirely inside some mapped region.
+        #: Regions are only ever created or grown, never shrunk, so
+        #: membership is monotone: once a page is known fully mapped, any
+        #: in-page access to it is valid forever and can skip the region
+        #: check.  Populated as a side effect of :meth:`check`.
+        self._full: set[int] = set()
+        #: the intersection of ``_full`` and ``_pages``: pages both fully
+        #: mapped and allocated.  One dict probe answers "is this in-page
+        #: access valid, and if so on which bytes" — the fast path for
+        #: typed access here and for the fused-superblock inline code.
+        self._fast: dict[int, bytearray] = {}
+        #: page number -> (lo, hi): the slice of the page known to lie
+        #: inside one mapped region.  Same monotonicity argument as
+        #: ``_full``, but also covers partially-mapped pages (small data
+        #: sections, region edges), making the common check one dict hit.
+        self._extent: dict[int, tuple[int, int]] = {}
 
     # ---- mapping ----------------------------------------------------------
 
@@ -63,14 +79,29 @@ class Memory:
         return None
 
     def check(self, addr: int, size: int) -> None:
+        span = self._extent.get(addr >> PAGE_SHIFT)
+        if span is not None and span[0] <= addr and \
+                addr + size <= span[1]:
+            return
         hot = self._hot
         if hot is not None and hot.start <= addr and \
                 addr + size <= hot.end:
-            return
-        region = self.region_at(addr)
-        if region is None or addr + size > region.end:
-            raise MemoryFault(addr)
-        self._hot = region
+            region = hot
+        else:
+            region = self.region_at(addr)
+            if region is None or addr + size > region.end:
+                raise MemoryFault(addr)
+            self._hot = region
+        page_no = addr >> PAGE_SHIFT
+        page_lo = page_no << PAGE_SHIFT
+        page_hi = page_lo + PAGE_SIZE
+        if region.start <= page_lo and page_hi <= region.end:
+            self._full.add(page_no)
+            page = self._pages.get(page_no)
+            if page is not None:
+                self._fast[page_no] = page
+        self._extent[page_no] = (max(region.start, page_lo),
+                                 min(region.end, page_hi))
 
     def regions(self) -> list[Region]:
         return list(self._regions)
@@ -82,6 +113,8 @@ class Memory:
         if page is None:
             page = bytearray(PAGE_SIZE)
             self._pages[page_no] = page
+            if page_no in self._full:
+                self._fast[page_no] = page
         return page
 
     def read(self, addr: int, size: int) -> bytes:
@@ -123,20 +156,28 @@ class Memory:
         self._page(addr >> PAGE_SHIFT)[addr & PAGE_MASK] = value & 0xFF
 
     def read_uint(self, addr: int, size: int) -> int:
-        self.check(addr, size)
-        page_no, off = addr >> PAGE_SHIFT, addr & PAGE_MASK
+        off = addr & PAGE_MASK
         if off + size <= PAGE_SIZE:
-            return int.from_bytes(self._page(page_no)[off:off + size],
-                                  "little")
+            page = self._fast.get(addr >> PAGE_SHIFT)
+            if page is not None:
+                return int.from_bytes(page[off:off + size], "little")
+            self.check(addr, size)
+            return int.from_bytes(self._page(addr >> PAGE_SHIFT)
+                                  [off:off + size], "little")
+        self.check(addr, size)
         return int.from_bytes(self._read_nocheck(addr, size), "little")
 
     def write_uint(self, addr: int, value: int, size: int) -> None:
-        self.check(addr, size)
+        off = addr & PAGE_MASK
         raw = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-        page_no, off = addr >> PAGE_SHIFT, addr & PAGE_MASK
         if off + size <= PAGE_SIZE:
-            self._page(page_no)[off:off + size] = raw
+            page = self._fast.get(addr >> PAGE_SHIFT)
+            if page is None:
+                self.check(addr, size)
+                page = self._page(addr >> PAGE_SHIFT)
+            page[off:off + size] = raw
         else:
+            self.check(addr, size)
             self._write_nocheck(addr, raw)
 
     def read_cstring(self, addr: int, limit: int = 1 << 16) -> bytes:

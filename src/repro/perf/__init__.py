@@ -1,0 +1,21 @@
+"""Performance measurement for the reproduction.
+
+The interpreter is the floor under every Figure 5/6 number, so this
+package gives it a persistent, machine-readable trajectory: the
+:mod:`repro.perf.bench` harness times uninstrumented and instrumented
+runs of the stock workloads and writes ``BENCH_interp.json`` at the repo
+root for future changes to regress against.
+
+Exports are re-exported lazily so ``python -m repro.perf.bench`` does
+not import the module twice.
+"""
+
+__all__ = ["BENCH_SCHEMA", "default_report_path", "load_report",
+           "run_bench", "validate_report"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from . import bench
+        return getattr(bench, name)
+    raise AttributeError(name)

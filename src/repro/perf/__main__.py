@@ -1,0 +1,7 @@
+"""``python -m repro.perf`` — run the benchmark harness."""
+
+import sys
+
+from .bench import main
+
+sys.exit(main())

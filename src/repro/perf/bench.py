@@ -1,0 +1,236 @@
+"""The interpreter benchmark harness (``python -m repro.perf.bench``).
+
+Two sections, one JSON report:
+
+* ``interpreter`` — for each workload, an A/B of the superblock-fused
+  dispatch against the plain per-instruction loop.  Architectural state
+  (cycles, instruction count, exit status, stdout) is asserted
+  bit-identical between the two before any number is reported.
+* ``tools`` — for each (workload, tool, opt-level) cell, simulated
+  cycles and wall-clock throughput of the uninstrumented and
+  instrumented executables — the measured version of the paper's
+  Figure 6 overhead story.
+
+Simulated cycles are deterministic; wall-clock insts/sec is best-of-N
+with a warmup run so lazy superblock compilation is excluded, the
+standard JIT-benchmarking convention.  The report lands in
+``BENCH_interp.json`` at the repo root so the trajectory is versioned
+alongside the code that produced it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from ..atom import OptLevel
+from ..eval import apply_tool
+from ..machine import run_module
+from ..tools import TOOL_NAMES, get_tool
+from ..workloads import WORKLOAD_NAMES, build_workload
+
+BENCH_SCHEMA = "repro-bench-interp/v1"
+
+#: Compact default matrix: enough signal to regress against without the
+#: full 20x11x4 sweep (use --all for that).
+DEFAULT_WORKLOADS = ("sieve", "matrix", "quick", "crc")
+DEFAULT_TOOLS = ("dyninst", "prof")
+DEFAULT_OPTS = ("O0", "O1", "O2", "O3")
+
+
+def default_report_path() -> Path:
+    """``BENCH_interp.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "BENCH_interp.json"
+
+
+def _best_wall(module, *, fuse: bool, reps: int, max_insts=2_000_000_000):
+    """(RunResult, best wall seconds) over ``reps`` timed runs + 1 warmup."""
+    result = run_module(module, fuse=fuse, max_insts=max_insts)  # warmup
+    best = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = run_module(module, fuse=fuse, max_insts=max_insts)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def measure_interpreter(workloads, reps: int = 3) -> dict:
+    """Fused-vs-simple dispatch A/B; asserts bit-identical state."""
+    out = {}
+    for name in workloads:
+        module = build_workload(name)
+        fused, fused_s = _best_wall(module, fuse=True, reps=reps)
+        simple, simple_s = _best_wall(module, fuse=False, reps=reps)
+        state = ("cycles", "inst_count", "status", "stdout")
+        for field in state:
+            if getattr(fused, field) != getattr(simple, field):
+                raise AssertionError(
+                    f"{name}: fused and per-instruction runs diverge "
+                    f"on {field}")
+        fused_ips = fused.inst_count / fused_s
+        simple_ips = simple.inst_count / simple_s
+        out[name] = {
+            "insts": fused.inst_count,
+            "cycles": fused.cycles,
+            "fused_ips": round(fused_ips),
+            "simple_ips": round(simple_ips),
+            "speedup": round(fused_ips / simple_ips, 3),
+        }
+    return out
+
+
+def measure_tools(workloads, tools, opts, reps: int = 1) -> list[dict]:
+    """Instrumented-vs-base cycles and throughput per matrix cell."""
+    rows = []
+    for wl in workloads:
+        module = build_workload(wl)
+        base, base_s = _best_wall(module, fuse=True, reps=reps)
+        for tool_name in tools:
+            tool = get_tool(tool_name)
+            for opt_name in opts:
+                opt = OptLevel[opt_name]
+                instrumented = apply_tool(module, tool, opt=opt)
+                instr, instr_s = _best_wall(instrumented.module,
+                                            fuse=True, reps=reps)
+                rows.append({
+                    "workload": wl,
+                    "tool": tool_name,
+                    "opt": opt_name,
+                    "base_cycles": base.cycles,
+                    "instr_cycles": instr.cycles,
+                    "cycle_overhead": round(instr.cycles / base.cycles, 3),
+                    "base_insts": base.inst_count,
+                    "instr_insts": instr.inst_count,
+                    "base_ips": round(base.inst_count / base_s),
+                    "instr_ips": round(instr.inst_count / instr_s),
+                })
+    return rows
+
+
+def run_bench(workloads=DEFAULT_WORKLOADS, tools=DEFAULT_TOOLS,
+              opts=DEFAULT_OPTS, reps: int = 3,
+              tool_reps: int = 1) -> dict:
+    """Run both sections and assemble the report."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "config": {
+            "workloads": list(workloads),
+            "tools": list(tools),
+            "opts": list(opts),
+            "reps": reps,
+        },
+        "interpreter": measure_interpreter(workloads, reps=reps),
+        "tools": measure_tools(workloads, tools, opts, reps=tool_reps),
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Raise ValueError when ``report`` does not match the schema."""
+    def need(cond, what):
+        if not cond:
+            raise ValueError(f"bad bench report: {what}")
+
+    need(isinstance(report, dict), "not an object")
+    need(report.get("schema") == BENCH_SCHEMA,
+         f"schema != {BENCH_SCHEMA!r}")
+    for key in ("created", "host", "config", "interpreter", "tools"):
+        need(key in report, f"missing key {key!r}")
+    need(isinstance(report["interpreter"], dict) and report["interpreter"],
+         "empty interpreter section")
+    for name, row in report["interpreter"].items():
+        for key in ("insts", "cycles", "fused_ips", "simple_ips",
+                    "speedup"):
+            need(key in row, f"interpreter[{name!r}] missing {key!r}")
+            need(isinstance(row[key], (int, float)) and row[key] > 0,
+                 f"interpreter[{name!r}][{key!r}] not positive")
+    need(isinstance(report["tools"], list), "tools section not a list")
+    for i, row in enumerate(report["tools"]):
+        for key in ("workload", "tool", "opt", "base_cycles",
+                    "instr_cycles", "cycle_overhead", "base_insts",
+                    "instr_insts", "base_ips", "instr_ips"):
+            need(key in row, f"tools[{i}] missing {key!r}")
+
+
+def load_report(path: Path | None = None) -> dict | None:
+    """Load and validate a committed report; None when absent."""
+    path = path or default_report_path()
+    if not path.exists():
+        return None
+    report = json.loads(path.read_text())
+    validate_report(report)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the WRL-64 interpreter and tool matrix.")
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated workload names")
+    parser.add_argument("--tools", default=",".join(DEFAULT_TOOLS),
+                        help="comma-separated tool names")
+    parser.add_argument("--opts", default=",".join(DEFAULT_OPTS),
+                        help="comma-separated opt levels (O0..O3)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per interpreter cell")
+    parser.add_argument("--all", action="store_true",
+                        help="full matrix: every workload and tool")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke run: one workload, one tool, one opt")
+    parser.add_argument("--out", default=str(default_report_path()),
+                        help="report path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workloads.split(","))
+    tools = tuple(args.tools.split(","))
+    opts = tuple(args.opts.split(","))
+    if args.all:
+        workloads, tools = WORKLOAD_NAMES, TOOL_NAMES
+    if args.quick:
+        workloads, tools, opts = workloads[:1], tools[:1], opts[:1]
+
+    if args.reps < 1:
+        parser.error("--reps must be at least 1")
+    for name, known, flag in (
+            (workloads, WORKLOAD_NAMES, "--workloads"),
+            (tools, TOOL_NAMES, "--tools"),
+            (opts, tuple(level.name for level in OptLevel), "--opts")):
+        unknown = [n for n in name if n not in known]
+        if unknown:
+            parser.error(f"{flag}: unknown {', '.join(unknown)} "
+                         f"(choose from {', '.join(known)})")
+
+    out = Path(args.out)
+    if not out.parent.is_dir():
+        parser.error(f"--out: directory {out.parent} does not exist")
+
+    report = run_bench(workloads, tools, opts, reps=args.reps)
+    validate_report(report)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    for name, row in report["interpreter"].items():
+        print(f"  {name}: fused {row['fused_ips']:,} insts/s, "
+              f"simple {row['simple_ips']:,} insts/s "
+              f"({row['speedup']}x)")
+    for row in report["tools"]:
+        print(f"  {row['workload']}+{row['tool']}@{row['opt']}: "
+              f"{row['cycle_overhead']}x cycles, "
+              f"{row['instr_ips']:,} insts/s instrumented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

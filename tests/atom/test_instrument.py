@@ -330,6 +330,49 @@ class TestArguments:
             [str(i) for i in range(1, 9)]
 
 
+class TestStats:
+    def test_points_count_sites_calls_count_actions(self, build_app,
+                                                    counter_analysis):
+        """``points`` is distinct non-empty hook sites; ``calls_added`` is
+        one per action.  Stacking actions on one site must not inflate
+        ``points``."""
+        app = build_app(r"""
+        long one(long x) { return x + 1; }
+        int main() { return (int)one(3); }
+        """)
+
+        def Instrument(iargc, iargv, atom):
+            atom.AddCallProto("Count(int)")
+            one = atom.GetNamedProc("one")
+            # Three actions stacked on the same site: one point.
+            atom.AddCallProc(one, ProcBefore, "Count", 1)
+            atom.AddCallProc(one, ProcBefore, "Count", 2)
+            atom.AddCallProc(one, ProcBefore, "Count", 3)
+
+        res = instr(app, Instrument, counter_analysis)
+        assert res.stats.points == 1
+        assert res.stats.calls_added == 3
+
+    def test_points_distinct_sites_counted_separately(self, build_app,
+                                                      counter_analysis):
+        app = build_app(r"""
+        long one(long x) { return x + 1; }
+        int main() { return (int)one(3); }
+        """)
+
+        def Instrument(iargc, iargv, atom):
+            atom.AddCallProto("Count(int)")
+            one = atom.GetNamedProc("one")
+            atom.AddCallProc(one, ProcBefore, "Count", 1)
+            atom.AddCallProc(one, ProcAfter, "Count", 2)
+            atom.AddCallProgram(ProgramBefore, "Count", 3)
+
+        res = instr(app, Instrument, counter_analysis)
+        # Entry site, exit site (single return), and the program hook.
+        assert res.stats.points == 3
+        assert res.stats.calls_added == 3
+
+
 class TestValidation:
     def test_missing_proto_rejected(self, app, counter_analysis):
         def Instrument(iargc, iargv, atom):

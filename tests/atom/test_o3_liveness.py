@@ -3,7 +3,9 @@ whose original value the snippet itself needs."""
 
 import pytest
 
-from repro.atom import OptLevel, ProcBefore, ProgramAfter, instrument_executable
+from repro.atom import (OptLevel, ProcAfter, ProcBefore, ProgramAfter,
+                        instrument_executable)
+from repro.atom.lowering import Lowerer
 from repro.isa import registers as R
 from repro.machine import run_module
 from repro.mlc import build_analysis_unit, build_executable
@@ -79,6 +81,72 @@ def test_o3_skips_dead_saves_but_stays_correct(anal):
         res = instrument_executable(app, Instrument, anal, opt=level)
         result = run_module(res.module)
         assert result.stdout == base.stdout, level
+        cycles[level] = result.cycles
+    assert cycles[OptLevel.O3] < cycles[OptLevel.O1]
+
+
+def test_proc_after_snippets_get_exit_liveness_at_o3(anal, monkeypatch):
+    """ProcAfter splices must receive the registers live before the ret,
+    not None (regression: O3 liveness was silently dropped for them)."""
+    app = build_executable([r"""
+    long probe(long x) { return x + 1; }
+    int main() { return (int)probe(41) % 256; }
+    """])
+    captured = []
+    original = Lowerer.snippet
+
+    def spy(self, actions, app_inst=None, live=None):
+        if actions:
+            captured.append(live)
+        return original(self, actions, app_inst, live)
+
+    monkeypatch.setattr(Lowerer, "snippet", spy)
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Grab2(REGV, REGV)")
+        probe = atom.GetNamedProc("probe")
+        atom.AddCallProc(probe, ProcAfter, "Grab2", R.V0, R.SP)
+
+    instrument_executable(app, Instrument, anal, opt=OptLevel.O3)
+    assert captured, "the ProcAfter action was never lowered"
+    assert all(live is not None for live in captured), \
+        "ProcAfter snippet lowered without exit liveness at O3"
+    # Exit liveness never includes dead caller-saved temporaries.
+    for live in captured:
+        assert R.T0 not in live
+
+
+def test_proc_after_saves_shrink_at_o3(anal):
+    """An O3 ProcAfter build must be cheaper than the O1 build of the
+    same plan, and behave identically."""
+    app = build_executable([r"""
+    long noisy(long x) {
+        long a = x * 3;
+        long b = a ^ 0x55;
+        return a + b;
+    }
+    int main() {
+        long i, acc = 0;
+        for (i = 0; i < 200; i++) acc += noisy(i);
+        printf("%d\n", acc & 0xFFFF);
+        return 0;
+    }
+    """])
+    base = run_module(app)
+
+    def Instrument(iargc, iargv, atom):
+        atom.AddCallProto("Grab2(REGV, REGV)")
+        atom.AddCallProto("Dump()")
+        noisy = atom.GetNamedProc("noisy")
+        atom.AddCallProc(noisy, ProcAfter, "Grab2", R.V0, R.SP)
+        atom.AddCallProgram(ProgramAfter, "Dump")
+
+    cycles = {}
+    for level in (OptLevel.O1, OptLevel.O3):
+        res = instrument_executable(app, Instrument, anal, opt=level)
+        result = run_module(res.module)
+        assert result.stdout == base.stdout, level
+        assert result.status == base.status, level
         cycles[level] = result.cycles
     assert cycles[OptLevel.O3] < cycles[OptLevel.O1]
 

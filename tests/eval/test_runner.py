@@ -1,6 +1,9 @@
 """Evaluation-harness plumbing tests."""
 
+import dataclasses
+
 from repro.eval import analysis_unit_for, apply_tool, run_instrumented, run_uninstrumented
+from repro.eval import runner
 from repro.tools import get_tool
 from repro.workloads import build_workload
 
@@ -12,6 +15,41 @@ def test_analysis_unit_cached_but_fresh():
     assert a is not b                 # fresh objects
     assert a.to_bytes() == b.to_bytes()
     assert a.symtab.get("MallocCall") is not None
+
+
+def test_analysis_cache_keyed_by_content_not_name():
+    """Two tools sharing a name but differing in analysis source must not
+    share a compiled unit (regression: the cache was keyed on name)."""
+    malloc = get_tool("malloc")
+    imposter = dataclasses.replace(
+        malloc, analysis_source=get_tool("io").analysis_source)
+    first = analysis_unit_for(malloc)
+    second = analysis_unit_for(imposter)
+    assert first.symtab.get("MallocCall") is not None
+    assert second.symtab.get("MallocCall") is None     # io's unit, not a
+    assert first.to_bytes() != second.to_bytes()       # stale cached copy
+
+
+def test_analysis_cache_sees_source_changes():
+    """The same tool object with edited source gets a fresh unit."""
+    tool = get_tool("malloc")
+    baseline = analysis_unit_for(tool)
+    edited = dataclasses.replace(
+        tool, analysis_source=tool.analysis_source + "\nlong __extra;\n")
+    fresh = analysis_unit_for(edited)
+    assert fresh.symtab.get("__extra") is not None
+    assert baseline.symtab.get("__extra") is None
+
+
+def test_analysis_cache_size_capped(monkeypatch):
+    monkeypatch.setattr(runner, "_ANALYSIS_CACHE_CAP", 2)
+    monkeypatch.setattr(runner, "_analysis_cache", {})
+    tool = get_tool("malloc")
+    for i in range(3):
+        variant = dataclasses.replace(
+            tool, analysis_source=tool.analysis_source + "\n" * (i + 1))
+        analysis_unit_for(variant)
+    assert len(runner._analysis_cache) <= 2
 
 
 def test_apply_and_run():

@@ -103,6 +103,63 @@ class TestAlu:
         expect("lda zero, 99(zero)\n clr t9", 0)
 
 
+class TestAluEdgeCases:
+    def test_sextb_sign_boundaries(self):
+        expect("li t0, 0x7F\n sextb t0, t9", 0x7F)          # max positive
+        expect("li t0, 0x80\n sextb t0, t9\n addq t9, 0x81, t9", 1)
+        expect("li t0, 0xFF\n sextb t0, t9\n addq t9, 1, t9", 0)
+        # High bits beyond the byte are ignored.
+        expect("li t0, 0x1234FF7F\n sextb t0, t9", 0x7F)
+
+    def test_sextw_sign_boundaries(self):
+        expect("li t0, 0x7FFF\n sextw t0, t9\n srl t9, 8, t9", 0x7F)
+        expect("li t0, 0x8000\n sextw t0, t9\n addq t9, 0x8001, t9", 1)
+        expect("li t0, 0xFFFF\n sextw t0, t9\n addq t9, 1, t9", 0)
+
+    def test_sextl_sign_boundaries(self):
+        # 0x7FFFFFFF stays positive: bit 31 propagates nothing.
+        expect("li t0, 1\n sll t0, 31, t0\n subq t0, 1, t0\n"
+               " sextl t0, t9\n srl t9, 31, t9", 0)
+        # 0x80000000 becomes negative: the top 33 bits all set.
+        expect("li t0, 1\n sll t0, 31, t0\n sextl t0, t9\n"
+               " srl t9, 31, t9\n and t9, 0xff, t9", 0xFF)
+
+    def test_shifts_by_63(self):
+        expect("li t0, 1\n sll t0, 63, t9\n srl t9, 56, t9", 0x80)
+        expect("li t0, -1\n srl t0, 63, t9", 1)
+        expect("li t0, -2\n sra t0, 63, t9\n addq t9, 2, t9", 1)
+        # Register-count forms take the same path.
+        expect("li t0, 1\n li t1, 63\n sll t0, t1, t9\n srl t9, 56, t9",
+               0x80)
+        expect("li t0, -2\n li t1, 63\n sra t0, t1, t9\n addq t9, 2, t9",
+               1)
+
+    def test_umulh_high_bit_products(self):
+        # (2^64-1)^2 >> 64 == 2^64-2: +2 wraps to 0.
+        expect("li t0, -1\n li t1, -1\n umulh t0, t1, t9\n"
+               " addq t9, 2, t9", 0)
+        # 2^63 * 2 >> 64 == 1.
+        expect("li t0, 1\n sll t0, 63, t0\n li t1, 2\n umulh t0, t1, t9",
+               1)
+        # Products below 2^64 have zero high half.
+        expect("li t0, -1\n li t1, 1\n umulh t0, t1, t9", 0)
+
+    def test_cmov_into_zero_register_discarded(self):
+        expect("li t0, 0\n li t1, 42\n cmoveq t0, t1, zero\n li t9, 7", 7)
+        expect("li t0, 1\n li t1, 42\n cmovne t0, t1, zero\n li t9, 7", 7)
+
+    def test_divq_into_zero_register_never_traps(self):
+        # The ALU function is not evaluated when rc is the zero register,
+        # so a divide by zero whose result is discarded cannot trap.
+        expect("li t0, 1\n clr t1\n divq t0, t1, zero\n li t9, 5", 5)
+        expect("li t0, 1\n clr t1\n remq t0, t1, zero\n li t9, 5", 5)
+
+    def test_divide_by_zero_reports_pc(self):
+        with pytest.raises(MachineError, match="pc=0x") as excinfo:
+            run_asm("li t0, 1\n clr t1\n divq t0, t1, t9")
+        assert excinfo.value.pc is not None
+
+
 class TestControlFlow:
     def test_branches(self):
         expect("""
