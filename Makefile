@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline
+.PHONY: check test bench bench-smoke validate-baseline check-matrix eval-matrix
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -17,6 +17,20 @@ bench:
 # One workload/tool/opt cell, written to a scratch path.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --quick --reps 1 --out /tmp/bench_smoke.json
+
+# Parallel conformance/differential matrix lane (pytest -m matrix).
+# Deterministically sharded: `make check-matrix SHARD=0 SHARDS=2` runs
+# half the matrix; run every shard to cover all of it.  Set
+# WRL_MATRIX_FULL=1 for all 20 workloads instead of the quick set.
+SHARD ?= 0
+SHARDS ?= 1
+check-matrix:
+	WRL_EVAL_SHARD=$(SHARD) WRL_EVAL_SHARDS=$(SHARDS) \
+	$(PYTHON) -m pytest -q -m matrix tests/eval/test_parallel_matrix.py
+
+# Full matrix through the parallel pipeline; rewrites EVAL_matrix.json.
+eval-matrix:
+	$(PYTHON) -m repro.eval --jobs 2 --out EVAL_matrix.json
 
 validate-baseline:
 	$(PYTHON) -c "import json, sys; \

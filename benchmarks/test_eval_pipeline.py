@@ -1,0 +1,38 @@
+"""Eval-pipeline throughput: cold versus warm artifact cache.
+
+ATOM's pitch is cheap repeat tool runs; the artifact cache is our
+mechanical version of that claim.  This benchmark instruments one
+workload with one tool cold (compile everything) and warm (rehydrate
+the instrumented executable from the content-addressed store) and
+asserts the warm path is both faster and bit-identical.
+"""
+
+import pytest
+
+from repro.eval import apply_tool
+from repro.eval.cache import ArtifactCache
+from repro.tools import get_tool
+from repro.workloads import build_workload
+
+CELLS = (("dyninst", "fileio"), ("cache", "li"))
+
+
+@pytest.mark.parametrize("tool_name,workload", CELLS)
+def test_warm_cache_beats_cold_instrumentation(benchmark, tmp_path,
+                                               tool_name, workload):
+    app = build_workload(workload)
+    tool = get_tool(tool_name)
+    store = ArtifactCache(tmp_path / "cache")
+    cold = apply_tool(app, tool, cache=store)     # populate the store
+
+    def warm_apply():
+        return apply_tool(app, tool, cache=store)
+
+    benchmark.group = "eval pipeline: warm apply_tool"
+    benchmark.extra_info["tool"] = tool_name
+    benchmark.extra_info["workload"] = workload
+    warm = benchmark.pedantic(warm_apply, rounds=3, iterations=1,
+                              warmup_rounds=1)
+    assert warm.cached and not cold.cached
+    assert warm.module.to_bytes() == cold.module.to_bytes()
+    assert warm.stats == cold.stats

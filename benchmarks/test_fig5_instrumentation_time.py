@@ -26,7 +26,9 @@ def test_fig5_instrument_suite(benchmark, apps, tool_name):
 
     def instrument_all():
         for name in names:
-            apply_tool(apps[name], tool)
+            # cache=None: this benchmark measures instrumentation time,
+            # so the artifact cache must not serve pre-built modules.
+            apply_tool(apps[name], tool, cache=None)
 
     benchmark.group = "fig5: instrument workload suite"
     benchmark.extra_info["tool"] = tool_name

@@ -66,7 +66,12 @@ class InstrumentStats:
 class InstrumentResult:
     module: Module
     stats: InstrumentStats
-    plans: SavePlans
+    #: None when the result was rehydrated from the artifact cache —
+    #: save plans are an instrumentation-time intermediate and are not
+    #: persisted alongside the module bytes and stats.
+    plans: SavePlans | None
+    #: True when served from the on-disk artifact cache.
+    cached: bool = False
 
 
 def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,

@@ -1,7 +1,23 @@
-"""Shared evaluation harness for the benchmark suite."""
+"""Shared evaluation harness for the benchmark suite.
 
+``runner`` is the single-cell API (instrument + run, artifact-cached);
+``parallel`` fans the full tool x workload x opt matrix out across a
+shard-aware process pool (the ``wrl-eval`` CLI); ``cache`` is the
+content-addressed on-disk store both share.
+"""
+
+from .cache import ArtifactCache, cache_enabled, default_cache_dir
+from .errors import EvalTimeout
+from .parallel import (TaskResult, TaskSpec, plan_matrix, run_matrix,
+                       select_shard, shard_of)
 from .runner import (apply_tool, analysis_unit_for, run_instrumented,
                      run_uninstrumented)
 
-__all__ = ["apply_tool", "analysis_unit_for", "run_instrumented",
-           "run_uninstrumented"]
+__all__ = [
+    "ArtifactCache", "cache_enabled", "default_cache_dir",
+    "EvalTimeout",
+    "TaskResult", "TaskSpec", "plan_matrix", "run_matrix",
+    "select_shard", "shard_of",
+    "apply_tool", "analysis_unit_for", "run_instrumented",
+    "run_uninstrumented",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.eval``: the parallel matrix CLI (``wrl-eval``)."""
+
+import sys
+
+from .parallel import main
+
+sys.exit(main())

@@ -1,0 +1,271 @@
+"""Content-addressed on-disk store for compiled evaluation artifacts.
+
+Compiling a workload, an analysis unit, or an instrumented executable is
+pure: the output is a function of the source text and the build flags.
+This module keys each artifact by a SHA-256 over those inputs and keeps
+the resulting blobs under ``.repro-cache/`` so repeat bench/eval runs —
+including runs in fresh worker processes — skip recompilation entirely.
+
+Layout::
+
+    <root>/objects/<k[:2]>/<k>     # k = 64-hex content key
+                                   # blob = sha256(payload) || payload
+
+* The key hashes the *inputs* (source, flags, schema version); the
+  leading digest hashes the *payload*, so a corrupted or truncated blob
+  is detected on read, deleted, and treated as a miss — callers
+  recompile, they never crash on bad cache bytes.
+* Writes are atomic (temp file + ``os.replace``), so concurrent workers
+  racing on the same key at worst both compile; the store never holds a
+  half-written blob.
+* Eviction is LRU by file mtime past ``cap`` entries (hits touch the
+  blob); ``WRL_CACHE_CAP`` overrides the default of 512.
+
+Resolution order for the default store: disabled when ``WRL_CACHE`` is
+``0``/``off``/``false``; rooted at ``WRL_CACHE_DIR`` when set; otherwise
+``.repro-cache/`` under the current working directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import __version__ as _REPRO_VERSION
+
+#: Every key mixes in this tag and the package version, so a release
+#: bump invalidates stale artifacts wholesale; bump the schema suffix
+#: when the artifact format or the compiler pipeline changes
+#: incompatibly within a version.
+CACHE_SCHEMA = f"wrl-cache/v1/{_REPRO_VERSION}"
+
+DEFAULT_DIR_NAME = ".repro-cache"
+DEFAULT_CAP = 512
+
+ENV_DIR = "WRL_CACHE_DIR"
+ENV_TOGGLE = "WRL_CACHE"
+ENV_CAP = "WRL_CACHE_CAP"
+
+_DIGEST_LEN = 32
+
+
+class CacheFormatError(Exception):
+    """A cached payload did not unpack as the expected artifact."""
+
+
+def cache_enabled() -> bool:
+    """False when ``WRL_CACHE`` opts out of the on-disk store."""
+    return os.environ.get(ENV_TOGGLE, "1").lower() not in (
+        "0", "off", "false", "no")
+
+
+def default_cache_dir() -> Path:
+    """``WRL_CACHE_DIR`` when set, else ``.repro-cache/`` under cwd."""
+    override = os.environ.get(ENV_DIR)
+    return Path(override) if override else Path.cwd() / DEFAULT_DIR_NAME
+
+
+def _default_cap() -> int:
+    try:
+        return max(1, int(os.environ.get(ENV_CAP, DEFAULT_CAP)))
+    except ValueError:
+        return DEFAULT_CAP
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    evicted: int = 0
+
+
+class ArtifactCache:
+    """One content-addressed blob store rooted at a directory."""
+
+    def __init__(self, root: Path | str | None = None,
+                 cap: int | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.cap = cap if cap is not None else _default_cap()
+        self.stats = CacheStats()
+
+    # ---- paths ------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / key
+
+    # ---- store API --------------------------------------------------------
+
+    def get(self, key: str) -> bytes | None:
+        """The payload for ``key``, or None on miss or corruption."""
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        digest, payload = blob[:_DIGEST_LEN], blob[_DIGEST_LEN:]
+        if len(blob) < _DIGEST_LEN or \
+                hashlib.sha256(payload).digest() != digest:
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)                       # refresh LRU position
+        except OSError:
+            pass
+        return payload
+
+    def put(self, key: str, payload: bytes) -> None:
+        """Store ``payload`` under ``key`` atomically, then evict LRU."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = hashlib.sha256(payload).digest() + payload
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self._evict()
+
+    def __len__(self) -> int:
+        if not self.objects_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._iter_blobs())
+
+    def clear(self) -> None:
+        for path in list(self._iter_blobs()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # ---- eviction ---------------------------------------------------------
+
+    def _iter_blobs(self):
+        for bucket in self.objects_dir.iterdir():
+            if bucket.is_dir():
+                for path in bucket.iterdir():
+                    if not path.name.startswith("."):
+                        yield path
+
+    def _evict(self) -> None:
+        blobs = list(self._iter_blobs())
+        if len(blobs) <= self.cap:
+            return
+        def mtime(path):
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        blobs.sort(key=mtime)
+        for path in blobs[:len(blobs) - self.cap]:
+            try:
+                path.unlink()
+                self.stats.evicted += 1
+            except OSError:
+                pass
+
+
+#: Default stores memoized per resolved root, so counters accumulate
+#: across calls within a process but tests get a fresh instance whenever
+#: they repoint ``WRL_CACHE_DIR``.
+_default_caches: dict[Path, ArtifactCache] = {}
+
+
+def get_default_cache() -> ArtifactCache | None:
+    """The process-default store, or None when caching is disabled."""
+    if not cache_enabled():
+        return None
+    root = default_cache_dir()
+    cache = _default_caches.get(root)
+    if cache is None:
+        cache = _default_caches[root] = ArtifactCache(root)
+    return cache
+
+
+# ---- content keys ---------------------------------------------------------
+
+def content_key(kind: str, *parts: bytes | str | int | tuple) -> str:
+    """SHA-256 over the schema tag, ``kind``, and length-framed parts.
+
+    Length framing keeps distinct part sequences from colliding (e.g.
+    ``("ab", "c")`` vs ``("a", "bc")``).
+    """
+    digest = hashlib.sha256()
+    for piece in (CACHE_SCHEMA, kind) + parts:
+        if isinstance(piece, tuple):
+            raw = json.dumps(piece, default=str).encode()
+        elif isinstance(piece, (int, float)):
+            raw = repr(piece).encode()
+        elif isinstance(piece, str):
+            raw = piece.encode()
+        else:
+            raw = piece
+        digest.update(struct.pack(">Q", len(raw)))
+        digest.update(raw)
+    return digest.hexdigest()
+
+
+def analysis_key(analysis_source: str) -> str:
+    """Key for a compiled analysis unit."""
+    return content_key("analysis", analysis_source)
+
+
+def executable_key(sources: tuple[str, ...], name: str) -> str:
+    """Key for a compiled+linked application executable."""
+    return content_key("executable", name, *sources)
+
+
+def instrument_key(app_bytes: bytes, analysis_source: str,
+                   instrument_fingerprint: str, opt: str, heap_mode: str,
+                   tool_args: tuple[str, ...]) -> str:
+    """Key for an instrumented executable (module bytes + stats)."""
+    return content_key("instrument", app_bytes, analysis_source,
+                       instrument_fingerprint, opt, heap_mode, tool_args)
+
+
+# ---- instrumented-executable payload framing ------------------------------
+
+def pack_instrument(module_bytes: bytes, stats: dict) -> bytes:
+    """``[u32 header len][header JSON][module bytes]``."""
+    header = json.dumps({"schema": CACHE_SCHEMA, "stats": stats},
+                        sort_keys=True).encode()
+    return struct.pack(">I", len(header)) + header + module_bytes
+
+
+def unpack_instrument(payload: bytes) -> tuple[bytes, dict]:
+    """Inverse of :func:`pack_instrument`; raises CacheFormatError."""
+    try:
+        (header_len,) = struct.unpack_from(">I", payload)
+        header = json.loads(payload[4:4 + header_len])
+        module_bytes = payload[4 + header_len:]
+        if header.get("schema") != CACHE_SCHEMA:
+            raise CacheFormatError(
+                f"stale cache schema {header.get('schema')!r}")
+        return module_bytes, header["stats"]
+    except CacheFormatError:
+        raise
+    except Exception as exc:
+        raise CacheFormatError(f"bad instrumented payload: {exc}") from exc

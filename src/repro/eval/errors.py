@@ -1,0 +1,29 @@
+"""Typed failures the evaluation harness can surface.
+
+The machine raises :class:`~repro.machine.cpu.BudgetExhausted` when a run
+overruns ``max_insts``; at the eval layer that is a *timeout* — the
+budget is the harness's deterministic stand-in for a wall clock — so the
+runner re-raises it as :class:`EvalTimeout`, which records which stage
+(base or instrumented run) overran and at what budget.  It subclasses
+``BudgetExhausted`` so existing ``except MachineError`` handlers keep
+working.
+"""
+
+from __future__ import annotations
+
+from ..machine.cpu import BudgetExhausted
+
+
+class EvalTimeout(BudgetExhausted):
+    """An evaluation run exhausted its instruction budget.
+
+    ``stage`` names the phase that overran (``"base"`` or
+    ``"instrumented"``); ``max_insts`` is the budget that ran out.
+    """
+
+    def __init__(self, stage: str, max_insts: int, pc: int | None = None):
+        self.stage = stage
+        self.max_insts = max_insts
+        super().__init__(
+            f"{stage} run exceeded the {max_insts:,}-instruction budget",
+            pc)

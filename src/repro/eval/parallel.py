@@ -1,0 +1,601 @@
+"""Shard-aware parallel evaluation pipeline (``wrl-eval``).
+
+The paper's evaluation is a (tool × workload × opt-level) matrix; this
+module fans that matrix out across a ``ProcessPoolExecutor`` work queue
+with:
+
+* **deterministic shard assignment** — :func:`shard_of` hashes the task
+  id, so a matrix split ``--shard i/n`` across n independent invocations
+  covers every cell exactly once regardless of scheduling;
+* **per-task timeout and retry** — a deterministic instruction-budget
+  timeout inside the worker (surfaced as a ``timeout`` record via
+  :class:`~repro.eval.errors.EvalTimeout`) plus an optional wall-clock
+  backstop in the parent that kills and replaces the pool, quarantining
+  the flaky task instead of aborting the whole run;
+* **structured per-task records** — :class:`TaskResult` carries status,
+  cycles, instruction counts, wall time, instrumentation stats, content
+  hashes of the observable outputs, and cache effectiveness, and its
+  :meth:`TaskResult.identity` tuple is the bit-identical contract the
+  conformance suite checks serial-vs-parallel and run-vs-rerun.
+
+Workers share compiled artifacts through the content-addressed on-disk
+store (:mod:`repro.eval.cache`), so a warm cache makes a repeat matrix
+run execute zero compiles.  ``jobs=0`` runs the same records inline in
+the calling process — the serial reference the differential tests
+compare against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                wait)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..atom import OptLevel
+from ..tools import TOOL_NAMES, get_tool
+from ..workloads import WORKLOAD_NAMES, build_workload
+from . import runner
+from .cache import ArtifactCache, cache_enabled, default_cache_dir
+from .errors import EvalTimeout
+
+MATRIX_SCHEMA = "repro-eval-matrix/v1"
+
+#: Compact default matrix: every stock tool over four small workloads at
+#: the default opt level (use --all for the full 11 x 20 sweep).
+DEFAULT_WORKLOADS = ("fileio", "espresso", "li", "fib")
+DEFAULT_OPTS = ("O1",)
+
+
+# ---- task specification ---------------------------------------------------
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One (tool, workload, opt) cell of the evaluation matrix."""
+
+    tool: str
+    workload: str
+    opt: str = "O1"
+    heap_mode: str = "linked"
+    tool_args: tuple[str, ...] = ()
+    wl_args: tuple[str, ...] = ()
+    stdin: bytes = b""
+    base_max_insts: int = 500_000_000
+    max_insts: int = 2_000_000_000
+    #: Timed repetitions per run (wall-clock best-of-N); 1 warmup run is
+    #: added when ``warmup`` — the bench harness convention.
+    reps: int = 1
+    warmup: bool = False
+
+    @property
+    def task_id(self) -> str:
+        extra = ""
+        if self.tool_args or self.wl_args or self.stdin:
+            extra = ":" + hashlib.sha256(
+                repr((self.tool_args, self.wl_args, self.stdin)).encode()
+            ).hexdigest()[:12]
+        return (f"{self.tool}:{self.workload}:{self.opt}:"
+                f"{self.heap_mode}{extra}")
+
+
+def plan_matrix(tools=TOOL_NAMES, workloads=DEFAULT_WORKLOADS,
+                opts=DEFAULT_OPTS, **spec_kw) -> list[TaskSpec]:
+    """The full matrix in deterministic workload-major order."""
+    return [TaskSpec(tool=t, workload=w, opt=o, **spec_kw)
+            for w in workloads for t in tools for o in opts]
+
+
+def shard_of(spec: TaskSpec, num_shards: int) -> int:
+    """Deterministic shard for a task: a hash of its id, not its list
+    position, so adding or reordering cells never reshuffles the rest."""
+    if num_shards <= 1:
+        return 0
+    digest = hashlib.sha256(spec.task_id.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def select_shard(specs, shard: int, num_shards: int) -> list[TaskSpec]:
+    """The subset of ``specs`` assigned to ``shard`` of ``num_shards``."""
+    if not 0 <= shard < num_shards:
+        raise ValueError(f"shard {shard} not in [0, {num_shards})")
+    return [s for s in specs if shard_of(s, num_shards) == shard]
+
+
+# ---- task records ---------------------------------------------------------
+
+@dataclass
+class TaskResult:
+    """Structured outcome of one matrix cell.
+
+    Deterministic fields (everything in :meth:`identity`) are
+    bit-identical between serial and parallel execution and across
+    repeat runs; wall-clock and cache fields are informational.
+    """
+
+    tool: str
+    workload: str
+    opt: str
+    heap_mode: str = "linked"
+    status: str = "ok"              # ok | timeout | error
+    error: str = ""
+    attempts: int = 1
+    shard: int = 0
+    quarantined: bool = False
+    wall_s: float = 0.0
+    base_status: int = 0
+    base_cycles: int = 0
+    base_insts: int = 0
+    base_wall_s: float = 0.0
+    instr_status: int = 0
+    instr_cycles: int = 0
+    instr_insts: int = 0
+    instr_wall_s: float = 0.0
+    points: int = 0
+    calls_added: int = 0
+    #: Instrumented stdout/status match the uninstrumented run — the
+    #: paper's pristine-behaviour guarantee, checked per cell.
+    pristine: bool = False
+    stdout_sha: str = ""
+    files_sha: str = ""
+    analysis_compiled: bool = False
+    instr_compiled: bool = False
+
+    def identity(self) -> tuple:
+        """Everything that must be bit-identical across runners."""
+        return (self.tool, self.workload, self.opt, self.heap_mode,
+                self.status, self.base_status, self.base_cycles,
+                self.base_insts, self.instr_status, self.instr_cycles,
+                self.instr_insts, self.points, self.calls_added,
+                self.pristine, self.stdout_sha, self.files_sha)
+
+    @property
+    def cycle_overhead(self) -> float:
+        if self.status != "ok" or not self.base_cycles:
+            return 0.0
+        return self.instr_cycles / self.base_cycles
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _files_sha(files: dict[str, bytes]) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(files):
+        digest.update(name.encode() + b"\x00")
+        digest.update(hashlib.sha256(files[name]).digest())
+    return digest.hexdigest()
+
+
+# ---- worker side ----------------------------------------------------------
+
+#: Uninstrumented runs memoized per process: every tool cell of one
+#: workload shares the same baseline, so a worker runs it once.
+_base_memo: dict[tuple, tuple] = {}
+
+
+def _resolve_worker_cache(cache_spec) -> ArtifactCache | None:
+    if cache_spec is False:
+        return None
+    if cache_spec is None:
+        return runner._resolve_cache(runner._DEFAULT_CACHE)
+    return ArtifactCache(Path(cache_spec))
+
+
+def _timed(run_fn, *, reps: int, warmup: bool):
+    """(result, best wall seconds) with the bench warmup convention."""
+    if warmup:
+        run_fn()
+    best = None
+    result = None
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        result = run_fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def execute_task(spec: TaskSpec, cache_spec=None,
+                 fuse: bool = True) -> TaskResult:
+    """Run one cell; never raises — failures become the record status."""
+    rec = TaskResult(tool=spec.tool, workload=spec.workload, opt=spec.opt,
+                     heap_mode=spec.heap_mode)
+    cache = _resolve_worker_cache(cache_spec)
+    analysis_before = runner.COMPILE_COUNTS["analysis"]
+    t0 = time.perf_counter()
+    try:
+        app = build_workload(spec.workload)
+        tool = get_tool(spec.tool)
+
+        base_key = (spec.workload, spec.wl_args, spec.stdin,
+                    spec.base_max_insts, fuse, spec.reps, spec.warmup)
+        memo = _base_memo.get(base_key)
+        if memo is None:
+            memo = _timed(
+                lambda: runner.run_uninstrumented(
+                    app, args=spec.wl_args, stdin=spec.stdin,
+                    max_insts=spec.base_max_insts, fuse=fuse),
+                reps=spec.reps, warmup=spec.warmup)
+            _base_memo[base_key] = memo
+        base, base_wall = memo
+
+        instrumented = runner.apply_tool(
+            app, tool, opt=OptLevel[spec.opt], heap_mode=spec.heap_mode,
+            tool_args=spec.tool_args, cache=cache)
+        instr, instr_wall = _timed(
+            lambda: runner.run_instrumented(
+                instrumented, args=spec.wl_args, stdin=spec.stdin,
+                max_insts=spec.max_insts, fuse=fuse),
+            reps=spec.reps, warmup=spec.warmup)
+
+        rec.base_status = base.status
+        rec.base_cycles = base.cycles
+        rec.base_insts = base.inst_count
+        rec.base_wall_s = base_wall
+        rec.instr_status = instr.status
+        rec.instr_cycles = instr.cycles
+        rec.instr_insts = instr.inst_count
+        rec.instr_wall_s = instr_wall
+        rec.points = instrumented.stats.points
+        rec.calls_added = instrumented.stats.calls_added
+        rec.pristine = (instr.stdout == base.stdout
+                        and instr.status == base.status)
+        rec.stdout_sha = _sha(instr.stdout)
+        rec.files_sha = _files_sha(instr.files)
+        rec.instr_compiled = not instrumented.cached
+    except EvalTimeout as exc:
+        rec.status = "timeout"
+        rec.error = str(exc)
+    except Exception as exc:                         # noqa: BLE001
+        rec.status = "error"
+        rec.error = f"{type(exc).__name__}: {exc}"
+    rec.wall_s = time.perf_counter() - t0
+    rec.analysis_compiled = \
+        runner.COMPILE_COUNTS["analysis"] > analysis_before
+    return rec
+
+
+# ---- the work-queue runner ------------------------------------------------
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool whose worker is wedged past its wall timeout."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
+               retries: int = 1, wall_timeout: float | None = None,
+               num_shards: int = 1, progress=None) -> list[TaskResult]:
+    """Execute every spec; results come back in spec order.
+
+    ``jobs=0`` runs inline (the serial reference); ``jobs>=1`` fans out
+    over that many worker processes.  A task whose worker raises is
+    retried up to ``retries`` times and then quarantined (recorded, not
+    fatal); deterministic timeouts (instruction budget) are never
+    retried.  ``wall_timeout`` seconds per task is the non-deterministic
+    backstop: an overdue worker is killed, the pool is rebuilt, and the
+    task is quarantined as a timeout.
+    """
+    specs = list(specs)
+    results: dict[int, TaskResult] = {}
+
+    def finish(idx: int, rec: TaskResult, attempt: int) -> None:
+        rec.attempts = attempt
+        rec.shard = shard_of(specs[idx], num_shards)
+        results[idx] = rec
+        if progress is not None:
+            progress(rec)
+
+    if jobs <= 0:
+        for idx, spec in enumerate(specs):
+            attempt = 0
+            while True:
+                attempt += 1
+                rec = execute_task(spec, cache_spec, fuse)
+                if rec.status != "error" or attempt > retries:
+                    break
+            rec.quarantined = rec.status != "ok"
+            finish(idx, rec, attempt)
+        return [results[i] for i in range(len(specs))]
+
+    pending: deque[tuple[int, int]] = deque(
+        (idx, 1) for idx in range(len(specs)))
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    inflight: dict = {}              # future -> (idx, attempt, start time)
+
+    def requeue_inflight() -> None:
+        for fut, (idx, attempt, _) in list(inflight.items()):
+            fut.cancel()
+            pending.appendleft((idx, attempt))
+        inflight.clear()
+
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < jobs:
+                idx, attempt = pending.popleft()
+                fut = pool.submit(execute_task, specs[idx], cache_spec,
+                                  fuse)
+                inflight[fut] = (idx, attempt, time.monotonic())
+
+            done, _ = wait(list(inflight), timeout=0.1,
+                           return_when=FIRST_COMPLETED)
+            broken = False
+            for fut in done:
+                idx, attempt, _ = inflight.pop(fut)
+                spec = specs[idx]
+                try:
+                    rec = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    if attempt <= retries:
+                        pending.appendleft((idx, attempt + 1))
+                    else:
+                        rec = TaskResult(
+                            tool=spec.tool, workload=spec.workload,
+                            opt=spec.opt, heap_mode=spec.heap_mode,
+                            status="error", error="worker process died",
+                            quarantined=True)
+                        finish(idx, rec, attempt)
+                    continue
+                except Exception as exc:             # noqa: BLE001
+                    rec = TaskResult(
+                        tool=spec.tool, workload=spec.workload,
+                        opt=spec.opt, heap_mode=spec.heap_mode,
+                        status="error",
+                        error=f"{type(exc).__name__}: {exc}")
+                if rec.status == "error" and attempt <= retries:
+                    pending.append((idx, attempt + 1))
+                    continue
+                rec.quarantined = rec.status != "ok"
+                finish(idx, rec, attempt)
+            if broken:
+                requeue_inflight()
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=jobs)
+                continue
+
+            if wall_timeout is not None and inflight:
+                now = time.monotonic()
+                overdue = [fut for fut, (_, _, t0) in inflight.items()
+                           if now - t0 > wall_timeout]
+                if overdue:
+                    for fut in overdue:
+                        idx, attempt, t0 = inflight.pop(fut)
+                        spec = specs[idx]
+                        rec = TaskResult(
+                            tool=spec.tool, workload=spec.workload,
+                            opt=spec.opt, heap_mode=spec.heap_mode,
+                            status="timeout",
+                            error=(f"wall timeout after "
+                                   f"{wall_timeout:.1f}s"),
+                            wall_s=now - t0, quarantined=True)
+                        finish(idx, rec, attempt)
+                    requeue_inflight()
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+    finally:
+        _kill_pool(pool)
+
+    return [results[i] for i in range(len(specs))]
+
+
+# ---- the matrix report ----------------------------------------------------
+
+def default_matrix_path() -> Path:
+    """``EVAL_matrix.json`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / "EVAL_matrix.json"
+
+
+def summarize(records) -> dict:
+    records = list(records)
+    return {
+        "total": len(records),
+        "ok": sum(r.status == "ok" for r in records),
+        "timeout": sum(r.status == "timeout" for r in records),
+        "error": sum(r.status == "error" for r in records),
+        "quarantined": sum(r.quarantined for r in records),
+        "pristine": sum(r.pristine for r in records),
+        "analysis_compiles": sum(r.analysis_compiled for r in records),
+        "instr_compiles": sum(r.instr_compiled for r in records),
+        "wall_s": round(sum(r.wall_s for r in records), 3),
+    }
+
+
+def build_report(records, config: dict) -> dict:
+    records = list(records)
+    return {
+        "schema": MATRIX_SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "config": config,
+        "summary": summarize(records),
+        "records": [asdict(rec) for rec in records],
+    }
+
+
+def validate_matrix_report(report: dict) -> None:
+    """Raise ValueError when ``report`` does not match the schema."""
+    def need(cond, what):
+        if not cond:
+            raise ValueError(f"bad eval matrix report: {what}")
+
+    need(isinstance(report, dict), "not an object")
+    need(report.get("schema") == MATRIX_SCHEMA,
+         f"schema != {MATRIX_SCHEMA!r}")
+    for key in ("created", "host", "config", "summary", "records"):
+        need(key in report, f"missing key {key!r}")
+    summary = report["summary"]
+    for key in ("total", "ok", "timeout", "error", "quarantined",
+                "analysis_compiles", "instr_compiles"):
+        need(isinstance(summary.get(key), int), f"summary[{key!r}]")
+    records = report["records"]
+    need(isinstance(records, list) and records, "empty records")
+    need(summary["total"] == len(records), "summary/records mismatch")
+    for i, row in enumerate(records):
+        for key in ("tool", "workload", "opt", "status", "base_cycles",
+                    "instr_cycles", "base_insts", "instr_insts",
+                    "points", "stdout_sha", "files_sha", "shard"):
+            need(key in row, f"records[{i}] missing {key!r}")
+        need(row["status"] in ("ok", "timeout", "error"),
+             f"records[{i}] bad status {row['status']!r}")
+
+
+def load_matrix_report(path: Path | None = None) -> dict | None:
+    """Load and validate a committed report; None when absent."""
+    path = path or default_matrix_path()
+    if not path.exists():
+        return None
+    report = json.loads(path.read_text())
+    validate_matrix_report(report)
+    return report
+
+
+# ---- CLI ------------------------------------------------------------------
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    try:
+        shard, num = text.split("/")
+        shard, num = int(shard), int(num)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 0/2), got {text!r}") from None
+    if num < 1 or not 0 <= shard < num:
+        raise argparse.ArgumentTypeError(f"shard {shard}/{num} out of range")
+    return shard, num
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wrl-eval",
+        description="Run the tool x workload x opt evaluation matrix "
+                    "through the parallel shard-aware pipeline.")
+    parser.add_argument("--tools", default=",".join(TOOL_NAMES),
+                        help="comma-separated tool names")
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated workload names")
+    parser.add_argument("--opts", default=",".join(DEFAULT_OPTS),
+                        help="comma-separated opt levels (O0..O3)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1),
+                        help="worker processes (0 = inline/serial)")
+    parser.add_argument("--shard", type=_parse_shard, default=(0, 1),
+                        metavar="I/N",
+                        help="run shard I of N (deterministic split)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per erroring task before quarantine")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock seconds per task (backstop; the "
+                             "deterministic limit is --max-insts)")
+    parser.add_argument("--max-insts", type=int, default=2_000_000_000,
+                        help="instruction budget per instrumented run")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk artifact cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact cache root (default: "
+                             "$WRL_CACHE_DIR or .repro-cache/)")
+    parser.add_argument("--all", action="store_true",
+                        help="full matrix: every workload")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke run: one workload, one tool")
+    parser.add_argument("--out", default=str(default_matrix_path()),
+                        help="report path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    tools = tuple(args.tools.split(","))
+    workloads = tuple(args.workloads.split(","))
+    opts = tuple(args.opts.split(","))
+    if args.all:
+        workloads = WORKLOAD_NAMES
+    if args.quick:
+        tools, workloads, opts = tools[:1], workloads[:1], opts[:1]
+
+    for names, known, flag in (
+            (tools, TOOL_NAMES, "--tools"),
+            (workloads, WORKLOAD_NAMES, "--workloads"),
+            (opts, tuple(level.name for level in OptLevel), "--opts")):
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            parser.error(f"{flag}: unknown {', '.join(unknown)} "
+                         f"(choose from {', '.join(known)})")
+    if args.max_insts <= 0:
+        parser.error("--max-insts must be positive")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    out = Path(args.out)
+    if not out.parent.is_dir():
+        parser.error(f"--out: directory {out.parent} does not exist")
+
+    shard, num_shards = args.shard
+    specs = plan_matrix(tools, workloads, opts,
+                        max_insts=args.max_insts)
+    selected = select_shard(specs, shard, num_shards)
+    if not selected:
+        print(f"wrl-eval: shard {shard}/{num_shards} selected none of "
+              f"the {len(specs)} cells; nothing to do")
+        return 0
+    cache_spec = False if args.no_cache else args.cache_dir
+    cache_root = ("(disabled)" if args.no_cache
+                  else args.cache_dir or
+                  (str(default_cache_dir()) if cache_enabled()
+                   else "(disabled by WRL_CACHE=0)"))
+    print(f"wrl-eval: {len(selected)}/{len(specs)} cells "
+          f"(shard {shard}/{num_shards}), jobs={args.jobs}, "
+          f"cache={cache_root}")
+
+    def progress(rec: TaskResult) -> None:
+        mark = {"ok": ".", "timeout": "T", "error": "E"}[rec.status]
+        detail = (f"{rec.cycle_overhead:.2f}x cycles"
+                  if rec.status == "ok" else rec.error)
+        print(f"  [{mark}] {rec.workload}+{rec.tool}@{rec.opt}: {detail}")
+
+    t0 = time.perf_counter()
+    records = run_matrix(selected, jobs=args.jobs, cache_spec=cache_spec,
+                         retries=args.retries, wall_timeout=args.timeout,
+                         num_shards=num_shards, progress=progress)
+    elapsed = time.perf_counter() - t0
+
+    config = {
+        "tools": list(tools), "workloads": list(workloads),
+        "opts": list(opts), "jobs": args.jobs, "shard": shard,
+        "num_shards": num_shards, "retries": args.retries,
+        "max_insts": args.max_insts,
+        "cache": not args.no_cache and cache_enabled(),
+    }
+    report = build_report(records, config)
+    validate_matrix_report(report)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    summary = report["summary"]
+    print(f"wrote {out}")
+    print(f"  {summary['ok']}/{summary['total']} ok, "
+          f"{summary['timeout']} timeout, {summary['error']} error, "
+          f"{summary['quarantined']} quarantined")
+    print(f"  compiles: {summary['analysis_compiles']} analysis, "
+          f"{summary['instr_compiles']} instrument "
+          f"(0 of each = fully warm cache)")
+    print(f"  wall: {elapsed:.1f}s end-to-end, "
+          f"{summary['wall_s']:.1f}s of task time")
+    return 0 if summary["ok"] == summary["total"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,32 @@
 """Applying tools to executables and running the results.
 
-This is the glue the benchmarks and examples share: build (and cache) each
-tool's analysis unit, instrument an application with it, and run either
-version on the simulated machine collecting cycle counts.
+This is the glue the benchmarks and examples share: build (and cache)
+each tool's analysis unit, instrument an application with it, and run
+either version on the simulated machine collecting cycle counts.
+
+Caching is two-layered.  The in-memory maps below memoize blobs within
+one process; underneath them sits the content-addressed on-disk store
+(:mod:`repro.eval.cache`), so a warm ``.repro-cache/`` lets repeat runs —
+and fresh worker processes in the parallel pipeline — skip
+``build_analysis_unit``/``instrument_executable`` entirely.  Pass
+``cache=None`` to bypass the disk store for one call, or set
+``WRL_CACHE=0`` to disable it process-wide.
 """
 
 from __future__ import annotations
 
-import hashlib
+import inspect
 
 from ..atom import OptLevel, instrument_executable
-from ..atom.instrument import InstrumentResult
+from ..atom.instrument import InstrumentResult, InstrumentStats
 from ..machine import RunResult, run_module
+from ..machine.cpu import BudgetExhausted
 from ..mlc import build_analysis_unit
 from ..objfile.module import Module
 from ..tools import Tool
+from .cache import (ArtifactCache, analysis_key, get_default_cache,
+                    instrument_key, pack_instrument, unpack_instrument)
+from .errors import EvalTimeout
 
 #: Compiled analysis units keyed by a content hash of the analysis
 #: source.  Keying on the tool *name* served stale units whenever a
@@ -25,38 +37,131 @@ from ..tools import Tool
 _analysis_cache: dict[str, bytes] = {}
 _ANALYSIS_CACHE_CAP = 64
 
+#: Actual compiler invocations this process has performed, by kind.
+#: The parallel pipeline snapshots these around each task to report
+#: cache effectiveness; tests assert warm-cache runs leave them flat.
+COMPILE_COUNTS = {"analysis": 0, "instrument": 0}
 
-def analysis_unit_for(tool: Tool) -> Module:
+#: Distinguishes "use the process default store" from an explicit
+#: ``cache=None`` (disable) or ``cache=ArtifactCache(...)``.
+_DEFAULT_CACHE = object()
+
+
+def _resolve_cache(cache) -> ArtifactCache | None:
+    if cache is _DEFAULT_CACHE:
+        return get_default_cache()
+    return cache
+
+
+def analysis_unit_for(tool: Tool, *, cache=_DEFAULT_CACHE) -> Module:
     """Compile the tool's analysis routines into a linked unit (cached)."""
-    key = hashlib.sha256(tool.analysis_source.encode()).hexdigest()
+    key = analysis_key(tool.analysis_source)
     blob = _analysis_cache.get(key)
     if blob is None:
-        unit = build_analysis_unit([tool.analysis_source],
-                                   name=f"{tool.name}-analysis")
-        blob = unit.to_bytes()
+        disk = _resolve_cache(cache)
+        if disk is not None:
+            blob = disk.get(key)
+            if blob is not None and _module_or_none(blob) is None:
+                blob = None                       # unreadable: recompile
+        if blob is None:
+            COMPILE_COUNTS["analysis"] += 1
+            unit = build_analysis_unit([tool.analysis_source],
+                                       name=f"{tool.name}-analysis")
+            blob = unit.to_bytes()
+            if disk is not None:
+                disk.put(key, blob)
         while len(_analysis_cache) >= _ANALYSIS_CACHE_CAP:
             _analysis_cache.pop(next(iter(_analysis_cache)))
         _analysis_cache[key] = blob
     return Module.from_bytes(blob)
 
 
+def _module_or_none(blob: bytes) -> Module | None:
+    try:
+        return Module.from_bytes(blob)
+    except Exception:
+        return None
+
+
+def _instrument_fingerprint(tool: Tool) -> str | None:
+    """Source text of the tool's instrumentation routine, or None when
+    it cannot be recovered (interactively defined functions) — in which
+    case the instrumented-executable cache is skipped for safety."""
+    try:
+        return inspect.getsource(tool.instrument)
+    except (OSError, TypeError):
+        return None
+
+
 def apply_tool(app: Module, tool: Tool, *,
                opt: OptLevel = OptLevel.O1,
                heap_mode: str = "linked",
-               tool_args: tuple[str, ...] = ()) -> InstrumentResult:
-    """Instrument ``app`` with ``tool`` (the paper's step 2)."""
-    return instrument_executable(app, tool.instrument,
-                                 analysis_unit_for(tool), opt=opt,
-                                 heap_mode=heap_mode, tool_args=tool_args)
+               tool_args: tuple[str, ...] = (),
+               cache=_DEFAULT_CACHE) -> InstrumentResult:
+    """Instrument ``app`` with ``tool`` (the paper's step 2).
+
+    With a warm artifact cache the instrumented module and its stats are
+    rehydrated from disk (``result.cached`` is True and ``result.plans``
+    is None); otherwise the instrumenter runs and its output is stored.
+    """
+    disk = _resolve_cache(cache)
+    key = None
+    if disk is not None:
+        fingerprint = _instrument_fingerprint(tool)
+        if fingerprint is not None:
+            key = instrument_key(app.to_bytes(), tool.analysis_source,
+                                 fingerprint, opt.name, heap_mode,
+                                 tuple(tool_args))
+            payload = disk.get(key)
+            if payload is not None:
+                hit = _instrument_from_payload(payload)
+                if hit is not None:
+                    return hit
+    COMPILE_COUNTS["instrument"] += 1
+    result = instrument_executable(app, tool.instrument,
+                                   analysis_unit_for(tool, cache=cache),
+                                   opt=opt, heap_mode=heap_mode,
+                                   tool_args=tool_args)
+    if key is not None:
+        stats = {k: v for k, v in vars(result.stats).items()}
+        disk.put(key, pack_instrument(result.module.to_bytes(), stats))
+    return result
+
+
+def _instrument_from_payload(payload: bytes) -> InstrumentResult | None:
+    try:
+        module_bytes, stats = unpack_instrument(payload)
+        module = Module.from_bytes(module_bytes)
+        return InstrumentResult(module=module,
+                                stats=InstrumentStats(**stats),
+                                plans=None, cached=True)
+    except Exception:
+        return None                 # malformed payload: treat as a miss
+
+
+def _checked_run(module: Module, *, stage: str, args, stdin,
+                 max_insts: int, fuse: bool = True) -> RunResult:
+    if not isinstance(max_insts, int) or max_insts <= 0:
+        raise ValueError(
+            f"max_insts must be a positive integer, got {max_insts!r}")
+    try:
+        return run_module(module, args=tuple(args), stdin=stdin,
+                          max_insts=max_insts, fuse=fuse)
+    except EvalTimeout:
+        raise
+    except BudgetExhausted as exc:
+        raise EvalTimeout(stage, max_insts, exc.pc) from exc
 
 
 def run_uninstrumented(app: Module, *, args=(), stdin=b"",
-                       max_insts: int = 500_000_000) -> RunResult:
-    return run_module(app, args=tuple(args), stdin=stdin,
-                      max_insts=max_insts)
+                       max_insts: int = 500_000_000,
+                       fuse: bool = True) -> RunResult:
+    return _checked_run(app, stage="base", args=args, stdin=stdin,
+                        max_insts=max_insts, fuse=fuse)
 
 
 def run_instrumented(result: InstrumentResult, *, args=(), stdin=b"",
-                     max_insts: int = 2_000_000_000) -> RunResult:
-    return run_module(result.module, args=tuple(args), stdin=stdin,
-                      max_insts=max_insts)
+                     max_insts: int = 2_000_000_000,
+                     fuse: bool = True) -> RunResult:
+    return _checked_run(result.module, stage="instrumented", args=args,
+                        stdin=stdin, max_insts=max_insts, fuse=fuse)

@@ -15,11 +15,15 @@ def main(argv: list[str] | None = None) -> int:
                                  description="run a WOF executable")
     ap.add_argument("executable")
     ap.add_argument("args", nargs="*", help="program arguments")
+    ap.add_argument("--max-insts", type=int, default=2_000_000_000,
+                    help="instruction budget (timeout; exit 124)")
     ap.add_argument("--stats", action="store_true",
                     help="print cycle/instruction counts to stderr")
     ap.add_argument("--dump-files", action="store_true",
                     help="print virtual-filesystem outputs to stderr")
     args = ap.parse_args(argv)
+    if args.max_insts <= 0:
+        ap.error("--max-insts must be positive")
     module = Module.load(args.executable)
     try:
         stdin = b""
@@ -27,8 +31,17 @@ def main(argv: list[str] | None = None) -> int:
             stdin = sys.stdin.buffer.read()
     except (OSError, ValueError, AttributeError):
         stdin = b""      # no usable stdin (e.g. under a test harness)
+    # Budget exhaustion is a *timeout* at this level, not a machine
+    # fault: route through the eval runner so it surfaces as the typed
+    # EvalTimeout (timeout convention: exit 124, like timeout(1)).
+    from ..eval.errors import EvalTimeout
+    from ..eval.runner import run_uninstrumented
     try:
-        result = run_module(module, args=tuple(args.args), stdin=stdin)
+        result = run_uninstrumented(module, args=tuple(args.args),
+                                    stdin=stdin, max_insts=args.max_insts)
+    except EvalTimeout as exc:
+        print(f"wrl-run: {exc}", file=sys.stderr)
+        return 124
     except MachineError as exc:
         print(f"wrl-run: {exc}", file=sys.stderr)
         return 125

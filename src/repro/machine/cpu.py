@@ -71,6 +71,12 @@ class MachineError(Exception):
         super().__init__(message)
 
 
+class BudgetExhausted(MachineError):
+    """The ``max_insts`` instruction budget ran out before the program
+    exited.  Distinct from other traps so harnesses can treat a budget
+    overrun as a timeout rather than a machine fault."""
+
+
 def _signed(value: int) -> int:
     return value - (1 << 64) if value & SIGN else value
 
@@ -125,8 +131,8 @@ class Cpu:
             while True:
                 index = code[index]()
                 if stats[1] > max_insts:
-                    raise MachineError("instruction budget exhausted",
-                                       self.text_base + 4 * index)
+                    raise BudgetExhausted("instruction budget exhausted",
+                                          self.text_base + 4 * index)
         except ExitProgram as exc:
             return exc.status
         except IndexError:

@@ -28,9 +28,9 @@ import time
 from pathlib import Path
 
 from ..atom import OptLevel
-from ..eval import apply_tool
+from ..eval.parallel import plan_matrix, run_matrix
 from ..machine import run_module
-from ..tools import TOOL_NAMES, get_tool
+from ..tools import TOOL_NAMES
 from ..workloads import WORKLOAD_NAMES, build_workload
 
 BENCH_SCHEMA = "repro-bench-interp/v1"
@@ -84,37 +84,41 @@ def measure_interpreter(workloads, reps: int = 3) -> dict:
     return out
 
 
-def measure_tools(workloads, tools, opts, reps: int = 1) -> list[dict]:
-    """Instrumented-vs-base cycles and throughput per matrix cell."""
+def measure_tools(workloads, tools, opts, reps: int = 1,
+                  jobs: int = 0) -> list[dict]:
+    """Instrumented-vs-base cycles and throughput per matrix cell.
+
+    Goes through the shard-aware eval pipeline: artifacts come from the
+    on-disk cache when warm, and ``jobs>=1`` fans the cells out over
+    worker processes (``0`` keeps the timing single-process, the
+    least-noisy default for wall-clock numbers).
+    """
+    specs = plan_matrix(tools=tools, workloads=workloads, opts=opts,
+                        reps=reps, warmup=True)
     rows = []
-    for wl in workloads:
-        module = build_workload(wl)
-        base, base_s = _best_wall(module, fuse=True, reps=reps)
-        for tool_name in tools:
-            tool = get_tool(tool_name)
-            for opt_name in opts:
-                opt = OptLevel[opt_name]
-                instrumented = apply_tool(module, tool, opt=opt)
-                instr, instr_s = _best_wall(instrumented.module,
-                                            fuse=True, reps=reps)
-                rows.append({
-                    "workload": wl,
-                    "tool": tool_name,
-                    "opt": opt_name,
-                    "base_cycles": base.cycles,
-                    "instr_cycles": instr.cycles,
-                    "cycle_overhead": round(instr.cycles / base.cycles, 3),
-                    "base_insts": base.inst_count,
-                    "instr_insts": instr.inst_count,
-                    "base_ips": round(base.inst_count / base_s),
-                    "instr_ips": round(instr.inst_count / instr_s),
-                })
+    for rec in run_matrix(specs, jobs=jobs):
+        if rec.status != "ok":
+            raise RuntimeError(
+                f"bench cell {rec.workload}+{rec.tool}@{rec.opt} "
+                f"failed: {rec.error}")
+        rows.append({
+            "workload": rec.workload,
+            "tool": rec.tool,
+            "opt": rec.opt,
+            "base_cycles": rec.base_cycles,
+            "instr_cycles": rec.instr_cycles,
+            "cycle_overhead": round(rec.instr_cycles / rec.base_cycles, 3),
+            "base_insts": rec.base_insts,
+            "instr_insts": rec.instr_insts,
+            "base_ips": round(rec.base_insts / rec.base_wall_s),
+            "instr_ips": round(rec.instr_insts / rec.instr_wall_s),
+        })
     return rows
 
 
 def run_bench(workloads=DEFAULT_WORKLOADS, tools=DEFAULT_TOOLS,
               opts=DEFAULT_OPTS, reps: int = 3,
-              tool_reps: int = 1) -> dict:
+              tool_reps: int = 1, jobs: int = 0) -> dict:
     """Run both sections and assemble the report."""
     return {
         "schema": BENCH_SCHEMA,
@@ -132,7 +136,8 @@ def run_bench(workloads=DEFAULT_WORKLOADS, tools=DEFAULT_TOOLS,
             "reps": reps,
         },
         "interpreter": measure_interpreter(workloads, reps=reps),
-        "tools": measure_tools(workloads, tools, opts, reps=tool_reps),
+        "tools": measure_tools(workloads, tools, opts, reps=tool_reps,
+                               jobs=jobs),
     }
 
 
@@ -185,6 +190,9 @@ def main(argv=None) -> int:
                         help="comma-separated opt levels (O0..O3)")
     parser.add_argument("--reps", type=int, default=3,
                         help="timed repetitions per interpreter cell")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for the tools matrix "
+                             "(0 = in-process, least timing noise)")
     parser.add_argument("--all", action="store_true",
                         help="full matrix: every workload and tool")
     parser.add_argument("--quick", action="store_true",
@@ -216,7 +224,10 @@ def main(argv=None) -> int:
     if not out.parent.is_dir():
         parser.error(f"--out: directory {out.parent} does not exist")
 
-    report = run_bench(workloads, tools, opts, reps=args.reps)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    report = run_bench(workloads, tools, opts, reps=args.reps,
+                       jobs=args.jobs)
     validate_report(report)
     out.write_text(json.dumps(report, indent=2) + "\n")
 

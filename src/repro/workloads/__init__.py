@@ -35,11 +35,32 @@ def load_source(name: str) -> str:
 
 
 def build_workload(name: str) -> Module:
-    """Compile and link one workload (cached)."""
+    """Compile and link one workload (cached).
+
+    Two layers: an in-memory blob memo for this process, backed by the
+    content-addressed on-disk artifact store so fresh processes (e.g.
+    parallel eval workers) skip recompilation too.
+    """
     blob = _exe_cache.get(name)
     if blob is None:
-        exe = build_executable([load_source(name)], name=name)
-        blob = exe.to_bytes()
+        # Imported lazily: repro.eval pulls this module in at package
+        # import time, so a top-level import would be circular.
+        from ..eval.cache import executable_key, get_default_cache
+        source = load_source(name)
+        disk = get_default_cache()
+        key = executable_key((source,), name)
+        if disk is not None:
+            blob = disk.get(key)
+            if blob is not None:
+                try:
+                    Module.from_bytes(blob)
+                except Exception:
+                    blob = None           # unreadable blob: recompile
+        if blob is None:
+            exe = build_executable([source], name=name)
+            blob = exe.to_bytes()
+            if disk is not None:
+                disk.put(key, blob)
         _exe_cache[name] = blob
     return Module.from_bytes(blob)
 

@@ -1,0 +1,196 @@
+"""Property and failure-injection tests for the artifact cache.
+
+The store's contract: identical inputs hit, any perturbation of any key
+ingredient misses, and a corrupted on-disk blob is detected, discarded,
+and transparently recompiled — never crashes, never serves bad bytes.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import cache as cache_mod
+from repro.eval import runner
+from repro.eval.cache import (ArtifactCache, CacheFormatError,
+                              analysis_key, cache_enabled, content_key,
+                              default_cache_dir, executable_key,
+                              get_default_cache, instrument_key,
+                              pack_instrument, unpack_instrument)
+from repro.tools import get_tool
+from repro.workloads import build_workload
+
+
+# ---- key properties -------------------------------------------------------
+
+@given(st.text(max_size=200), st.text(max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_distinct_sources_get_distinct_keys(a, b):
+    if a == b:
+        assert analysis_key(a) == analysis_key(b)
+    else:
+        assert analysis_key(a) != analysis_key(b)
+
+
+@given(st.lists(st.text(min_size=1, max_size=20), min_size=2, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_length_framing_prevents_concatenation_collisions(parts):
+    joined = content_key("k", "".join(parts))
+    split = content_key("k", *parts)
+    if len(parts) > 1:
+        assert joined != split
+    assert content_key("k", *parts) == content_key("k", *parts)
+
+
+def test_kind_is_part_of_the_key():
+    assert analysis_key("src") != executable_key(("src",), "src")
+    assert content_key("a", "x") != content_key("b", "x")
+
+
+@given(st.sampled_from(["app", "analysis", "fingerprint", "opt",
+                        "heap", "args"]))
+@settings(max_examples=24, deadline=None)
+def test_any_instrument_ingredient_perturbs_the_key(field):
+    base = dict(app_bytes=b"APP", analysis_source="ANAL",
+                instrument_fingerprint="FP", opt="O1",
+                heap_mode="linked", tool_args=("x",))
+    tweaked = dict(base)
+    tweak = {"app": ("app_bytes", b"APP2"),
+             "analysis": ("analysis_source", "ANAL2"),
+             "fingerprint": ("instrument_fingerprint", "FP2"),
+             "opt": ("opt", "O3"),
+             "heap": ("heap_mode", "partitioned"),
+             "args": ("tool_args", ("x", "y"))}
+    key, value = tweak[field]
+    tweaked[key] = value
+    assert instrument_key(**base) == instrument_key(**base)
+    assert instrument_key(**base) != instrument_key(**tweaked)
+
+
+# ---- store behaviour ------------------------------------------------------
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_any_payload(tmp_path_factory, payload):
+    cache = ArtifactCache(tmp_path_factory.mktemp("c"))
+    key = content_key("blob", payload)
+    assert cache.get(key) is None
+    cache.put(key, payload)
+    assert cache.get(key) == payload
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_corrupted_blob_is_detected_and_dropped(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = analysis_key("some source")
+    cache.put(key, b"payload bytes")
+    path = cache._path(key)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF                      # flip one payload byte
+    path.write_bytes(bytes(blob))
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert not path.exists()              # bad blob evicted on sight
+
+
+def test_truncated_blob_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    key = analysis_key("short")
+    cache.put(key, b"x" * 100)
+    path = cache._path(key)
+    path.write_bytes(path.read_bytes()[:10])
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_eviction_keeps_newest_within_cap(tmp_path):
+    cache = ArtifactCache(tmp_path, cap=3)
+    keys = [content_key("blob", str(i)) for i in range(6)]
+    for i, key in enumerate(keys):
+        cache.put(key, bytes([i]))
+        os.utime(cache._path(key), (i, i))     # force distinct mtimes
+    assert len(cache) <= 3
+    assert cache.get(keys[-1]) == bytes([5])   # newest survives
+    assert cache.get(keys[0]) is None          # oldest evicted
+    assert cache.stats.evicted >= 3
+
+
+# ---- corrupted blobs are recompiled end to end ----------------------------
+
+def test_corrupt_analysis_blob_recompiles(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    tool = get_tool("malloc")
+    runner._analysis_cache.clear()
+    pristine = runner.analysis_unit_for(tool, cache=cache).to_bytes()
+    key = analysis_key(tool.analysis_source)
+    path = cache._path(key)
+    blob = bytearray(path.read_bytes())
+    blob[40] ^= 0xA5
+    path.write_bytes(bytes(blob))
+
+    runner._analysis_cache.clear()
+    before = runner.COMPILE_COUNTS["analysis"]
+    rebuilt = runner.analysis_unit_for(tool, cache=cache)
+    assert runner.COMPILE_COUNTS["analysis"] == before + 1
+    assert rebuilt.to_bytes() == pristine
+
+
+def test_garbage_instrument_payload_recompiles(tmp_path):
+    """A blob that passes the integrity hash but does not unpack as an
+    instrumented executable is treated as a miss, not a crash."""
+    cache = ArtifactCache(tmp_path)
+    app = build_workload("fib")
+    tool = get_tool("prof")
+    fingerprint = runner._instrument_fingerprint(tool)
+    key = instrument_key(app.to_bytes(), tool.analysis_source,
+                         fingerprint, "O1", "linked", ())
+    cache.put(key, b"this is not an instrumented executable")
+    before = runner.COMPILE_COUNTS["instrument"]
+    result = runner.apply_tool(app, tool, cache=cache)
+    assert runner.COMPILE_COUNTS["instrument"] == before + 1
+    assert not result.cached
+    # The bad blob was replaced; the next call hits.
+    warm = runner.apply_tool(app, tool, cache=cache)
+    assert warm.cached
+    assert warm.module.to_bytes() == result.module.to_bytes()
+
+
+def test_pack_unpack_roundtrip_and_format_errors():
+    payload = pack_instrument(b"MODULE", {"points": 3})
+    module_bytes, stats = unpack_instrument(payload)
+    assert module_bytes == b"MODULE" and stats == {"points": 3}
+    with pytest.raises(CacheFormatError):
+        unpack_instrument(b"\x00")
+    with pytest.raises(CacheFormatError):
+        unpack_instrument(b"\x00\x00\x00\x02{}garbage-header")
+
+
+# ---- environment knobs ----------------------------------------------------
+
+def test_wrl_cache_dir_overrides_location(tmp_path, monkeypatch):
+    monkeypatch.setenv("WRL_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    assert get_default_cache().root == tmp_path / "elsewhere"
+
+
+def test_wrl_cache_0_disables_the_store(monkeypatch):
+    monkeypatch.setenv("WRL_CACHE", "0")
+    assert not cache_enabled()
+    assert get_default_cache() is None
+    # The runner still works — it just compiles.
+    tool = get_tool("io")
+    runner._analysis_cache.clear()
+    before = runner.COMPILE_COUNTS["analysis"]
+    unit = runner.analysis_unit_for(tool)
+    assert unit.to_bytes()
+    assert runner.COMPILE_COUNTS["analysis"] == before + 1
+    runner._analysis_cache.clear()
+
+
+def test_default_cache_memoized_per_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("WRL_CACHE_DIR", str(tmp_path))
+    first = get_default_cache()
+    second = get_default_cache()
+    assert first is second
+    monkeypatch.setenv("WRL_CACHE_DIR", str(tmp_path / "other"))
+    assert get_default_cache() is not first

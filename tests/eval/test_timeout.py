@@ -1,0 +1,75 @@
+"""Typed timeout surfacing and budget validation in the eval runner."""
+
+import pytest
+
+from repro.eval import EvalTimeout, apply_tool, run_instrumented, \
+    run_uninstrumented
+from repro.machine import BudgetExhausted, MachineError
+from repro.machine import cli as machine_cli
+from repro.tools import get_tool
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_workload("fib")
+
+
+@pytest.mark.parametrize("bad", [0, -1, -500, 2.5, "100"])
+def test_max_insts_must_be_a_positive_integer(app, bad):
+    with pytest.raises(ValueError, match="max_insts"):
+        run_uninstrumented(app, max_insts=bad)
+    instrumented = apply_tool(app, get_tool("prof"))
+    with pytest.raises(ValueError, match="max_insts"):
+        run_instrumented(instrumented, max_insts=bad)
+
+
+def test_budget_overrun_surfaces_as_eval_timeout(app):
+    with pytest.raises(EvalTimeout) as excinfo:
+        run_uninstrumented(app, max_insts=100)
+    exc = excinfo.value
+    assert exc.stage == "base"
+    assert exc.max_insts == 100
+    # Typed, but still a machine-level budget error for old handlers.
+    assert isinstance(exc, BudgetExhausted)
+    assert isinstance(exc, MachineError)
+
+
+def test_instrumented_budget_overrun_names_its_stage(app):
+    instrumented = apply_tool(app, get_tool("prof"))
+    with pytest.raises(EvalTimeout) as excinfo:
+        run_instrumented(instrumented, max_insts=1_000)
+    assert excinfo.value.stage == "instrumented"
+    assert "1,000-instruction budget" in str(excinfo.value)
+
+
+def test_completed_runs_are_untouched(app):
+    base = run_uninstrumented(app)
+    assert base.status == 0 and base.inst_count > 0
+    again = run_uninstrumented(app, max_insts=base.inst_count)
+    assert again.inst_count == base.inst_count  # exact budget suffices
+
+
+# ---- wrl-run: timeout exits 124, machine faults still exit 125 ------------
+
+def test_wrl_run_exits_124_on_timeout(app, tmp_path, capsys):
+    exe = tmp_path / "fib.wof"
+    app.save(exe)
+    status = machine_cli.main(["--max-insts", "50", str(exe)])
+    assert status == 124
+    assert "budget" in capsys.readouterr().err
+
+
+def test_wrl_run_ok_within_budget(app, tmp_path, capsys):
+    exe = tmp_path / "fib.wof"
+    app.save(exe)
+    status = machine_cli.main([str(exe), "--stats"])
+    assert status == 0
+    assert "insts=" in capsys.readouterr().err
+
+
+def test_wrl_run_rejects_nonpositive_budget(app, tmp_path):
+    exe = tmp_path / "fib.wof"
+    app.save(exe)
+    with pytest.raises(SystemExit):
+        machine_cli.main(["--max-insts", "0", str(exe)])
