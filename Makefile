@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-matrix eval-matrix
+.PHONY: check test bench bench-smoke validate-baseline check-matrix eval-matrix check-obs
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -31,6 +31,12 @@ check-matrix:
 # Full matrix through the parallel pipeline; rewrites EVAL_matrix.json.
 eval-matrix:
 	$(PYTHON) -m repro.eval --jobs 2 --out EVAL_matrix.json
+
+# Observability lane: tracer unit tests plus the overhead-budget
+# benchmark (asserts disabled tracing costs <2% on the bench workloads).
+check-obs:
+	$(PYTHON) -m pytest -q tests/obs
+	$(PYTHON) -m repro.obs.overhead --quick --out /tmp/obs_overhead.json
 
 validate-baseline:
 	$(PYTHON) -c "import json, sys; \

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..isa import opcodes, registers as R
 from ..isa.instruction import Instruction
+from ..obs import TRACE
 from ..objfile.linker import relocate_unit
 from ..objfile.module import Module
 from ..objfile.relocs import Relocation, RelocType
@@ -103,18 +104,23 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
     app_ir = build_ir(app)
 
     # ---- step 1: run the user's instrumentation routines ----------------
-    ctx = AtomContext(app_ir)
-    argv = ("atom",) + tuple(tool_args)
-    instrument_fn(len(argv), argv, ctx)
+    with TRACE.span("instrument.protos", "instrument", opt=opt.name):
+        ctx = AtomContext(app_ir)
+        argv = ("atom",) + tuple(tool_args)
+        instrument_fn(len(argv), argv, ctx)
 
     stats = InstrumentStats()
-    targets = _collect_targets(app_ir, ctx, stats)
+    with TRACE.span("instrument.plan", "instrument") as sp:
+        targets = _collect_targets(app_ir, ctx, stats)
+        sp.add(points=stats.points, calls=stats.calls_added)
 
     # ---- step 2: save plans + analysis-unit transformation ----------------
-    plans = compute_plans(anal_ir, targets, opt)
-    for name, plan in plans.plans.items():
-        stats.save_set_sizes[name] = len(plan.saves)
-    anal_module = emit(anal_ir).module
+    with TRACE.span("instrument.saves", "instrument") as sp:
+        plans = compute_plans(anal_ir, targets, opt)
+        for name, plan in plans.plans.items():
+            stats.save_set_sizes[name] = len(plan.saves)
+        anal_module = emit(anal_ir).module
+        sp.add(procs=len(plans.plans))
 
     # ---- decide call strategy (bsr vs jsr to the analysis unit) ------------
     anal_text_size = len(anal_module.section(TEXT).data)
@@ -131,42 +137,49 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
                       analysis_in_bsr_range=in_bsr_range)
     liveness = {}
     if opt == OptLevel.O3:
-        liveness = {p.name: Liveness(p) for p in app_ir.procs}
-    _splice_program_hooks(app_ir, lowerer)
-    for proc in app_ir.procs:
-        _splice_proc(proc, lowerer,
-                     liveness.get(proc.name) if opt == OptLevel.O3
-                     else None, stats)
+        with TRACE.span("om.liveness", "om") as sp:
+            liveness = {p.name: Liveness(p) for p in app_ir.procs}
+            sp.add(procs=len(liveness))
+    with TRACE.span("instrument.lowering", "instrument") as sp:
+        _splice_program_hooks(app_ir, lowerer)
+        for proc in app_ir.procs:
+            _splice_proc(proc, lowerer,
+                         liveness.get(proc.name) if opt == OptLevel.O3
+                         else None, stats)
 
-    # ---- wrappers and the veneer ----------------------------------------------
-    has_libc_init = anal_module.symtab.get("__libc_init") is not None
-    for name in sorted(plans.plans):
-        plan = plans.plan(name)
-        if plan.mode == "wrapper":
-            app_ir.procs.append(build_wrapper_proc(
-                plan, ANAL_PREFIX + name, far=not in_bsr_range))
-            stats.wrappers += 1
-    app_ir.procs.append(_build_veneer(app_ir, app, lowerer,
-                                      has_libc_init, in_bsr_range))
+        # ---- wrappers and the veneer --------------------------------------
+        has_libc_init = anal_module.symtab.get("__libc_init") is not None
+        for name in sorted(plans.plans):
+            plan = plans.plan(name)
+            if plan.mode == "wrapper":
+                app_ir.procs.append(build_wrapper_proc(
+                    plan, ANAL_PREFIX + name, far=not in_bsr_range))
+                stats.wrappers += 1
+        app_ir.procs.append(_build_veneer(app_ir, app, lowerer,
+                                          has_libc_init, in_bsr_range))
+        sp.add(wrappers=stats.wrappers)
 
     # ---- layout: place the analysis unit in the gap ------------------------------
-    text_base = app.section(TEXT).vaddr
-    app_text_size = 4 * app_ir.inst_count()
-    pad = (-app_text_size) % 16
-    anal_text_base = text_base + app_text_size + pad
-    anal_data_base = anal_text_base + anal_text_size + \
-        ((-anal_text_size) % 16)
-    relocate_unit(anal_module, anal_text_base, anal_data_base)
+    with TRACE.span("instrument.layout", "instrument") as sp:
+        text_base = app.section(TEXT).vaddr
+        app_text_size = 4 * app_ir.inst_count()
+        pad = (-app_text_size) % 16
+        anal_text_base = text_base + app_text_size + pad
+        anal_data_base = anal_text_base + anal_text_size + \
+            ((-anal_text_size) % 16)
+        relocate_unit(anal_module, anal_text_base, anal_data_base)
 
-    anal_bss = anal_module.section(BSS)
-    atomdata_base = (anal_bss.vaddr + anal_bss.size + 15) & ~15
-    atom_blob = lowerer.data.blob()
-    gap_end = app.section(LITA).vaddr
-    if atomdata_base + len(atom_blob) > gap_end:
-        raise LayoutError(
-            f"analysis unit does not fit in the text-data gap "
-            f"(needs through {atomdata_base + len(atom_blob):#x}, "
-            f"application data starts at {gap_end:#x})")
+        anal_bss = anal_module.section(BSS)
+        atomdata_base = (anal_bss.vaddr + anal_bss.size + 15) & ~15
+        atom_blob = lowerer.data.blob()
+        gap_end = app.section(LITA).vaddr
+        if atomdata_base + len(atom_blob) > gap_end:
+            raise LayoutError(
+                f"analysis unit does not fit in the text-data gap "
+                f"(needs through {atomdata_base + len(atom_blob):#x}, "
+                f"application data starts at {gap_end:#x})")
+        sp.add(app_text=app_text_size, anal_text=anal_text_size,
+               atom_data=len(atom_blob))
 
     # ---- partition the symbol name space and resolve -----------------------------
     for sym in anal_module.symtab:

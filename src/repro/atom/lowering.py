@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from ..isa import const, opcodes, registers as R
 from ..isa.instruction import Instruction
+from ..obs import TRACE
 from ..objfile.relocs import Relocation, RelocType
 from ..objfile.sections import TEXT
 from ..om.ir import Action, IRInst
@@ -161,6 +162,10 @@ class Lowerer:
         for reg in reversed(saved):
             emit(_mem(opcodes.LDQ, reg, R.SP, slot[reg]))
         emit(_lda(R.SP, R.SP, frame))
+        if TRACE.enabled:
+            TRACE.count("lowering.snippets")
+            TRACE.count("lowering.snippet_insts", len(insts))
+            TRACE.count("lowering.saved_regs", len(saved))
         return insts
 
     # ---- pieces --------------------------------------------------------------

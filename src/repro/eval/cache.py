@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .. import __version__ as _REPRO_VERSION
+from ..obs import TRACE
 
 #: Every key mixes in this tag and the package version, so a release
 #: bump invalidates stale artifacts wholesale; bump the schema suffix
@@ -94,6 +95,11 @@ class ArtifactCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.cap = cap if cap is not None else _default_cap()
         self.stats = CacheStats()
+        #: Cached blob count so a warm-cache ``put`` does O(1) work
+        #: instead of re-listing ``objects/``; None means "recount on
+        #: next use" (fresh store, or invalidated by clear/corruption —
+        #: moments when our view of the tree may have drifted from disk).
+        self._nblobs: int | None = None
 
     # ---- paths ------------------------------------------------------------
 
@@ -113,17 +119,21 @@ class ArtifactCache:
             blob = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            TRACE.count("cache.misses")
             return None
         digest, payload = blob[:_DIGEST_LEN], blob[_DIGEST_LEN:]
         if len(blob) < _DIGEST_LEN or \
                 hashlib.sha256(payload).digest() != digest:
             self.stats.corrupt += 1
+            TRACE.count("cache.corrupt")
+            self._nblobs = None
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        TRACE.count("cache.hits")
         try:
             os.utime(path)                       # refresh LRU position
         except OSError:
@@ -136,6 +146,7 @@ class ArtifactCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = hashlib.sha256(payload).digest() + payload
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        existed = path.exists()
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(blob)
@@ -147,31 +158,48 @@ class ArtifactCache:
                 pass
             raise
         self.stats.stores += 1
+        TRACE.count("cache.stores")
+        if self._nblobs is not None and not existed:
+            self._nblobs += 1
         self._evict()
 
     def __len__(self) -> int:
-        if not self.objects_dir.is_dir():
-            return 0
         return sum(1 for _ in self._iter_blobs())
 
     def clear(self) -> None:
+        """Delete every blob; a no-op on a never-populated root."""
         for path in list(self._iter_blobs()):
             try:
                 path.unlink()
             except OSError:
                 pass
+        self._nblobs = None
 
     # ---- eviction ---------------------------------------------------------
 
     def _iter_blobs(self):
-        for bucket in self.objects_dir.iterdir():
+        # Tolerate a root that has never seen a put (or was removed from
+        # under us): an empty iteration, not FileNotFoundError.
+        try:
+            buckets = list(self.objects_dir.iterdir())
+        except OSError:
+            return
+        for bucket in buckets:
             if bucket.is_dir():
                 for path in bucket.iterdir():
                     if not path.name.startswith("."):
                         yield path
 
     def _evict(self) -> None:
+        # O(1) on the warm path: trust the cached count while it says we
+        # are under cap, and only re-list ``objects/`` (re-establishing
+        # the exact count) once it claims the cap is exceeded.
+        if self._nblobs is None:
+            self._nblobs = sum(1 for _ in self._iter_blobs())
+        if self._nblobs <= self.cap:
+            return
         blobs = list(self._iter_blobs())
+        self._nblobs = len(blobs)
         if len(blobs) <= self.cap:
             return
         def mtime(path):
@@ -184,6 +212,8 @@ class ArtifactCache:
             try:
                 path.unlink()
                 self.stats.evicted += 1
+                self._nblobs -= 1
+                TRACE.count("cache.evicted")
             except OSError:
                 pass
 

@@ -42,6 +42,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..atom import OptLevel
+from ..obs import TRACE, trace_path_from_env
 from ..tools import TOOL_NAMES, get_tool
 from ..workloads import WORKLOAD_NAMES, build_workload
 from . import runner
@@ -148,6 +149,10 @@ class TaskResult:
     files_sha: str = ""
     analysis_compiled: bool = False
     instr_compiled: bool = False
+    #: Tracer snapshot captured in a worker process (None unless the run
+    #: was traced); merged into the parent trace, never part of
+    #: :meth:`identity` and stripped from the matrix report.
+    trace: dict | None = None
 
     def identity(self) -> tuple:
         """Everything that must be bit-identical across runners."""
@@ -205,14 +210,41 @@ def _timed(run_fn, *, reps: int, warmup: bool):
     return result, best
 
 
-def execute_task(spec: TaskSpec, cache_spec=None,
-                 fuse: bool = True) -> TaskResult:
-    """Run one cell; never raises — failures become the record status."""
+def execute_task(spec: TaskSpec, cache_spec=None, fuse: bool = True,
+                 trace: bool = False) -> TaskResult:
+    """Run one cell; never raises — failures become the record status.
+
+    ``trace=True`` captures the cell's spans and counters.  When the
+    ambient tracer is owned by this process (the serial runner), events
+    simply accumulate there; otherwise (a pool worker — its tracer is
+    either disabled or a fork-inherited copy of the parent's) a fresh
+    capture is started and shipped back in ``TaskResult.trace`` for the
+    parent to merge.
+    """
+    capture = trace and not TRACE.owned()
+    if capture:
+        TRACE.reset()
+        TRACE.enable()
+    try:
+        rec = _execute_task(spec, cache_spec, fuse)
+    finally:
+        if capture:
+            rec_trace = TRACE.snapshot()
+            TRACE.disable()
+            TRACE.reset()
+    if capture:
+        rec.trace = rec_trace
+    return rec
+
+
+def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
     rec = TaskResult(tool=spec.tool, workload=spec.workload, opt=spec.opt,
                      heap_mode=spec.heap_mode)
     cache = _resolve_worker_cache(cache_spec)
     analysis_before = runner.COMPILE_COUNTS["analysis"]
     t0 = time.perf_counter()
+    task_span = TRACE.span("task", "eval", task=spec.task_id)
+    task_span.__enter__()
     try:
         app = build_workload(spec.workload)
         tool = get_tool(spec.tool)
@@ -262,6 +294,8 @@ def execute_task(spec: TaskSpec, cache_spec=None,
     rec.wall_s = time.perf_counter() - t0
     rec.analysis_compiled = \
         runner.COMPILE_COUNTS["analysis"] > analysis_before
+    task_span.add(status=rec.status)
+    task_span.__exit__(None, None, None)
     return rec
 
 
@@ -287,15 +321,34 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
     retried up to ``retries`` times and then quarantined (recorded, not
     fatal); deterministic timeouts (instruction budget) are never
     retried.  ``wall_timeout`` seconds per task is the non-deterministic
-    backstop: an overdue worker is killed, the pool is rebuilt, and the
-    task is quarantined as a timeout.
+    backstop: an overdue worker is killed, the pool is rebuilt, the
+    overdue task is quarantined as a timeout, and its innocent in-flight
+    siblings are requeued *without* consuming an attempt.
+
+    A crashed worker breaks the whole pool, so every sibling future
+    raises ``BrokenProcessPool`` and the guilty task cannot be told
+    apart from the innocents.  No task is charged an attempt for a
+    batch break; instead every implicated task becomes a *suspect* and
+    is probed serially (one submission at a time, nothing else in
+    flight).  A task that breaks the pool while alone in flight is
+    definitively guilty: that break consumes one of its attempts, and
+    past ``retries`` it is quarantined as ``worker process died``.
+
+    When tracing is enabled (:data:`repro.obs.TRACE`), each worker
+    captures its own spans and ships them back in ``TaskResult.trace``;
+    they are merged into the ambient tracer here, so serial and
+    parallel runs produce one coherent trace.
     """
     specs = list(specs)
     results: dict[int, TaskResult] = {}
+    trace_on = TRACE.enabled
 
     def finish(idx: int, rec: TaskResult, attempt: int) -> None:
         rec.attempts = attempt
         rec.shard = shard_of(specs[idx], num_shards)
+        if rec.trace is not None:
+            TRACE.merge(rec.trace)
+            rec.trace = None
         results[idx] = rec
         if progress is not None:
             progress(rec)
@@ -305,7 +358,7 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
             attempt = 0
             while True:
                 attempt += 1
-                rec = execute_task(spec, cache_spec, fuse)
+                rec = execute_task(spec, cache_spec, fuse, trace_on)
                 if rec.status != "error" or attempt > retries:
                     break
             rec.quarantined = rec.status != "ok"
@@ -314,42 +367,55 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
 
     pending: deque[tuple[int, int]] = deque(
         (idx, 1) for idx in range(len(specs)))
+    #: Tasks implicated in a pool break, probed one at a time so a
+    #: repeat break attributes guilt exactly.
+    suspects: deque[tuple[int, int]] = deque()
     pool = ProcessPoolExecutor(max_workers=jobs)
     inflight: dict = {}              # future -> (idx, attempt, start time)
 
-    def requeue_inflight() -> None:
-        for fut, (idx, attempt, _) in list(inflight.items()):
-            fut.cancel()
+    def reinstate(items) -> None:
+        """Return innocents to the *front* of the queue in spec order,
+        at their current attempt — being collateral costs nothing."""
+        for idx, attempt in sorted(items, reverse=True):
             pending.appendleft((idx, attempt))
-        inflight.clear()
+
+    def quarantine_dead(idx: int, attempt: int) -> None:
+        spec = specs[idx]
+        finish(idx, TaskResult(
+            tool=spec.tool, workload=spec.workload, opt=spec.opt,
+            heap_mode=spec.heap_mode, status="error",
+            error="worker process died", quarantined=True), attempt)
+
+    def rebuild_pool() -> ProcessPoolExecutor:
+        _kill_pool(pool)
+        return ProcessPoolExecutor(max_workers=jobs)
 
     try:
-        while pending or inflight:
-            while pending and len(inflight) < jobs:
-                idx, attempt = pending.popleft()
-                fut = pool.submit(execute_task, specs[idx], cache_spec,
-                                  fuse)
-                inflight[fut] = (idx, attempt, time.monotonic())
+        while pending or suspects or inflight:
+            if suspects:
+                # Probe mode: exactly one suspect in flight at a time.
+                if not inflight:
+                    idx, attempt = suspects.popleft()
+                    fut = pool.submit(execute_task, specs[idx],
+                                      cache_spec, fuse, trace_on)
+                    inflight[fut] = (idx, attempt, time.monotonic())
+            else:
+                while pending and len(inflight) < jobs:
+                    idx, attempt = pending.popleft()
+                    fut = pool.submit(execute_task, specs[idx],
+                                      cache_spec, fuse, trace_on)
+                    inflight[fut] = (idx, attempt, time.monotonic())
 
             done, _ = wait(list(inflight), timeout=0.1,
                            return_when=FIRST_COMPLETED)
-            broken = False
+            breakers: list[tuple[int, int]] = []
             for fut in done:
                 idx, attempt, _ = inflight.pop(fut)
                 spec = specs[idx]
                 try:
                     rec = fut.result()
                 except BrokenProcessPool:
-                    broken = True
-                    if attempt <= retries:
-                        pending.appendleft((idx, attempt + 1))
-                    else:
-                        rec = TaskResult(
-                            tool=spec.tool, workload=spec.workload,
-                            opt=spec.opt, heap_mode=spec.heap_mode,
-                            status="error", error="worker process died",
-                            quarantined=True)
-                        finish(idx, rec, attempt)
+                    breakers.append((idx, attempt))
                     continue
                 except Exception as exc:             # noqa: BLE001
                     rec = TaskResult(
@@ -362,10 +428,25 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
                     continue
                 rec.quarantined = rec.status != "ok"
                 finish(idx, rec, attempt)
-            if broken:
-                requeue_inflight()
-                _kill_pool(pool)
-                pool = ProcessPoolExecutor(max_workers=jobs)
+            if breakers:
+                # Everything still in flight went down with the pool.
+                for fut, (idx, attempt, _) in list(inflight.items()):
+                    fut.cancel()
+                    breakers.append((idx, attempt))
+                inflight.clear()
+                if len(breakers) == 1:
+                    # Alone in flight: definitively guilty — this break
+                    # consumes an attempt.
+                    idx, attempt = breakers[0]
+                    if attempt <= retries:
+                        suspects.append((idx, attempt + 1))
+                    else:
+                        quarantine_dead(idx, attempt)
+                else:
+                    # Guilt is unattributable in a batch: nobody is
+                    # charged; everyone gets probed serially.
+                    suspects.extend(sorted(breakers))
+                pool = rebuild_pool()
                 continue
 
             if wall_timeout is not None and inflight:
@@ -384,9 +465,13 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
                                    f"{wall_timeout:.1f}s"),
                             wall_s=now - t0, quarantined=True)
                         finish(idx, rec, attempt)
-                    requeue_inflight()
-                    _kill_pool(pool)
-                    pool = ProcessPoolExecutor(max_workers=jobs)
+                    innocents = []
+                    for fut, (idx, attempt, _) in list(inflight.items()):
+                        fut.cancel()
+                        innocents.append((idx, attempt))
+                    inflight.clear()
+                    reinstate(innocents)
+                    pool = rebuild_pool()
     finally:
         _kill_pool(pool)
 
@@ -417,6 +502,9 @@ def summarize(records) -> dict:
 
 def build_report(records, config: dict) -> dict:
     records = list(records)
+    rows = [asdict(rec) for rec in records]
+    for row in rows:
+        row.pop("trace", None)       # tracer payload, not a result field
     return {
         "schema": MATRIX_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -428,7 +516,7 @@ def build_report(records, config: dict) -> dict:
         },
         "config": config,
         "summary": summarize(records),
-        "records": [asdict(rec) for rec in records],
+        "records": rows,
     }
 
 
@@ -518,6 +606,12 @@ def main(argv=None) -> int:
                         help="smoke run: one workload, one tool")
     parser.add_argument("--out", default=str(default_matrix_path()),
                         help="report path (default: repo root)")
+    parser.add_argument("--trace", default=trace_path_from_env(),
+                        metavar="PATH",
+                        help="capture a structured trace of the run "
+                             "(.json = Chrome trace event format, "
+                             ".jsonl = line-delimited; default: "
+                             "$WRL_TRACE)")
     args = parser.parse_args(argv)
 
     tools = tuple(args.tools.split(","))
@@ -567,10 +661,23 @@ def main(argv=None) -> int:
                   if rec.status == "ok" else rec.error)
         print(f"  [{mark}] {rec.workload}+{rec.tool}@{rec.opt}: {detail}")
 
+    if args.trace:
+        TRACE.reset()
+        TRACE.enable()
     t0 = time.perf_counter()
-    records = run_matrix(selected, jobs=args.jobs, cache_spec=cache_spec,
-                         retries=args.retries, wall_timeout=args.timeout,
-                         num_shards=num_shards, progress=progress)
+    try:
+        with TRACE.span("wrl-eval", "eval", cells=len(selected),
+                        jobs=args.jobs):
+            records = run_matrix(selected, jobs=args.jobs,
+                                 cache_spec=cache_spec,
+                                 retries=args.retries,
+                                 wall_timeout=args.timeout,
+                                 num_shards=num_shards, progress=progress)
+    finally:
+        if args.trace:
+            TRACE.write(Path(args.trace))
+            TRACE.disable()
+            print(f"wrote trace to {args.trace}")
     elapsed = time.perf_counter() - t0
 
     config = {

@@ -23,6 +23,7 @@ from ..machine import RunResult, run_module
 from ..machine.cpu import BudgetExhausted
 from ..mlc import build_analysis_unit
 from ..objfile.module import Module
+from ..obs import TRACE
 from ..tools import Tool
 from .cache import (ArtifactCache, analysis_key, get_default_cache,
                     instrument_key, pack_instrument, unpack_instrument)
@@ -65,8 +66,10 @@ def analysis_unit_for(tool: Tool, *, cache=_DEFAULT_CACHE) -> Module:
                 blob = None                       # unreadable: recompile
         if blob is None:
             COMPILE_COUNTS["analysis"] += 1
-            unit = build_analysis_unit([tool.analysis_source],
-                                       name=f"{tool.name}-analysis")
+            with TRACE.span("compile.analysis", "instrument",
+                            tool=tool.name):
+                unit = build_analysis_unit([tool.analysis_source],
+                                           name=f"{tool.name}-analysis")
             blob = unit.to_bytes()
             if disk is not None:
                 disk.put(key, blob)
@@ -104,28 +107,33 @@ def apply_tool(app: Module, tool: Tool, *,
     rehydrated from disk (``result.cached`` is True and ``result.plans``
     is None); otherwise the instrumenter runs and its output is stored.
     """
-    disk = _resolve_cache(cache)
-    key = None
-    if disk is not None:
-        fingerprint = _instrument_fingerprint(tool)
-        if fingerprint is not None:
-            key = instrument_key(app.to_bytes(), tool.analysis_source,
-                                 fingerprint, opt.name, heap_mode,
-                                 tuple(tool_args))
-            payload = disk.get(key)
-            if payload is not None:
-                hit = _instrument_from_payload(payload)
-                if hit is not None:
-                    return hit
-    COMPILE_COUNTS["instrument"] += 1
-    result = instrument_executable(app, tool.instrument,
-                                   analysis_unit_for(tool, cache=cache),
-                                   opt=opt, heap_mode=heap_mode,
-                                   tool_args=tool_args)
-    if key is not None:
-        stats = {k: v for k, v in vars(result.stats).items()}
-        disk.put(key, pack_instrument(result.module.to_bytes(), stats))
-    return result
+    with TRACE.span("apply_tool", "instrument", tool=tool.name,
+                    opt=opt.name) as sp:
+        disk = _resolve_cache(cache)
+        key = None
+        if disk is not None:
+            fingerprint = _instrument_fingerprint(tool)
+            if fingerprint is not None:
+                key = instrument_key(app.to_bytes(), tool.analysis_source,
+                                     fingerprint, opt.name, heap_mode,
+                                     tuple(tool_args))
+                payload = disk.get(key)
+                if payload is not None:
+                    hit = _instrument_from_payload(payload)
+                    if hit is not None:
+                        sp.add(cached=True)
+                        return hit
+        COMPILE_COUNTS["instrument"] += 1
+        result = instrument_executable(app, tool.instrument,
+                                       analysis_unit_for(tool, cache=cache),
+                                       opt=opt, heap_mode=heap_mode,
+                                       tool_args=tool_args)
+        if key is not None:
+            stats = {k: v for k, v in vars(result.stats).items()}
+            disk.put(key, pack_instrument(result.module.to_bytes(), stats))
+        sp.add(cached=False, points=result.stats.points,
+               calls_added=result.stats.calls_added)
+        return result
 
 
 def _instrument_from_payload(payload: bytes) -> InstrumentResult | None:
@@ -145,8 +153,12 @@ def _checked_run(module: Module, *, stage: str, args, stdin,
         raise ValueError(
             f"max_insts must be a positive integer, got {max_insts!r}")
     try:
-        return run_module(module, args=tuple(args), stdin=stdin,
-                          max_insts=max_insts, fuse=fuse)
+        with TRACE.span(f"interpret.{stage}", "interpret") as sp:
+            result = run_module(module, args=tuple(args), stdin=stdin,
+                                max_insts=max_insts, fuse=fuse)
+            sp.add(insts=result.inst_count, cycles=result.cycles,
+                   status=result.status)
+            return result
     except EvalTimeout:
         raise
     except BudgetExhausted as exc:

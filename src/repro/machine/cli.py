@@ -6,6 +6,7 @@ import argparse
 import sys
 
 from ..objfile.module import Module
+from ..obs import TRACE, trace_path_from_env
 from .cpu import MachineError
 from .loader import run_module
 
@@ -21,10 +22,18 @@ def main(argv: list[str] | None = None) -> int:
                     help="print cycle/instruction counts to stderr")
     ap.add_argument("--dump-files", action="store_true",
                     help="print virtual-filesystem outputs to stderr")
+    ap.add_argument("--trace", default=trace_path_from_env(),
+                    metavar="PATH",
+                    help="capture a structured trace of the run "
+                         "(.json = Chrome trace, .jsonl = line-"
+                         "delimited; default: $WRL_TRACE)")
     args = ap.parse_args(argv)
     if args.max_insts <= 0:
         ap.error("--max-insts must be positive")
     module = Module.load(args.executable)
+    if args.trace:
+        TRACE.reset()
+        TRACE.enable()
     try:
         stdin = b""
         if not sys.stdin.isatty():
@@ -45,6 +54,12 @@ def main(argv: list[str] | None = None) -> int:
     except MachineError as exc:
         print(f"wrl-run: {exc}", file=sys.stderr)
         return 125
+    finally:
+        if args.trace:
+            TRACE.write(args.trace)
+            TRACE.disable()
+            print(f"wrl-run: wrote trace to {args.trace}",
+                  file=sys.stderr)
     sys.stdout.buffer.write(result.stdout)
     sys.stderr.buffer.write(result.stderr)
     if args.stats:

@@ -94,6 +94,13 @@ class Cpu:
         #: stats[0] = cycles, stats[1] = instructions executed
         self.stats = [0, 0]
         self.fused = fuse
+        #: Fusion bookkeeping the observability layer reads per run:
+        #: runs found at decode, fused executors actually compiled, and
+        #: compiles served from the shared source cache.  Plain integer
+        #: increments — no tracer call ever happens inside this module.
+        self.sb_runs = 0
+        self.sb_compiled = 0
+        self.sb_cache_hits = 0
         self._insts = encoding.decode_stream(text)
         self._costs = [cost_model.cost(inst.op) for inst in self._insts]
         self._code = [self._compile(inst, i, self._costs[i])
@@ -198,7 +205,9 @@ class Cpu:
     def _build_superblocks(self):
         dispatch = list(self._code)
         max_len = 1
-        for start, end, term in self.superblock_runs():
+        runs = self.superblock_runs()
+        self.sb_runs = len(runs)
+        for start, end, term in runs:
             dispatch[start] = self._trampoline(start, end, term)
             max_len = max(max_len, (end - start) + (term is not None))
         return dispatch, max_len
@@ -292,6 +301,7 @@ class Cpu:
             "MemoryFault": MemoryFault,
             "MachineError": MachineError,
         }
+        self.sb_compiled += 1
         code = _SB_CACHE.get(src)
         if code is None:
             if len(_SB_CACHE) >= _SB_CACHE_CAP:
@@ -299,6 +309,8 @@ class Cpu:
             code = compile(src, f"<superblock@{base + 4 * start:#x}>",
                            "exec")
             _SB_CACHE[src] = code
+        else:
+            self.sb_cache_hits += 1
         exec(code, env)
         return env["sb"]
 

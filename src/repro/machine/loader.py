@@ -10,8 +10,10 @@ and uninstrumented binaries get byte-identical stack and heap placement.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from ..obs import TRACE
 from ..objfile.module import Module
 from ..objfile.sections import BSS, DATA, LITA, TEXT
 from .costmodel import CostModel, DEFAULT
@@ -139,7 +141,19 @@ class Machine:
     # ---- running -----------------------------------------------------------
 
     def run(self, max_insts: int = 2_000_000_000) -> RunResult:
-        status = self.cpu.run(self.module.entry, max_insts=max_insts)
+        # Tracing disabled (the common case): one attribute check, then
+        # the exact pre-observability path.
+        if not TRACE.enabled:
+            status = self.cpu.run(self.module.entry, max_insts=max_insts)
+            return self._result(status)
+        with TRACE.span("machine.run", "interpret", fuse=self.fuse) as sp:
+            t0 = time.perf_counter_ns()
+            status = self.cpu.run(self.module.entry, max_insts=max_insts)
+            wall_ns = time.perf_counter_ns() - t0
+            _note_run(self.cpu, status, wall_ns, sp)
+        return self._result(status)
+
+    def _result(self, status: int) -> RunResult:
         return RunResult(
             status=status,
             stdout=bytes(self.kernel.stdout),
@@ -150,6 +164,22 @@ class Machine:
             heap_base=self.heap_base,
             initial_sp=self.initial_sp,
         )
+
+
+def _note_run(cpu: Cpu, status: int, wall_ns: int, sp) -> None:
+    """Fold one run's interpreter stats into the ambient trace."""
+    insts, cycles = cpu.stats[1], cpu.stats[0]
+    sp.add(status=status, insts=insts, cycles=cycles,
+           sb_runs=cpu.sb_runs, sb_compiled=cpu.sb_compiled,
+           sb_cache_hits=cpu.sb_cache_hits)
+    TRACE.count("machine.runs")
+    TRACE.count("machine.insts", insts)
+    TRACE.count("machine.cycles", cycles)
+    TRACE.count("cpu.superblocks", cpu.sb_runs)
+    TRACE.count("cpu.superblocks_compiled", cpu.sb_compiled)
+    TRACE.count("cpu.sb_cache_hits", cpu.sb_cache_hits)
+    if wall_ns > 0 and insts:
+        TRACE.observe("machine.insts_per_sec", insts * 1e9 / wall_ns)
 
 
 def run_module(module: Module, *, stdin: bytes = b"",

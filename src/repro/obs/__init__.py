@@ -1,0 +1,363 @@
+"""``repro.obs``: structured tracing & metrics for the ATOM pipeline.
+
+ATOM's pitch is that analysis data should come from cheap in-process
+hooks rather than external traces; this module applies the same idea to
+our own pipeline.  It is an LTT-style low-overhead tracer — nested
+spans on the monotonic clock, named counters, and histograms — threaded
+through the instrumenter, the OM passes, the interpreter, the artifact
+cache, and the parallel eval matrix, so a slow or quarantined matrix
+cell can be explained from per-phase timings instead of guesswork.
+
+Design rules:
+
+* **Zero cost when disabled.**  The process-wide :data:`TRACE` tracer
+  starts disabled; ``TRACE.span(...)`` then returns a shared no-op
+  context manager and ``count``/``observe`` return after one boolean
+  check.  No hook sits inside the interpreter dispatch loop — the
+  hottest call sites are per *program run* or per *compile phase*, and
+  the overhead-budget benchmark (:mod:`repro.obs.overhead`) asserts the
+  disabled path costs under its budget on the ``BENCH_interp``
+  workloads.
+* **Monotonic timebase.**  Span timestamps are ``time.monotonic_ns()``,
+  which on Linux is a system-wide clock: spans recorded in forked
+  worker processes land on the same axis as the parent's, so a merged
+  trace lines up without skew correction.
+* **Serializable.**  :meth:`Tracer.snapshot` returns a plain-JSON dict
+  that crosses process boundaries inside ``TaskResult`` records; the
+  parent :meth:`Tracer.merge`-s worker snapshots into one trace.
+* **Two export formats.**  JSONL (one event per line, nanosecond
+  timestamps — greppable, appendable) and Chrome trace-event JSON
+  (microseconds, viewable in Perfetto / ``chrome://tracing``); the
+  ``wrl-trace`` CLI converts and summarizes either.
+
+Env knobs: ``WRL_TRACE=PATH`` is the ambient default for every CLI's
+``--trace`` flag (``.jsonl`` suffix selects JSONL, anything else Chrome
+JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+TRACE_SCHEMA = "wrl-trace/v1"
+ENV_TRACE = "WRL_TRACE"
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def add(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records itself into the tracer on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        self._t0 = time.monotonic_ns()
+        return self
+
+    def add(self, **args) -> None:
+        """Attach key/value detail to the span (visible in viewers)."""
+        self.args.update(args)
+
+    def __exit__(self, exc_type, exc, tb):
+        end = time.monotonic_ns()
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._record(self.name, self.cat, self._t0, end, self.args)
+        return False
+
+
+class Tracer:
+    """Span/counter/histogram sink for one process.
+
+    ``enabled`` gates everything; ``_pid`` records which process enabled
+    it, so a tracer inherited through ``fork`` (worker processes of the
+    eval pool) is recognized as *not owned* and the worker starts a
+    fresh capture instead of appending to the parent's copied buffers.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._pid = -1
+        self.events: list[dict] = []
+        self.counters: dict[str, float] = {}
+        self.hists: dict[str, list[float]] = {}
+        self._tids = threading.local()
+
+    # ---- lifecycle --------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+        self._pid = os.getpid()
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.events = []
+        self.counters = {}
+        self.hists = {}
+
+    def owned(self) -> bool:
+        """Enabled by *this* process (False in a forked child)."""
+        return self.enabled and self._pid == os.getpid()
+
+    # ---- recording --------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args):
+        """A context manager timing one phase; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, args)
+
+    def count(self, name: str, n: float = 1) -> None:
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.hists.setdefault(name, []).append(value)
+
+    def _tid(self) -> int:
+        tid = getattr(self._tids, "id", None)
+        if tid is None:
+            tid = self._tids.id = threading.get_native_id()
+        return tid
+
+    def _record(self, name, cat, t0_ns, t1_ns, args) -> None:
+        self.events.append({
+            "name": name, "cat": cat,
+            "ts_ns": t0_ns, "dur_ns": max(0, t1_ns - t0_ns),
+            "pid": os.getpid(), "tid": self._tid(),
+            "args": args,
+        })
+
+    # ---- cross-process ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-JSON copy of everything recorded so far."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "pid": os.getpid(),
+            "events": list(self.events),
+            "counters": dict(self.counters),
+            "hists": {k: list(v) for k, v in self.hists.items()},
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another process into this trace."""
+        if not snap:
+            return
+        self.events.extend(snap.get("events", ()))
+        for name, n in snap.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, values in snap.get("hists", {}).items():
+            self.hists.setdefault(name, []).extend(values)
+
+    # ---- export -----------------------------------------------------------
+
+    def write(self, path: Path | str) -> Path:
+        """Write the trace; ``.jsonl`` suffix selects JSONL, else Chrome."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            write_jsonl(self.snapshot(), path)
+        else:
+            write_chrome(self.snapshot(), path)
+        return path
+
+
+#: The process-wide tracer every pipeline hook reports to.
+TRACE = Tracer()
+
+
+def span(name: str, cat: str = "", **args):
+    return TRACE.span(name, cat, **args)
+
+
+def count(name: str, n: float = 1) -> None:
+    TRACE.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    TRACE.observe(name, value)
+
+
+def enabled() -> bool:
+    return TRACE.enabled
+
+
+def trace_path_from_env() -> str | None:
+    """The ``WRL_TRACE`` path, or None when tracing is not requested."""
+    return os.environ.get(ENV_TRACE) or None
+
+
+# ---- histogram summaries ---------------------------------------------------
+
+def hist_summary(values) -> dict:
+    """count/min/max/mean/p50/p90 over a list of observations."""
+    vs = sorted(values)
+    n = len(vs)
+    if not n:
+        return {"count": 0}
+    return {
+        "count": n,
+        "min": vs[0],
+        "max": vs[-1],
+        "mean": sum(vs) / n,
+        "p50": vs[n // 2] if n % 2 else (vs[n // 2 - 1] + vs[n // 2]) / 2,
+        "p90": vs[min(n - 1, (9 * n) // 10)],
+    }
+
+
+# ---- Chrome trace-event JSON (Perfetto / chrome://tracing) -----------------
+
+def chrome_events(snap: dict) -> list[dict]:
+    """Translate a snapshot into Chrome trace-event dicts.
+
+    Spans become complete (``"X"``) events in microseconds; final
+    counter values become one ``"C"`` sample each; histogram summaries
+    become instant (``"i"``) events.  Process-name metadata labels each
+    pid so merged worker traces are distinguishable.
+    """
+    events: list[dict] = []
+    pids = sorted({e["pid"] for e in snap.get("events", ())})
+    for pid in pids:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": f"wrl pid {pid}"}})
+    last_ts = 0
+    for ev in snap.get("events", ()):
+        ts = ev["ts_ns"] / 1000.0
+        dur = max(ev["dur_ns"] / 1000.0, 0.001)
+        last_ts = max(last_ts, ts + dur)
+        events.append({"name": ev["name"], "cat": ev["cat"] or "wrl",
+                       "ph": "X", "ts": ts, "dur": dur,
+                       "pid": ev["pid"], "tid": ev["tid"],
+                       "args": ev["args"]})
+    host = snap.get("pid", os.getpid())
+    for name, value in sorted(snap.get("counters", {}).items()):
+        events.append({"name": name, "cat": "counter", "ph": "C",
+                       "ts": last_ts, "pid": host, "tid": 0,
+                       "args": {"value": value}})
+    for name, values in sorted(snap.get("hists", {}).items()):
+        events.append({"name": name, "cat": "histogram", "ph": "i",
+                       "ts": last_ts, "pid": host, "tid": 0, "s": "g",
+                       "args": hist_summary(values)})
+    return events
+
+
+def to_chrome(snap: dict) -> dict:
+    return {
+        "traceEvents": chrome_events(snap),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": snap.get("schema", TRACE_SCHEMA),
+            "counters": snap.get("counters", {}),
+            "histograms": {name: hist_summary(vals)
+                           for name, vals in snap.get("hists", {}).items()},
+        },
+    }
+
+
+def write_chrome(snap: dict, path: Path | str) -> None:
+    Path(path).write_text(json.dumps(to_chrome(snap), indent=1) + "\n")
+
+
+# ---- JSONL ------------------------------------------------------------------
+
+def write_jsonl(snap: dict, path: Path | str) -> None:
+    """One JSON object per line: a meta header, then spans/counters/hists."""
+    lines = [json.dumps({"type": "meta", "schema": snap["schema"],
+                         "pid": snap["pid"]})]
+    for ev in snap.get("events", ()):
+        lines.append(json.dumps({"type": "span", **ev}))
+    for name, value in sorted(snap.get("counters", {}).items()):
+        lines.append(json.dumps({"type": "counter", "name": name,
+                                 "value": value}))
+    for name, values in sorted(snap.get("hists", {}).items()):
+        lines.append(json.dumps({"type": "hist", "name": name,
+                                 "values": values}))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_jsonl(path: Path | str) -> dict:
+    """Inverse of :func:`write_jsonl`: a snapshot-shaped dict."""
+    snap = {"schema": TRACE_SCHEMA, "pid": 0, "events": [],
+            "counters": {}, "hists": {}}
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        kind = row.pop("type", None)
+        if kind == "meta":
+            snap["schema"] = row.get("schema", TRACE_SCHEMA)
+            snap["pid"] = row.get("pid", 0)
+        elif kind == "span":
+            snap["events"].append(row)
+        elif kind == "counter":
+            snap["counters"][row["name"]] = row["value"]
+        elif kind == "hist":
+            snap["hists"][row["name"]] = row["values"]
+    return snap
+
+
+def load_trace(path: Path | str) -> dict:
+    """Load either trace format back into a snapshot-shaped dict.
+
+    Chrome files lose nanosecond precision (they store microseconds);
+    timestamps are rounded back to whole nanoseconds on import.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return read_jsonl(path)
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: neither JSONL nor Chrome trace JSON")
+    other = doc.get("otherData", {})
+    snap = {"schema": other.get("schema", TRACE_SCHEMA), "pid": 0,
+            "events": [], "counters": dict(other.get("counters", {})),
+            "hists": {}}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        snap["events"].append({
+            "name": ev["name"], "cat": ev.get("cat", ""),
+            "ts_ns": round(ev["ts"] * 1000),
+            "dur_ns": round(ev["dur"] * 1000),
+            "pid": ev.get("pid", 0), "tid": ev.get("tid", 0),
+            "args": ev.get("args", {}),
+        })
+    return snap
+
+
+__all__ = [
+    "TRACE", "TRACE_SCHEMA", "ENV_TRACE", "Tracer",
+    "span", "count", "observe", "enabled", "trace_path_from_env",
+    "hist_summary", "chrome_events", "to_chrome",
+    "write_chrome", "write_jsonl", "read_jsonl", "load_trace",
+]

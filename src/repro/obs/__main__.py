@@ -1,0 +1,7 @@
+"""``python -m repro.obs``: the trace CLI (``wrl-trace``)."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

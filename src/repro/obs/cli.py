@@ -1,0 +1,94 @@
+"""``wrl-trace``: inspect and convert pipeline traces.
+
+Two subcommands over the files ``--trace`` flags produce:
+
+* ``summary TRACE`` — aggregate spans per (category, name): count,
+  total/mean/max duration; then counters and histogram summaries.
+* ``convert IN OUT`` — re-emit a trace in the format selected by the
+  output suffix (``.jsonl`` for JSONL, anything else for Chrome
+  trace-event JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import hist_summary, load_trace, write_chrome, write_jsonl
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e3:.1f}us"
+
+
+def summarize(snap: dict, out=sys.stdout) -> None:
+    rows: dict[tuple[str, str], list[int]] = {}
+    for ev in snap.get("events", ()):
+        key = (ev.get("cat", ""), ev["name"])
+        rows.setdefault(key, []).append(ev["dur_ns"])
+    pids = {ev["pid"] for ev in snap.get("events", ())}
+    print(f"{len(snap.get('events', ()))} spans across "
+          f"{len(pids) or 1} process(es)", file=out)
+    if rows:
+        print(f"  {'cat/name':<40} {'count':>6} {'total':>10} "
+              f"{'mean':>10} {'max':>10}", file=out)
+        for (cat, name), durs in sorted(
+                rows.items(), key=lambda kv: -sum(kv[1])):
+            label = f"{cat}/{name}" if cat else name
+            print(f"  {label:<40} {len(durs):>6} "
+                  f"{_fmt_ns(sum(durs)):>10} "
+                  f"{_fmt_ns(sum(durs) / len(durs)):>10} "
+                  f"{_fmt_ns(max(durs)):>10}", file=out)
+    counters = snap.get("counters", {})
+    if counters:
+        print("counters:", file=out)
+        for name, value in sorted(counters.items()):
+            print(f"  {name:<40} {value:>14,g}", file=out)
+    hists = snap.get("hists", {})
+    if hists:
+        print("histograms:", file=out)
+        for name, values in sorted(hists.items()):
+            s = hist_summary(values)
+            print(f"  {name:<40} n={s['count']} mean={s['mean']:,.0f} "
+                  f"p50={s['p50']:,.0f} p90={s['p90']:,.0f} "
+                  f"max={s['max']:,.0f}", file=out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wrl-trace",
+        description="Summarize or convert repro.obs pipeline traces.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_sum = sub.add_parser("summary", help="aggregate a trace file")
+    p_sum.add_argument("trace", help="trace file (.jsonl or Chrome JSON)")
+    p_conv = sub.add_parser("convert",
+                            help="rewrite a trace in another format")
+    p_conv.add_argument("input")
+    p_conv.add_argument("output",
+                        help=".jsonl for JSONL, else Chrome trace JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.cmd == "summary":
+            summarize(load_trace(args.trace))
+        else:
+            snap = load_trace(args.input)
+            out = Path(args.output)
+            if out.suffix == ".jsonl":
+                write_jsonl(snap, out)
+            else:
+                write_chrome(snap, out)
+            print(f"wrote {out}")
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"wrl-trace: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

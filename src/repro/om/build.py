@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..isa import encoding
 from ..isa.opcodes import Format
+from ..obs import TRACE
 from ..objfile.module import Module
 from ..objfile.sections import TEXT
 from ..objfile.symtab import SymBind, SymKind
@@ -27,6 +28,13 @@ class BuildError(Exception):
 
 def build_ir(module: Module) -> IRProgram:
     """Disassemble a linked executable into the annotated IR."""
+    with TRACE.span("om.build", "om") as sp:
+        program = _build_ir(module)
+        sp.add(procs=len(program.procs), insts=program.inst_count())
+        return program
+
+
+def _build_ir(module: Module) -> IRProgram:
     if not module.linked:
         raise BuildError("OM requires a fully linked module")
     text_sec = module.section(TEXT)

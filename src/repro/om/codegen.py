@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..isa import encoding
 from ..isa.opcodes import Format
+from ..obs import TRACE
 from ..objfile.linker import apply_relocation
 from ..objfile.module import Module
 from ..objfile.relocs import Relocation
@@ -48,6 +49,17 @@ def emit(program: IRProgram, *,
     ``extra_symbols`` supplies addresses for symbols outside the program's
     own symbol table (ATOM's analysis routines, for example).
     """
+    with TRACE.span("om.codegen", "om") as sp:
+        result = _emit(program, extra_symbols=extra_symbols,
+                       text_base=text_base)
+        sp.add(insts=(result.text_end
+                      - result.module.section(TEXT).vaddr) // 4)
+        return result
+
+
+def _emit(program: IRProgram, *,
+          extra_symbols: dict[str, int] | None = None,
+          text_base: int | None = None) -> EmitResult:
     source: Module = program.module
     old_text = source.section(TEXT)
     base = text_base if text_base is not None else old_text.vaddr

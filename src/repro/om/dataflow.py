@@ -18,6 +18,7 @@ These power ATOM's register-save minimization (paper Section 4):
 from __future__ import annotations
 
 from ..isa import registers as R
+from ..obs import TRACE
 from .ir import IRBlock, IRProc, IRProgram
 
 #: Registers an unknown (indirect) callee may clobber.
@@ -182,6 +183,7 @@ class Liveness:
         self.live_out: dict[int, frozenset[int]] = {}
         self.live_in: dict[int, frozenset[int]] = {}
         self._solve()
+        TRACE.count("om.liveness_procs")
 
     def _transfer(self, block: IRBlock,
                   live: frozenset[int]) -> frozenset[int]:

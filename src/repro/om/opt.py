@@ -16,6 +16,7 @@ The paper builds ATOM on OM, a system whose purpose is link-time
 from __future__ import annotations
 
 from ..isa import opcodes, registers as R
+from ..obs import TRACE
 from ..objfile.relocs import RelocType
 from ..objfile.sections import TEXT
 from .dataflow import call_graph
@@ -79,6 +80,15 @@ def eliminate_unreachable(program: IRProgram,
     Default roots: the procedure containing the entry point, plus every
     global procedure when no entry is recorded (a library unit).
     """
+    with TRACE.span("om.opt.unreachable", "om") as sp:
+        removed = _eliminate_unreachable(program, roots)
+        sp.add(removed=len(removed))
+        TRACE.count("om.procs_removed", len(removed))
+        return removed
+
+
+def _eliminate_unreachable(program: IRProgram,
+                           roots: list[str] | None) -> list[str]:
     module = program.module
     if roots is None:
         roots = []
@@ -118,6 +128,14 @@ def optimize_got_loads(program: IRProgram) -> int:
 
     Returns the number of loads rewritten.
     """
+    with TRACE.span("om.opt.got_loads", "om") as sp:
+        rewritten = _optimize_got_loads(program)
+        sp.add(rewritten=rewritten)
+        TRACE.count("om.got_loads_removed", rewritten)
+        return rewritten
+
+
+def _optimize_got_loads(program: IRProgram) -> int:
     rewritten = 0
     for proc in program.procs:
         # OUT-state per block so facts survive along forward
@@ -192,6 +210,14 @@ def optimize_address_calculation(program: IRProgram) -> int:
     Returns the number of loads rewritten.  Run :func:`optimize_got_loads`
     afterwards if block-local redundancy should also be cleaned.
     """
+    with TRACE.span("om.opt.addr_calc", "om") as sp:
+        rewritten = _optimize_address_calculation(program)
+        sp.add(rewritten=rewritten)
+        TRACE.count("om.addr_calcs_rewritten", rewritten)
+        return rewritten
+
+
+def _optimize_address_calculation(program: IRProgram) -> int:
     module = program.module
     gp = module.gp_value
     rewritten = 0

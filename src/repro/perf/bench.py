@@ -30,6 +30,7 @@ from pathlib import Path
 from ..atom import OptLevel
 from ..eval.parallel import plan_matrix, run_matrix
 from ..machine import run_module
+from ..obs import TRACE, trace_path_from_env
 from ..tools import TOOL_NAMES
 from ..workloads import WORKLOAD_NAMES, build_workload
 
@@ -199,6 +200,12 @@ def main(argv=None) -> int:
                         help="smoke run: one workload, one tool, one opt")
     parser.add_argument("--out", default=str(default_report_path()),
                         help="report path (default: repo root)")
+    parser.add_argument("--trace", default=trace_path_from_env(),
+                        metavar="PATH",
+                        help="capture a structured trace of the bench "
+                             "run (.json = Chrome trace, .jsonl = line-"
+                             "delimited; default: $WRL_TRACE). Note: "
+                             "tracing perturbs wall-clock numbers")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads.split(","))
@@ -226,8 +233,18 @@ def main(argv=None) -> int:
 
     if args.jobs < 0:
         parser.error("--jobs must be >= 0")
-    report = run_bench(workloads, tools, opts, reps=args.reps,
-                       jobs=args.jobs)
+    if args.trace:
+        TRACE.reset()
+        TRACE.enable()
+    try:
+        with TRACE.span("wrl-bench", "bench"):
+            report = run_bench(workloads, tools, opts, reps=args.reps,
+                               jobs=args.jobs)
+    finally:
+        if args.trace:
+            TRACE.write(args.trace)
+            TRACE.disable()
+            print(f"wrote trace to {args.trace}")
     validate_report(report)
     out.write_text(json.dumps(report, indent=2) + "\n")
 

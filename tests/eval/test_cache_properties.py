@@ -115,6 +115,75 @@ def test_eviction_keeps_newest_within_cap(tmp_path):
     assert cache.stats.evicted >= 3
 
 
+def test_clear_on_never_populated_root(tmp_path, monkeypatch):
+    """Regression: ``clear()`` before any ``put`` used to raise
+    FileNotFoundError iterating the absent ``objects/`` directory."""
+    cache = ArtifactCache(tmp_path / "fresh")
+    cache.clear()                              # must not raise
+    assert len(cache) == 0
+    assert cache.get(analysis_key("anything")) is None
+    # The default store hits the same path when WRL_CACHE_DIR points at
+    # a directory nothing has written to yet.
+    monkeypatch.setenv("WRL_CACHE_DIR", str(tmp_path / "untouched"))
+    get_default_cache().clear()                # must not raise either
+
+
+def test_warm_put_does_not_relist_objects(tmp_path, monkeypatch):
+    """Regression: every ``put`` used to walk the entire ``objects/``
+    tree to count blobs for eviction — O(n) per store on a warm cache.
+    With the cached count, only the first put after construction (or
+    after an invalidation) may list the tree."""
+    cache = ArtifactCache(tmp_path, cap=100)
+    listings = []
+    real_iterdir = type(cache.objects_dir).iterdir
+
+    def counting_iterdir(self):
+        if self == cache.objects_dir:
+            listings.append(1)
+        return real_iterdir(self)
+
+    monkeypatch.setattr(type(cache.objects_dir), "iterdir",
+                        counting_iterdir)
+    for i in range(20):
+        cache.put(content_key("blob", str(i)), bytes([i]))
+    assert sum(listings) <= 1
+    # The count stayed exact: eviction still sees 20 blobs.
+    assert cache._nblobs == 20 == len(cache)
+
+
+def test_cached_count_still_enforces_cap(tmp_path):
+    """The O(1) fast path must not let the store grow past its cap."""
+    cache = ArtifactCache(tmp_path, cap=4)
+    keys = [content_key("blob", str(i)) for i in range(10)]
+    for i, key in enumerate(keys):
+        cache.put(key, bytes([i]))
+        os.utime(cache._path(key), (i, i))
+    assert len(cache) <= 4
+    # Overwriting an existing key must not inflate the count.
+    survivors = [k for k in keys if cache._path(k).exists()]
+    before = cache._nblobs
+    cache.put(survivors[0], b"replacement")
+    assert cache._nblobs == len(cache)
+    assert cache._nblobs <= before + 1
+
+
+def test_corruption_invalidates_cached_count(tmp_path):
+    """Detecting a corrupt blob deletes it behind the counter's back, so
+    the cached count must be dropped and re-derived."""
+    cache = ArtifactCache(tmp_path, cap=100)
+    key = analysis_key("source")
+    cache.put(key, b"payload")
+    assert cache._nblobs == 1
+    path = cache._path(key)
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    assert cache.get(key) is None              # corrupt: unlinked
+    assert cache._nblobs is None               # count invalidated
+    cache.put(key, b"payload")                 # recount on next evict
+    assert cache._nblobs == 1 == len(cache)
+
+
 # ---- corrupted blobs are recompiled end to end ----------------------------
 
 def test_corrupt_analysis_blob_recompiles(tmp_path):

@@ -100,7 +100,11 @@ def test_parallel_workers_hit_disk_cache(matrix_runs):
 
 def test_warm_cache_run_performs_zero_compiles(matrix_runs, monkeypatch):
     """The acceptance check: with a warm cache, a full matrix pass calls
-    neither ``build_analysis_unit`` nor ``instrument_executable``."""
+    neither ``build_analysis_unit`` nor ``instrument_executable`` — and
+    stores nothing, so the store's blob count stays cached and ``put``'s
+    O(len(objects/)) re-listing never runs."""
+    from repro.eval.cache import get_default_cache
+
     def forbidden(*args, **kw):
         raise AssertionError("compile invoked despite a warm cache")
 
@@ -108,7 +112,9 @@ def test_warm_cache_run_performs_zero_compiles(matrix_runs, monkeypatch):
     monkeypatch.setattr(runner, "build_analysis_unit", forbidden)
     monkeypatch.setattr(runner, "instrument_executable", forbidden)
     monkeypatch.setattr(workloads, "build_executable", forbidden)
+    stores_before = get_default_cache().stats.stores
     records = run_matrix(matrix_runs["specs"], jobs=0)
+    assert get_default_cache().stats.stores == stores_before
     assert all(rec.status == "ok" for rec in records)
     for s_rec, w_rec in zip(matrix_runs["serial"], records):
         assert s_rec.identity() == w_rec.identity()

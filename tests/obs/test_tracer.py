@@ -1,0 +1,215 @@
+"""Unit tests for the ``repro.obs`` tracer and its export formats."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (TRACE_SCHEMA, Tracer, chrome_events, hist_summary,
+                       load_trace, to_chrome, write_chrome, write_jsonl)
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+# ---- disabled path --------------------------------------------------------
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer()
+    with t.span("phase", "cat", detail=1) as sp:
+        sp.add(more=2)
+    t.count("c")
+    t.observe("h", 1.0)
+    assert t.events == [] and t.counters == {} and t.hists == {}
+
+
+def test_disabled_span_is_the_shared_null_singleton():
+    t = Tracer()
+    assert t.span("a") is t.span("b") is obs._NULL_SPAN
+
+
+def test_module_level_helpers_follow_the_global_tracer():
+    assert not obs.enabled()
+    with obs.span("noop"):
+        pass
+    obs.count("noop")
+    obs.observe("noop", 1.0)
+    assert obs.TRACE.events == []
+
+
+# ---- recording ------------------------------------------------------------
+
+def test_nested_spans_record_with_args(tracer):
+    with tracer.span("outer", "eval", task="t1") as outer:
+        with tracer.span("inner", "om") as inner:
+            inner.add(procs=3)
+        outer.add(status="ok")
+    assert [e["name"] for e in tracer.events] == ["inner", "outer"]
+    inner_ev, outer_ev = tracer.events
+    assert inner_ev["args"] == {"procs": 3}
+    assert outer_ev["args"] == {"task": "t1", "status": "ok"}
+    assert outer_ev["dur_ns"] >= inner_ev["dur_ns"] >= 0
+    # The inner span nests inside the outer one on the timeline.
+    assert outer_ev["ts_ns"] <= inner_ev["ts_ns"]
+    assert (inner_ev["ts_ns"] + inner_ev["dur_ns"]
+            <= outer_ev["ts_ns"] + outer_ev["dur_ns"])
+
+
+def test_span_records_exception_type(tracer):
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    assert tracer.events[0]["args"]["error"] == "ValueError"
+
+
+def test_counters_accumulate_and_histograms_collect(tracer):
+    tracer.count("hits")
+    tracer.count("hits", 4)
+    tracer.observe("latency", 10.0)
+    tracer.observe("latency", 30.0)
+    assert tracer.counters == {"hits": 5}
+    assert tracer.hists == {"latency": [10.0, 30.0]}
+
+
+def test_hist_summary_percentiles():
+    s = hist_summary(range(1, 11))
+    assert s["count"] == 10 and s["min"] == 1 and s["max"] == 10
+    assert s["mean"] == 5.5 and s["p50"] == 5.5 and s["p90"] == 10
+    assert hist_summary([]) == {"count": 0}
+
+
+# ---- snapshot / merge (the cross-process contract) ------------------------
+
+def test_snapshot_merge_combines_worker_traces(tracer):
+    worker = Tracer()
+    worker.enable()
+    with worker.span("task", "eval"):
+        pass
+    worker.count("cache.hits", 2)
+    worker.observe("ips", 100.0)
+    snap = worker.snapshot()
+    assert json.loads(json.dumps(snap)) == snap      # plain JSON
+
+    with tracer.span("wrl-eval", "eval"):
+        pass
+    tracer.count("cache.hits", 1)
+    tracer.merge(snap)
+    assert {e["name"] for e in tracer.events} == {"task", "wrl-eval"}
+    assert tracer.counters["cache.hits"] == 3
+    assert tracer.hists["ips"] == [100.0]
+    tracer.merge({})                                 # tolerated
+
+
+def test_reset_clears_and_owned_tracks_pid(tracer):
+    with tracer.span("x"):
+        pass
+    tracer.count("c")
+    tracer.reset()
+    assert tracer.events == [] and tracer.counters == {}
+    assert tracer.owned()
+    tracer._pid = tracer._pid + 1                    # simulate a fork
+    assert tracer.enabled and not tracer.owned()
+
+
+# ---- export formats -------------------------------------------------------
+
+def _sample_snapshot():
+    t = Tracer()
+    t.enable()
+    with t.span("outer", "eval", task="t"):
+        with t.span("inner", "om"):
+            pass
+    t.count("hits", 3)
+    t.observe("ips", 50.0)
+    return t.snapshot()
+
+
+def test_chrome_export_is_valid_trace_event_json(tmp_path):
+    snap = _sample_snapshot()
+    doc = to_chrome(snap)
+    assert doc["otherData"]["schema"] == TRACE_SCHEMA
+    events = doc["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert phases == {"M", "X", "C", "i"}
+    for ev in events:
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] == "X":
+            assert ev["dur"] > 0 and ev["ts"] >= 0
+    path = tmp_path / "trace.json"
+    write_chrome(snap, path)
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_chrome_counter_samples_carry_final_values():
+    snap = _sample_snapshot()
+    counters = [e for e in chrome_events(snap) if e["ph"] == "C"]
+    assert counters[0]["name"] == "hits"
+    assert counters[0]["args"] == {"value": 3}
+
+
+def test_jsonl_roundtrip(tmp_path):
+    snap = _sample_snapshot()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(snap, path)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["type"] == "meta"
+    assert {row["type"] for row in lines} == {"meta", "span", "counter",
+                                              "hist"}
+    back = load_trace(path)
+    assert back["events"] == snap["events"]
+    assert back["counters"] == snap["counters"]
+    assert back["hists"] == snap["hists"]
+
+
+def test_load_trace_reads_chrome_format_back(tmp_path):
+    snap = _sample_snapshot()
+    path = tmp_path / "trace.json"
+    write_chrome(snap, path)
+    back = load_trace(path)
+    assert {e["name"] for e in back["events"]} == {"inner", "outer"}
+    assert back["counters"] == {"hits": 3}
+    # Microsecond storage: timestamps round-trip to ~1us.
+    for orig, rt in zip(snap["events"], back["events"]):
+        assert abs(orig["ts_ns"] - rt["ts_ns"]) <= 1000
+
+
+def test_load_trace_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+def test_tracer_write_dispatches_on_suffix(tmp_path, tracer):
+    with tracer.span("x"):
+        pass
+    chrome = tracer.write(tmp_path / "t.json")
+    jsonl = tracer.write(tmp_path / "t.jsonl")
+    assert "traceEvents" in json.loads(chrome.read_text())
+    assert json.loads(jsonl.read_text().splitlines()[0])["type"] == "meta"
+
+
+def test_trace_path_from_env(monkeypatch):
+    monkeypatch.delenv("WRL_TRACE", raising=False)
+    assert obs.trace_path_from_env() is None
+    monkeypatch.setenv("WRL_TRACE", "/tmp/t.json")
+    assert obs.trace_path_from_env() == "/tmp/t.json"
+
+
+# ---- the wrl-trace CLI ----------------------------------------------------
+
+def test_cli_summary_and_convert(tmp_path, capsys):
+    from repro.obs.cli import main
+    src = tmp_path / "trace.json"
+    write_chrome(_sample_snapshot(), src)
+    assert main(["summary", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "outer" in out and "hits" in out
+    dst = tmp_path / "trace.jsonl"
+    assert main(["convert", str(src), str(dst)]) == 0
+    assert load_trace(dst)["counters"] == {"hits": 3}
+    assert main(["summary", str(tmp_path / "missing.json")]) == 1
