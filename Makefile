@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-matrix eval-matrix check-obs
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-matrix eval-matrix check-obs
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -17,6 +17,14 @@ bench:
 # One workload/tool/opt cell, written to a scratch path.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --quick --reps 1 --out /tmp/bench_smoke.json
+
+# Regression gate: rerun the default matrix to a scratch path and compare
+# against the committed baseline.  Fails (exit 1) when any cell's excess
+# instrumentation cycles grow beyond the threshold (default 10%), or when
+# same-host interpreter throughput drops beyond it.
+check-bench:
+	$(PYTHON) -m repro.perf.bench --reps 1 --out /tmp/bench_fresh.json
+	$(PYTHON) -m repro.perf.bench --compare BENCH_interp.json /tmp/bench_fresh.json
 
 # Parallel conformance/differential matrix lane (pytest -m matrix).
 # Deterministically sharded: `make check-matrix SHARD=0 SHARDS=2` runs

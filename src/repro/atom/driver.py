@@ -63,8 +63,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("analysis", nargs="+",
                     help="analysis routine sources (.mlc) or unit (.wof)")
     ap.add_argument("-o", "--output", required=True)
-    ap.add_argument("-O", "--opt", type=int, choices=[0, 1, 2, 3],
-                    default=1, help="save-strategy optimization level")
+    ap.add_argument("-O", "--opt", type=int, choices=[0, 1, 2, 3, 4],
+                    default=1, help="save-strategy optimization level "
+                    "(4 = inline analysis bodies + coalesce saves)")
     ap.add_argument("--heap", choices=["linked", "partitioned"],
                     default="linked")
     ap.add_argument("--heap-offset", type=lambda s: int(s, 0),
@@ -85,9 +86,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     result.module.save(opts.output)
     stats = result.stats
-    print(f"atom: {stats.points} points, {stats.calls_added} calls, "
-          f"{stats.wrappers} wrappers, "
-          f"{stats.snippet_insts} instructions added")
+    line = (f"atom: {stats.points} points, {stats.calls_added} calls, "
+            f"{stats.wrappers} wrappers, "
+            f"{stats.snippet_insts} instructions added")
+    if stats.inlined_calls:
+        line += f", {stats.inlined_calls} calls inlined"
+    print(line)
     return 0
 
 

@@ -35,6 +35,7 @@ from ..objfile.sections import BSS, DATA, LITA, TEXT
 from ..objfile.symtab import SymBind, Symbol
 from ..om import build_ir, emit
 from ..om.dataflow import Liveness
+from ..om.opt import coalesce_snippets
 from ..om.ir import IRBlock, IRInst, IRProc, IRProgram
 from .api import AtomContext, AtomError
 from .lowering import ANAL_PREFIX, ATOM_DATA_SYMBOL, AtomData, Lowerer
@@ -61,6 +62,10 @@ class InstrumentStats:
     snippet_insts: int = 0
     wrappers: int = 0
     save_set_sizes: dict[str, int] = field(default_factory=dict)
+    #: O4: calls replaced by spliced analysis bodies.
+    inlined_calls: int = 0
+    #: O4: adjacent save/restore bracket pairs merged by the coalescer.
+    coalesced_brackets: int = 0
 
 
 @dataclass
@@ -116,7 +121,9 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
 
     # ---- step 2: save plans + analysis-unit transformation ----------------
     with TRACE.span("instrument.saves", "instrument") as sp:
-        plans = compute_plans(anal_ir, targets, opt)
+        no_inline = frozenset(
+            name for name in targets if ctx.protos[name].noinline)
+        plans = compute_plans(anal_ir, targets, opt, no_inline=no_inline)
         for name, plan in plans.plans.items():
             stats.save_set_sizes[name] = len(plan.saves)
         anal_module = emit(anal_ir).module
@@ -124,8 +131,10 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
 
     # ---- decide call strategy (bsr vs jsr to the analysis unit) ------------
     anal_text_size = len(anal_module.section(TEXT).data)
-    worst_app = 4 * app_ir.inst_count() + 64 * max(stats.calls_added, 1) \
-        + 4096
+    inline_worst = max((len(p.body) for p in plans.plans.values()
+                        if p.mode == "inlined"), default=0)
+    worst_app = 4 * app_ir.inst_count() \
+        + (64 + 4 * inline_worst) * max(stats.calls_added, 1) + 4096
     in_bsr_range = (worst_app + anal_text_size) < _BSR_SPAN_LIMIT
     if force_far_calls:
         # Testing hook: exercise the paper's "load the procedure value and
@@ -136,7 +145,7 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
     lowerer = Lowerer(plans=plans, data=AtomData(),
                       analysis_in_bsr_range=in_bsr_range)
     liveness = {}
-    if opt == OptLevel.O3:
+    if opt >= OptLevel.O3:
         with TRACE.span("om.liveness", "om") as sp:
             liveness = {p.name: Liveness(p) for p in app_ir.procs}
             sp.add(procs=len(liveness))
@@ -144,8 +153,11 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
         _splice_program_hooks(app_ir, lowerer)
         for proc in app_ir.procs:
             _splice_proc(proc, lowerer,
-                         liveness.get(proc.name) if opt == OptLevel.O3
+                         liveness.get(proc.name) if opt >= OptLevel.O3
                          else None, stats)
+        stats.inlined_calls = lowerer.inlined_calls
+        if opt >= OptLevel.O4:
+            stats.coalesced_brackets = coalesce_snippets(app_ir)
 
         # ---- wrappers and the veneer --------------------------------------
         has_libc_init = anal_module.symtab.get("__libc_init") is not None
@@ -167,7 +179,21 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
         anal_text_base = text_base + app_text_size + pad
         anal_data_base = anal_text_base + anal_text_size + \
             ((-anal_text_size) % 16)
+        data_vaddrs = {name: anal_module.section(name).vaddr
+                       for name in (LITA, DATA, BSS)}
         relocate_unit(anal_module, anal_text_base, anal_data_base)
+        if any(p.mode == "inlined" for p in plans.plans.values()):
+            # Inline templates encode reloc-free gp-relative displacements
+            # to analysis data; those are only invariant when every data
+            # segment shifted by one common delta.
+            deltas = {anal_module.section(name).vaddr - vaddr
+                      for name, vaddr in data_vaddrs.items()
+                      if anal_module.section(name).size}
+            if len(deltas) > 1:
+                raise LayoutError(
+                    f"analysis data segments rebased by unequal deltas "
+                    f"{sorted(deltas)}; O4 inline templates assume a "
+                    f"rigid data layout")
 
         anal_bss = anal_module.section(BSS)
         atomdata_base = (anal_bss.vaddr + anal_bss.size + 15) & ~15

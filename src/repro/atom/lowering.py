@@ -29,14 +29,19 @@ from ..obs import TRACE
 from ..objfile.relocs import Relocation, RelocType
 from ..objfile.sections import TEXT
 from ..om.ir import Action, IRInst
+from ..om.opt import specialize_point
 from .api import AtomError
-from .saves import SavePlans
+from .saves import OptLevel, SavePlans
 
 #: Symbol the lowered code uses to reach instrumentation-time data
 #: (strings and arrays passed as arguments); defined by the layout step.
 ATOM_DATA_SYMBOL = "atom$data"
 #: Prefix partitioning analysis symbols from application symbols.
 ANAL_PREFIX = "anal$"
+#: Absolute symbol carrying the analysis unit's global-pointer value;
+#: gp rematerialization inside inlined bodies (O4) is re-pointed at it so
+#: the clone computes the same gp the called routine would have.
+ANAL_GP_SYMBOL = ANAL_PREFIX + "_gp"
 
 _BRCOND_PLANS = {
     # branch mnemonic -> (op, ra_is_zero, post_xor_1)
@@ -87,6 +92,10 @@ class Lowerer:
     liveness: dict = field(default_factory=dict)
     #: use bsr (True) or ldah/lda+jsr for direct analysis calls
     analysis_in_bsr_range: bool = False
+    #: instrumentation points lowered so far (save-bracket site ids)
+    _sites: int = 0
+    #: analysis calls replaced by spliced bodies (O4)
+    inlined_calls: int = 0
 
     # ---- entry point -------------------------------------------------------
 
@@ -104,17 +113,21 @@ class Lowerer:
         stack_args = 0
         inline_extra: set[int] = set()
         uses_jsr = False
+        needs_call = False
         for action in actions:
             plan = self.plans.plan(action.proc_name)
             arg_regs_used = max(arg_regs_used, min(plan.arg_count, 6))
             stack_args = max(stack_args, max(0, plan.arg_count - 6))
+            if plan.mode != "inlined":
+                needs_call = True
             if plan.mode in ("inframe", "inline") \
                     and not self.analysis_in_bsr_range:
                 uses_jsr = True
-            if plan.mode == "inline":
+            if plan.mode in ("inline", "inlined"):
                 inline_extra |= set(plan.saves)
 
-        saved: list[int] = [R.RA]
+        # A fully inlined point performs no call: ra stays untouched.
+        saved: list[int] = [R.RA] if needs_call else []
         saved += [R.ARG_REGS[i] for i in range(arg_regs_used)]
         if stack_args:
             saved.append(R.AT)
@@ -137,31 +150,59 @@ class Lowerer:
                         sources.add(app_inst.inst.rb)
                     elif arg[0] == "brcond":
                         sources.add(app_inst.inst.ra)
-            always = {R.SP, R.GP}
+            # gp gets no special treatment: liveness models it exactly
+            # (live at rets and before calls, killed by ldgp), so a point
+            # where gp is dead may clobber it freely — the application
+            # rematerializes before any use.
+            always = {R.SP}
             saved = [r for r in saved
                      if r in live or r in always or r in sources]
         slot = {reg: 8 * (stack_args + i) for i, reg in enumerate(saved)}
         frame = 8 * stack_args + 8 * len(saved)
         frame = (frame + 15) & ~15
 
+        site = self._sites
+        self._sites += 1
+        # Bracket identity for the cross-point coalescer: identical keys
+        # mean identical frame layout, so merged brackets are
+        # interchangeable.
+        key = (frame, stack_args, tuple(saved))
+
         insts: list[IRInst] = []
         emit = insts.append
-        emit(_lda(R.SP, R.SP, -frame))
-        for reg in saved:
-            emit(_mem(opcodes.STQ, reg, R.SP, slot[reg]))
+        if frame:
+            pro = _lda(R.SP, R.SP, -frame)
+            pro.snip = (site, "pro", key)
+            emit(pro)
+            for reg in saved:
+                st = _mem(opcodes.STQ, reg, R.SP, slot[reg])
+                st.snip = (site, "pro", key)
+                emit(st)
 
         for action in actions:
             plan = self.plans.plan(action.proc_name)
             self._emit_args(emit, action, app_inst, saved, slot, frame)
-            if plan.mode == "wrapper":
+            if plan.mode == "inlined":
+                self._splice_inline(emit, plan)
+            elif plan.mode == "wrapper":
                 emit(IRInst(Instruction(opcodes.BSR, ra=R.RA),
                             target=("symbol", plan.wrapper_symbol)))
             else:
                 self._emit_direct_call(emit, plan)
 
-        for reg in reversed(saved):
-            emit(_mem(opcodes.LDQ, reg, R.SP, slot[reg]))
-        emit(_lda(R.SP, R.SP, frame))
+        if frame:
+            for reg in reversed(saved):
+                ld = _mem(opcodes.LDQ, reg, R.SP, slot[reg])
+                ld.snip = (site, "epi", key)
+                emit(ld)
+            epi = _lda(R.SP, R.SP, frame)
+            epi.snip = (site, "epi", key)
+            emit(epi)
+        if level >= OptLevel.O4 and not needs_call and live is not None:
+            # Fully inlined and straight-line: fold instrumentation-time
+            # constants into the body and re-derive the save bracket from
+            # what actually remains.
+            insts = specialize_point(insts, live)
         if TRACE.enabled:
             TRACE.count("lowering.snippets")
             TRACE.count("lowering.snippet_insts", len(insts))
@@ -183,6 +224,29 @@ class Lowerer:
         emit(hi)
         emit(lo)
         emit(IRInst(Instruction(opcodes.JSR, ra=R.RA, rb=R.PV)))
+
+    def _splice_inline(self, emit, plan) -> None:
+        """Splice the pre-optimized body template of an inlined routine.
+
+        Each template instruction is cloned (codegen keys addresses by
+        instruction identity, so templates must never be shared between
+        points).  Relocation conversion already happened at plan time
+        (:func:`repro.atom.saves._try_inline`): templates only carry
+        HI16/LO16 forms, which resolve against the application plus the
+        injected ``anal$`` landmark symbols.
+        """
+        for tmpl in plan.body:
+            for rel in tmpl.relocs:
+                if rel.type not in (RelocType.HI16, RelocType.LO16):
+                    # pragma: no cover - plan-time conversion is total
+                    raise AtomError(
+                        f"relocation {rel.type} survived template "
+                        f"conversion of {plan.name!r}")
+            emit(IRInst(inst=tmpl.inst.copy(), relocs=list(tmpl.relocs),
+                        origin=plan.name))
+        self.inlined_calls += 1
+        if TRACE.enabled:
+            TRACE.count("lowering.inlined_calls")
 
     def _emit_args(self, emit, action: Action, app_inst: IRInst | None,
                    saved: list[int], slot: dict[int, int],

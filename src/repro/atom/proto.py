@@ -19,6 +19,14 @@ Types are the standard C scalar types plus the paper's two special ones:
 ``char *`` passes a string and ``T[]`` an array: ATOM copies the data into
 the analysis data region and passes its address (footnote 4 of the paper:
 "ATOM allows passing of arrays as arguments").
+
+A prototype may carry a leading ``noinline`` qualifier::
+
+    AddCallProto("noinline Count(int)")
+
+which keeps the routine call-based even at optimization level O4 (useful
+when the tool relies on the routine executing at its own address, e.g.
+for self-profiling).
 """
 
 from __future__ import annotations
@@ -53,6 +61,8 @@ class Param:
 class Prototype:
     name: str
     params: tuple[Param, ...]
+    #: never inline this routine's body at instrumentation points (O4)
+    noinline: bool = False
 
     @property
     def arg_count(self) -> int:
@@ -65,8 +75,9 @@ _INT_TYPES = {
     "unsigned int": 4, "unsigned long": 8, "long long": 8,
 }
 
-_PROTO_RE = re.compile(r"^\s*([A-Za-z_]\w*)\s*\(\s*(.*?)\s*\)\s*$",
-                       re.DOTALL)
+_PROTO_RE = re.compile(
+    r"^\s*(?:(noinline)\s+)?([A-Za-z_]\w*)\s*\(\s*(.*?)\s*\)\s*$",
+    re.DOTALL)
 
 
 def parse_proto(text: str) -> Prototype:
@@ -74,12 +85,12 @@ def parse_proto(text: str) -> Prototype:
     m = _PROTO_RE.match(text)
     if not m:
         raise ProtoError(f"malformed prototype: {text!r}")
-    name, body = m.group(1), m.group(2)
+    qualifier, name, body = m.group(1), m.group(2), m.group(3)
     params: list[Param] = []
     if body and body != "void":
         for piece in body.split(","):
             params.append(_parse_param(piece.strip(), text))
-    return Prototype(name, tuple(params))
+    return Prototype(name, tuple(params), noinline=qualifier == "noinline")
 
 
 def _parse_param(spelling: str, ctx: str) -> Param:

@@ -21,6 +21,14 @@ provided as optimization levels:
 * **O3** — the paper's planned refinement: live-register analysis of the
   application; only registers live at the instrumentation point are saved,
   inline, with direct calls.
+* **O4** — beyond the paper: small, call-free analysis routines are not
+  called at all — their (peepholed) bodies are spliced directly into the
+  snippet, the save set shrinks to the registers the inlined sequence
+  actually clobbers intersected with the application's live set, and a
+  cross-point pass (:func:`repro.om.opt.coalesce_snippets`) merges
+  adjacent save/restore brackets.  Routines the side-effect summary
+  (:func:`repro.om.dataflow.inline_summary`) rejects fall back to O3
+  treatment.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ class OptLevel(enum.IntEnum):
     O1 = 1
     O2 = 2
     O3 = 3
+    O4 = 4
 
 
 @dataclass
@@ -54,13 +63,17 @@ class ProcSavePlan:
 
     name: str                      # analysis procedure name
     arg_count: int
-    #: "wrapper" (O0/O1), "inframe" (O2), "inline" (O3)
+    #: "wrapper" (O0/O1), "inframe" (O2), "inline" (O3),
+    #: "inlined" (O4: body spliced at the point, no call at all)
     mode: str = "wrapper"
     #: registers the wrapper (or inline sequence) must save
     saves: tuple[int, ...] = ()
     wrapper_symbol: str = ""
     #: delayed-save bookkeeping (which callees were redirected)
     delayed: bool = False
+    #: for mode "inlined": the peepholed body template (sans ret) that the
+    #: lowerer clones at every instrumentation point
+    body: tuple = ()
 
 
 @dataclass
@@ -73,12 +86,15 @@ class SavePlans:
 
 
 def compute_plans(anal_ir: IRProgram, targets: dict[str, int],
-                  level: OptLevel) -> SavePlans:
+                  level: OptLevel, *,
+                  no_inline: frozenset[str] = frozenset()) -> SavePlans:
     """Build a save plan for every instrumented analysis procedure.
 
     ``targets`` maps analysis procedure name -> declared argument count.
     Mutates ``anal_ir`` for the delayed-save redirection (O1+) and the
-    in-frame transformation (O2).
+    in-frame transformation (O2).  ``no_inline`` lists routines whose
+    prototype carries the ``noinline`` qualifier: at O4 they keep O3
+    treatment even when the summary says they could be inlined.
     """
     if level >= OptLevel.O1:
         for proc in anal_ir.procs:
@@ -109,8 +125,10 @@ def compute_plans(anal_ir: IRProgram, targets: dict[str, int],
         plan.saves = tuple(r for r in _SAVE_ORDER if r in saves)
         if level == OptLevel.O2:
             plan.mode = "inframe" if _inframe_applicable(proc) else "wrapper"
-        elif level == OptLevel.O3:
+        elif level >= OptLevel.O3:
             plan.mode = "inline"
+            if level >= OptLevel.O4 and name not in no_inline:
+                _try_inline(plan, proc, arg_regs, anal_ir.module)
         plans.plans[name] = plan
 
     # Internal wrappers for delayed saves.
@@ -127,6 +145,58 @@ def compute_plans(anal_ir: IRProgram, targets: dict[str, int],
             if plan.mode == "inframe":
                 _transform_in_frame(anal_ir.find_proc(name), plan.saves)
     return plans
+
+
+def _try_inline(plan: ProcSavePlan, proc: IRProc,
+                arg_regs: frozenset[int], module) -> None:
+    """Upgrade ``plan`` to mode "inlined" when the routine qualifies.
+
+    Clones the body (sans ret) and optimizes the clone once here — every
+    instrumentation point then splices an identical, already-optimized
+    template:
+
+    * literal-table loads of in-window analysis data collapse to direct
+      gp-relative ``lda`` (:func:`repro.om.opt.convert_got_to_gprel`),
+      and address arithmetic folds into memory displacements
+      (:func:`repro.om.opt.fuse_lda_bases`);
+    * gp rematerialization (``ldgp``) is re-pointed at the absolute
+      ``anal$_gp`` landmark so the clone computes the analysis unit's gp
+      inside application text;
+    * a copy-propagation/DCE peephole cleans what the above strands —
+      including the ``ldgp`` pair itself when no access still needs gp.
+
+    The save set is then recomputed from what the template actually
+    clobbers.  Argument registers are excluded: the lowerer's argument
+    materialization has already versioned them at the point (they are
+    saved by the bracket when the *application* needs them live, exactly
+    as for O3 calls)."""
+    from ..objfile.relocs import Relocation, RelocType
+    from ..objfile.sections import TEXT
+    from ..om.opt import (convert_got_to_gprel, fuse_lda_bases,
+                          peephole_straightline)
+    from .lowering import ANAL_GP_SYMBOL
+
+    clobbers = dataflow.inline_summary(proc)
+    if clobbers is None:
+        return
+    body = [IRInst(inst=ir.inst.copy(), relocs=list(ir.relocs))
+            for ir in proc.blocks[0].insts[:-1]]
+    convert_got_to_gprel(body, module)
+    for ir in body:
+        ir.relocs = [
+            Relocation(TEXT, rel.offset, RelocType.HI16
+                       if rel.type is RelocType.GPHI16 else RelocType.LO16,
+                       ANAL_GP_SYMBOL, rel.addend)
+            if rel.type in (RelocType.GPHI16, RelocType.GPLO16) else rel
+            for rel in ir.relocs]
+    fuse_lda_bases(body)
+    body, _removed = peephole_straightline(body)
+    clobbers = frozenset(
+        d for ir in body for d in ir.inst.defs()) - {R.ZERO}
+    plan.mode = "inlined"
+    plan.body = tuple(body)
+    saves = (clobbers & SAVE_CANDIDATES) - arg_regs - {R.RA}
+    plan.saves = tuple(r for r in _SAVE_ORDER if r in saves)
 
 
 def _delayed_applicable(anal_ir: IRProgram, proc: IRProc,

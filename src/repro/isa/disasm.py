@@ -49,9 +49,21 @@ def disassemble(text: bytes, base: int,
 
 
 def symbol_map(module) -> dict[int, str]:
-    """Build an address -> name map from a linked module's symbol table."""
+    """Build an address -> name map from a linked module's symbol table.
+
+    When several symbols share an address, procedure (FUNC) symbols win:
+    ATOM's ``__atominl$`` inline-splice markers may land on the first
+    instruction of a procedure, and the procedure name is the better
+    label there.  (Duck-typed on ``sym.kind`` to keep this module free of
+    an objfile import.)
+    """
     out: dict[int, str] = {}
     for sym in module.symtab:
-        if sym.defined and not sym.is_abs:
+        if not sym.defined or sym.is_abs:
+            continue
+        is_func = getattr(getattr(sym, "kind", None), "value", "") == "func"
+        if sym.value not in out or is_func:
             out.setdefault(sym.value, sym.name)
+            if is_func:
+                out[sym.value] = sym.name
     return out

@@ -13,6 +13,9 @@ from dataclasses import dataclass, field
 
 from ..isa.opcodes import ALL_OPS, OpInfo
 
+#: Bytes per cache line for the sequence-aware memory-cost rule.
+CACHE_LINE = 64
+
 
 @dataclass
 class CostModel:
@@ -29,6 +32,32 @@ class CostModel:
 
     def cost(self, op: OpInfo) -> int:
         return self.overrides.get(op.mnemonic, op.cycles)
+
+    def sequence_costs(self, insts) -> list[int]:
+        """Per-instruction cycles with a static same-cache-line discount.
+
+        ATOM's save/restore brackets issue runs of stq/ldq against
+        adjacent stack slots; charging each the full load/store cost
+        over-reports the very overhead the bench measures.  A memory op
+        statically addressed into the same (base register, line) as the
+        memory op textually preceding it is charged 1 cycle — the line is
+        already hot.  Position-based and branch-agnostic, so fused and
+        per-instruction execution charge identical totals by
+        construction.
+        """
+        out: list[int] = []
+        prev: tuple[int, int] | None = None
+        for inst in insts:
+            cycles = self.cost(inst.op)
+            if inst.is_load() or inst.is_store():
+                key = (inst.rb, inst.disp // CACHE_LINE)
+                if prev == key and cycles > 1:
+                    cycles = 1
+                prev = key
+            else:
+                prev = None
+            out.append(cycles)
+        return out
 
 
 DEFAULT = CostModel()

@@ -102,7 +102,7 @@ class Cpu:
         self.sb_compiled = 0
         self.sb_cache_hits = 0
         self._insts = encoding.decode_stream(text)
-        self._costs = [cost_model.cost(inst.op) for inst in self._insts]
+        self._costs = cost_model.sequence_costs(self._insts)
         self._code = [self._compile(inst, i, self._costs[i])
                       for i, inst in enumerate(self._insts)]
         if fuse:

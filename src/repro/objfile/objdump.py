@@ -23,6 +23,14 @@ def dump_header(mod: Module, out) -> None:
         out(f"gp:       {mod.gp_value:#x}")
         if mod.analysis_gp:
             out(f"anal gp:  {mod.analysis_gp:#x}   (ATOM-instrumented)")
+        opt = mod.meta.get("atom:opt_level")
+        if opt is not None:
+            splices = sum(1 for s in mod.symtab
+                          if s.name.startswith("__atominl$"))
+            line = f"atom opt: O{opt}"
+            if splices:
+                line += f"   ({splices} inline splices)"
+            out(line)
 
 
 def dump_sections(mod: Module, out) -> None:

@@ -23,8 +23,12 @@ from ..objfile.linker import apply_relocation
 from ..objfile.module import Module
 from ..objfile.relocs import Relocation
 from ..objfile.sections import BSS, DATA, LITA, TEXT, Section
-from ..objfile.symtab import SymKind, Symbol, SymbolTable
+from ..objfile.symtab import SymBind, SymKind, Symbol, SymbolTable
 from .ir import IRInst, IRProgram
+
+#: Prefix of the local marker symbols labelling inlined analysis bodies
+#: (ATOM O4) so disassembly and traces stay attributable.
+INLINE_PREFIX = "__atominl$"
 
 
 class CodegenError(Exception):
@@ -116,6 +120,20 @@ def _emit(program: IRProgram, *,
         if name not in symtab:
             symtab.add(Symbol(name=name, section=TEXT, value=start,
                               kind=SymKind.FUNC, size=end - start))
+    # Local markers labelling each inlined analysis body (O4).  NOTYPE so
+    # nothing mistakes them for procedures; LOCAL so they cannot collide
+    # with application globals.
+    counters: dict[str, int] = {}
+    prev_origin = None
+    for ir in flat:
+        if ir.origin is not None and ir.origin != prev_origin:
+            n = counters.get(ir.origin, 0)
+            counters[ir.origin] = n + 1
+            symtab.add(Symbol(name=f"{INLINE_PREFIX}{ir.origin}.{n}",
+                              section=TEXT,
+                              value=result.inst_addr[id(ir)],
+                              bind=SymBind.LOCAL))
+        prev_origin = ir.origin
 
     def resolve(name: str, line_ctx: IRInst) -> int:
         if name in proc_bounds:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from ..isa import registers as R
 from ..obs import TRACE
+from ..objfile.relocs import RelocType
 from .ir import IRBlock, IRProc, IRProgram
 
 #: Registers an unknown (indirect) callee may clobber.
@@ -87,6 +88,65 @@ def modified_registers(program: IRProgram) -> dict[str, frozenset[int]]:
             if len(acc) != before:
                 changed = True
     return {name: frozenset(regs) for name, regs in summary.items()}
+
+
+# ---- inlinability (O4) -----------------------------------------------------
+
+#: Fixups whose encodings stay correct when an analysis body is spliced
+#: into the application's text: the gp-materialization pair (re-pointed at
+#: the absolute ``anal$_gp`` landmark) and literal-table loads (whose
+#: gp-relative displacement is invariant under relocation — slot address
+#: and gp shift by the same delta).
+_INLINABLE_RELOCS = frozenset({RelocType.GPHI16, RelocType.GPLO16,
+                               RelocType.GOT16})
+
+
+def inline_summary(proc: IRProc, *,
+                   max_insts: int = 48) -> frozenset[int] | None:
+    """Side-effect summary deciding whether calls to ``proc`` may be
+    replaced by its body at an instrumentation point (opt level O4).
+
+    Returns the set of registers the body clobbers when the procedure is
+    inlinable, else None.  Inlinable means the body is a single
+    straight-line block of at most ``max_insts`` instructions ending in a
+    plain ``ret`` through ra, and every other instruction
+
+    * performs no control transfer, call, or system call;
+    * never reads or writes sp (a frameless leaf) or ra;
+    * writes only caller-saved registers and gp, so a save bracket can
+      cover everything it touches;
+    * carries only relocations from :data:`_INLINABLE_RELOCS`.
+
+    Memory side effects (stores to the analysis data region) are
+    permitted: the inlined copy performs them in the same order the
+    called routine would, which is what keeps analysis output
+    bit-identical across opt levels.
+    """
+    if len(proc.blocks) != 1:
+        return None
+    insts = proc.blocks[0].insts
+    if not insts or len(insts) > max_insts:
+        return None
+    ret = insts[-1].inst
+    if not ret.is_ret() or ret.rb != R.RA:
+        return None
+    clobbers: set[int] = set()
+    writable = ALL_CALLER_SAVED | {R.GP, R.ZERO}
+    for ir in insts[:-1]:
+        inst = ir.inst
+        if inst.ends_block() or inst.is_call() or inst.is_syscall():
+            return None
+        touched = inst.defs() | inst.uses()
+        if R.SP in touched or R.RA in touched:
+            return None
+        if not inst.defs() <= writable:
+            return None
+        if any(rel.type not in _INLINABLE_RELOCS for rel in ir.relocs):
+            return None
+        clobbers |= inst.defs()
+    clobbers.discard(R.ZERO)
+    TRACE.count("om.inline_summaries")
+    return frozenset(clobbers)
 
 
 # ---- loops ----------------------------------------------------------------

@@ -50,6 +50,15 @@ class IRInst:
     #: Action slots (filled by ATOM's AddCallInst).
     before: list[Action] = field(default_factory=list)
     after: list[Action] = field(default_factory=list)
+    #: Name of the analysis procedure this instruction was inlined from
+    #: (ATOM's O4 optimizer); the code generator turns runs of these into
+    #: local marker symbols so disassembly stays debuggable.
+    origin: Optional[str] = None
+    #: Save-bracket tag for the cross-point coalescer: ``(site, role,
+    #: key)`` where role is "pro" or "epi" and key identifies the
+    #: bracket's frame size and save layout.  Only set on the
+    #: save/restore instructions ATOM's lowerer generates.
+    snip: Optional[tuple] = None
 
     def __repr__(self) -> str:
         pc = f"@{self.orig_pc:#x}" if self.orig_pc is not None else "@new"

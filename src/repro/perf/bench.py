@@ -34,13 +34,19 @@ from ..obs import TRACE, trace_path_from_env
 from ..tools import TOOL_NAMES
 from ..workloads import WORKLOAD_NAMES, build_workload
 
-BENCH_SCHEMA = "repro-bench-interp/v1"
+BENCH_SCHEMA = "repro-bench-interp/v2"
+#: Older schemas ``validate_report`` still accepts (reports written by
+#: previous revisions remain comparable baselines).
+ACCEPTED_SCHEMAS = ("repro-bench-interp/v1", BENCH_SCHEMA)
 
 #: Compact default matrix: enough signal to regress against without the
-#: full 20x11x4 sweep (use --all for that).
+#: full 20x11x5 sweep (use --all for that).
 DEFAULT_WORKLOADS = ("sieve", "matrix", "quick", "crc")
 DEFAULT_TOOLS = ("dyninst", "prof")
-DEFAULT_OPTS = ("O0", "O1", "O2", "O3")
+DEFAULT_OPTS = ("O0", "O1", "O2", "O3", "O4")
+
+#: --compare fails when a cell's excess cycles grow by more than this.
+DEFAULT_THRESHOLD = 0.10
 
 
 def default_report_path() -> Path:
@@ -117,10 +123,41 @@ def measure_tools(workloads, tools, opts, reps: int = 1,
     return rows
 
 
+def overhead_table(rows: list[dict]) -> dict:
+    """Aggregate the tools matrix into the paper-style overhead table.
+
+    Per (tool, opt): cycles and instructions summed over the measured
+    workloads, instrumented vs uninstrumented, plus the derived overhead
+    ratios — the simulated analogue of the paper's Figure 6 columns.
+    ``excess_cycles`` (instrumented minus base) is what the regression
+    gate compares: it isolates the instrumentation cost from the
+    workload's own runtime.
+    """
+    acc: dict[str, dict[str, dict]] = {}
+    for row in rows:
+        cell = acc.setdefault(row["tool"], {}).setdefault(
+            row["opt"], {"base_cycles": 0, "instr_cycles": 0,
+                         "base_insts": 0, "instr_insts": 0})
+        for key in ("base_cycles", "instr_cycles", "base_insts",
+                    "instr_insts"):
+            cell[key] += row[key]
+    for per_opt in acc.values():
+        for cell in per_opt.values():
+            cell["excess_cycles"] = cell["instr_cycles"] \
+                - cell["base_cycles"]
+            cell["cycle_overhead"] = round(
+                cell["instr_cycles"] / cell["base_cycles"], 3)
+            cell["inst_overhead"] = round(
+                cell["instr_insts"] / cell["base_insts"], 3)
+    return acc
+
+
 def run_bench(workloads=DEFAULT_WORKLOADS, tools=DEFAULT_TOOLS,
               opts=DEFAULT_OPTS, reps: int = 3,
               tool_reps: int = 1, jobs: int = 0) -> dict:
     """Run both sections and assemble the report."""
+    tool_rows = measure_tools(workloads, tools, opts, reps=tool_reps,
+                              jobs=jobs)
     return {
         "schema": BENCH_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -137,8 +174,8 @@ def run_bench(workloads=DEFAULT_WORKLOADS, tools=DEFAULT_TOOLS,
             "reps": reps,
         },
         "interpreter": measure_interpreter(workloads, reps=reps),
-        "tools": measure_tools(workloads, tools, opts, reps=tool_reps,
-                               jobs=jobs),
+        "tools": tool_rows,
+        "overhead": overhead_table(tool_rows),
     }
 
 
@@ -149,10 +186,20 @@ def validate_report(report: dict) -> None:
             raise ValueError(f"bad bench report: {what}")
 
     need(isinstance(report, dict), "not an object")
-    need(report.get("schema") == BENCH_SCHEMA,
-         f"schema != {BENCH_SCHEMA!r}")
+    need(report.get("schema") in ACCEPTED_SCHEMAS,
+         f"schema not one of {ACCEPTED_SCHEMAS}")
     for key in ("created", "host", "config", "interpreter", "tools"):
         need(key in report, f"missing key {key!r}")
+    if report["schema"] == BENCH_SCHEMA:
+        # v2 adds the aggregated overhead table; v1 reports lack it.
+        need(isinstance(report.get("overhead"), dict),
+             "v2 report missing overhead table")
+        for tool, per_opt in report["overhead"].items():
+            for opt, cell in per_opt.items():
+                for key in ("base_cycles", "instr_cycles", "excess_cycles",
+                            "cycle_overhead", "inst_overhead"):
+                    need(key in cell,
+                         f"overhead[{tool!r}][{opt!r}] missing {key!r}")
     need(isinstance(report["interpreter"], dict) and report["interpreter"],
          "empty interpreter section")
     for name, row in report["interpreter"].items():
@@ -167,6 +214,60 @@ def validate_report(report: dict) -> None:
                     "instr_cycles", "cycle_overhead", "base_insts",
                     "instr_insts", "base_ips", "instr_ips"):
             need(key in row, f"tools[{i}] missing {key!r}")
+
+
+def _same_host(old: dict, new: dict) -> bool:
+    keys = ("implementation", "machine", "system")
+    return all(old.get("host", {}).get(k) == new.get("host", {}).get(k)
+               for k in keys)
+
+
+def compare_reports(old: dict, new: dict,
+                    threshold: float = DEFAULT_THRESHOLD) -> list[str]:
+    """Regression check NEW against the baseline OLD.
+
+    Returns a list of human-readable regression descriptions (empty =
+    clean).  Two families of checks:
+
+    * **cycle overhead** (deterministic): for every (workload, tool,
+      opt) cell present in both reports, the instrumented-minus-base
+      excess cycles may not grow by more than ``threshold`` (relative);
+      brand-new cells are never regressions.
+    * **interpreter throughput** (wall clock): fused insts/sec may not
+      drop by more than ``threshold`` — but only when both reports come
+      from the same host class, since insts/sec on different machines
+      is noise, not signal.
+    """
+    regressions: list[str] = []
+
+    old_cells = {(r["workload"], r["tool"], r["opt"]): r
+                 for r in old.get("tools", [])}
+    for row in new.get("tools", []):
+        key = (row["workload"], row["tool"], row["opt"])
+        base = old_cells.get(key)
+        if base is None:
+            continue
+        old_excess = base["instr_cycles"] - base["base_cycles"]
+        new_excess = row["instr_cycles"] - row["base_cycles"]
+        limit = old_excess * (1.0 + threshold)
+        if new_excess > limit:
+            regressions.append(
+                f"{key[0]}+{key[1]}@{key[2]}: excess cycles "
+                f"{old_excess} -> {new_excess} "
+                f"(+{100.0 * (new_excess - old_excess) / max(old_excess, 1):.1f}%, "
+                f"limit +{100.0 * threshold:.0f}%)")
+
+    if _same_host(old, new):
+        for name, row in new.get("interpreter", {}).items():
+            base = old.get("interpreter", {}).get(name)
+            if base is None:
+                continue
+            if row["fused_ips"] < base["fused_ips"] * (1.0 - threshold):
+                regressions.append(
+                    f"interpreter {name}: fused insts/s "
+                    f"{base['fused_ips']:,} -> {row['fused_ips']:,} "
+                    f"(limit -{100.0 * threshold:.0f}%)")
+    return regressions
 
 
 def load_report(path: Path | None = None) -> dict | None:
@@ -188,7 +289,15 @@ def main(argv=None) -> int:
     parser.add_argument("--tools", default=",".join(DEFAULT_TOOLS),
                         help="comma-separated tool names")
     parser.add_argument("--opts", default=",".join(DEFAULT_OPTS),
-                        help="comma-separated opt levels (O0..O3)")
+                        help="comma-separated opt levels (O0..O4)")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two bench reports instead of "
+                             "running: exit 1 when NEW regresses "
+                             "against OLD")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="relative regression tolerance for "
+                             "--compare (default 0.10)")
     parser.add_argument("--reps", type=int, default=3,
                         help="timed repetitions per interpreter cell")
     parser.add_argument("--jobs", type=int, default=0,
@@ -207,6 +316,27 @@ def main(argv=None) -> int:
                              "delimited; default: $WRL_TRACE). Note: "
                              "tracing perturbs wall-clock numbers")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        if not 0 <= args.threshold < 1:
+            parser.error("--threshold must be in [0, 1)")
+        old_path, new_path = (Path(p) for p in args.compare)
+        for p in (old_path, new_path):
+            if not p.exists():
+                parser.error(f"--compare: {p} does not exist")
+        old = json.loads(old_path.read_text())
+        new = json.loads(new_path.read_text())
+        validate_report(old)
+        validate_report(new)
+        regressions = compare_reports(old, new, threshold=args.threshold)
+        if regressions:
+            print(f"{len(regressions)} regression(s) vs {old_path}:")
+            for line in regressions:
+                print(f"  REGRESSION {line}")
+            return 1
+        print(f"no regressions vs {old_path} "
+              f"(threshold {args.threshold:.0%})")
+        return 0
 
     workloads = tuple(args.workloads.split(","))
     tools = tuple(args.tools.split(","))
@@ -257,6 +387,11 @@ def main(argv=None) -> int:
         print(f"  {row['workload']}+{row['tool']}@{row['opt']}: "
               f"{row['cycle_overhead']}x cycles, "
               f"{row['instr_ips']:,} insts/s instrumented")
+    print("  overhead (all measured workloads summed):")
+    for tool, per_opt in sorted(report["overhead"].items()):
+        cells = "  ".join(f"{opt}={cell['cycle_overhead']}x"
+                          for opt, cell in sorted(per_opt.items()))
+        print(f"    {tool}: {cells}")
     return 0
 
 

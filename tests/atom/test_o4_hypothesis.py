@@ -1,0 +1,104 @@
+"""Property test: the O4 inlinability summary is *sound*.
+
+Hypothesis generates small random analysis routines (straight-line
+arithmetic over a counter array — the shape real counting tools take).
+Whatever it generates, instrumenting the same application at O1 and at O4
+must produce bit-identical analysis data and identical instrumentation
+statistics: if the summary wrongly admits a routine, the divergence shows
+up here as a differing counter dump; if it wrongly computes clobbers, the
+application's own output diverges.
+
+Some generated routines are inlinable and some are not (too long, or the
+compiler spills to the stack) — soundness means the *behaviour* is
+invariant either way, so both populations are useful examples.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atom import (OptLevel, ProcBefore, ProgramAfter,
+                        instrument_executable)
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+
+APP = r"""
+long mix(long a, long b) { return a * 7 + (b ^ 5); }
+int main() {
+    long i, acc = 0;
+    for (i = 0; i < 64; i++) acc += mix(i, acc);
+    printf("acc=%d\n", acc & 0xFFFFFF);
+    return 0;
+}
+"""
+
+_app = None
+
+
+def the_app():
+    global _app
+    if _app is None:
+        _app = build_executable([APP])
+    return _app
+
+
+#: Operators and right-hand sides for generated statements; all total
+#: (no division) so every generated routine terminates and is defined.
+_OPS = ("+=", "-=", "^=", "|=")
+_exprs = st.sampled_from((
+    "n", "n * 3", "n + 9", "n >> 2", "17", "cnt[{j}]", "n & 31",
+))
+
+
+@st.composite
+def analysis_bodies(draw):
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        target = draw(st.integers(min_value=0, max_value=3))
+        op = draw(st.sampled_from(_OPS))
+        expr = draw(_exprs).format(j=draw(st.integers(0, 3)))
+        lines.append(f"    cnt[{target}] {op} {expr};")
+    return "\n".join(lines)
+
+
+def analysis_source(body: str) -> str:
+    return r"""
+long cnt[4];
+void Probe(long n) {
+%s
+}
+void Dump(void) {
+    FILE *f = fopen("sound.out", "w");
+    long i;
+    for (i = 0; i < 4; i++) fprintf(f, "%%d\n", cnt[i]);
+    fclose(f);
+}
+""" % body
+
+
+def tool(iargc, iargv, atom):
+    atom.AddCallProto("Probe(int)")
+    atom.AddCallProto("Dump()")
+    for proc in atom.procs():
+        atom.AddCallProc(proc, ProcBefore, "Probe", 3)
+    atom.AddCallProgram(ProgramAfter, "Dump")
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(body=analysis_bodies())
+def test_o4_behaviour_identical_to_o1_for_random_routines(body):
+    app = the_app()
+    anal = build_analysis_unit([analysis_source(body)])
+    results = {}
+    for level in (OptLevel.O1, OptLevel.O4):
+        res = instrument_executable(app, tool, anal, opt=level)
+        run = run_module(res.module)
+        results[level] = (res.stats, run)
+    s1, r1 = results[OptLevel.O1]
+    s4, r4 = results[OptLevel.O4]
+    assert r4.status == r1.status
+    assert r4.stdout == r1.stdout
+    assert r4.files["sound.out"] == r1.files["sound.out"]
+    assert s4.points == s1.points
+    assert s4.calls_added == s1.calls_added

@@ -1,0 +1,235 @@
+"""O4: analysis-routine inlining and cross-point save coalescing.
+
+Covers the inlinability summary, the ``noinline`` prototype qualifier,
+the point-specialization passes (constant folding, lda-base fusion,
+register-mode brackets), the cross-point coalescer, and the end-to-end
+contract: O4 is cheaper than O3 while the analysis output stays
+bit-identical.
+"""
+
+import pytest
+
+from repro.atom import (BlockBefore, OptLevel, ProcBefore, ProgramAfter,
+                        instrument_executable)
+from repro.atom.saves import compute_plans
+from repro.isa import opcodes
+from repro.isa import registers as R
+from repro.isa.instruction import Instruction
+from repro.machine import run_module
+from repro.mlc import build_analysis_unit, build_executable
+from repro.om import build_ir
+from repro.om.ir import IRInst
+from repro.om.dataflow import inline_summary
+from repro.om.opt import constfold_straightline, fuse_lda_bases
+
+from .conftest import COUNTER_ANALYSIS, parse_counts
+
+#: A routine trivially inlinable (straight-line, call-free, frameless)
+#: next to ones the summary must reject.
+MIXED_ANALYSIS = r"""
+long counters[8];
+long scratch;
+
+void Bump(long n) { counters[n & 7] += 1; }
+
+void Looped(long n) {
+    long i;
+    for (i = 0; i < n; i++) scratch += i;     /* multi-block */
+}
+
+void Calls(long n) { Bump(n); Bump(n + 1); }  /* contains calls */
+
+void Report(void) {
+    long i;
+    FILE *f = fopen("o4.out", "w");
+    for (i = 0; i < 8; i++) fprintf(f, "%d %d\n", i, counters[i]);
+    fclose(f);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def mixed_ir():
+    return build_ir(build_analysis_unit([MIXED_ANALYSIS]))
+
+
+def proc_named(ir, name):
+    for proc in ir.procs:
+        if proc.name == name:
+            return proc
+    raise AssertionError(name)
+
+
+class TestInlineSummary:
+    def test_straightline_leaf_is_inlinable(self, mixed_ir):
+        clobbers = inline_summary(proc_named(mixed_ir, "Bump"))
+        assert clobbers is not None
+        assert clobbers and R.SP not in clobbers and R.RA not in clobbers
+
+    def test_multi_block_routine_rejected(self, mixed_ir):
+        assert inline_summary(proc_named(mixed_ir, "Looped")) is None
+
+    def test_routine_with_calls_rejected(self, mixed_ir):
+        assert inline_summary(proc_named(mixed_ir, "Calls")) is None
+
+    def test_size_cap_respected(self, mixed_ir):
+        assert inline_summary(proc_named(mixed_ir, "Bump"),
+                              max_insts=2) is None
+
+
+class TestPlans:
+    def test_o4_upgrades_qualifying_routine_to_inlined(self, mixed_ir):
+        plans = compute_plans(mixed_ir, {"Bump": 1}, OptLevel.O4)
+        plan = plans.plan("Bump")
+        assert plan.mode == "inlined"
+        assert plan.body, "inlined plan must carry the body template"
+        # The spliced body never calls, returns, or touches sp/ra.
+        for ir_inst in plan.body:
+            inst = ir_inst.inst
+            assert not inst.is_call() and not inst.is_ret()
+            assert R.SP not in inst.defs() | inst.uses()
+
+    def test_noinline_qualifier_keeps_o3_treatment(self, mixed_ir):
+        plans = compute_plans(mixed_ir, {"Bump": 1}, OptLevel.O4,
+                              no_inline=frozenset({"Bump"}))
+        assert plans.plan("Bump").mode == "inline"
+
+    def test_o3_never_inlines(self, mixed_ir):
+        plans = compute_plans(mixed_ir, {"Bump": 1}, OptLevel.O3)
+        assert plans.plan("Bump").mode == "inline"
+        assert not plans.plan("Bump").body
+
+
+class TestPointSpecialization:
+    def test_constfold_folds_known_operate_to_lda(self):
+        insts = [
+            IRInst(Instruction(opcodes.LDA, ra=R.T0, rb=R.ZERO, disp=6)),
+            IRInst(Instruction(opcodes.LDA, ra=R.T1, rb=R.ZERO, disp=7)),
+            IRInst(Instruction(opcodes.ADDQ, ra=R.T0, rb=R.T1, rc=R.T2)),
+        ]
+        assert constfold_straightline(insts) == 1
+        folded = insts[2].inst
+        assert folded.op is opcodes.LDA
+        assert folded.rb == R.ZERO and folded.disp == 13
+
+    def test_constfold_skips_reloc_carrying_insts(self):
+        from repro.objfile.relocs import Relocation, RelocType
+        from repro.objfile.sections import TEXT
+        rel = Relocation(TEXT, 0, RelocType.LO16, "sym", 0)
+        insts = [
+            IRInst(Instruction(opcodes.LDA, ra=R.T0, rb=R.ZERO, disp=4),
+                   relocs=[rel]),
+            IRInst(Instruction(opcodes.ADDQ, ra=R.T0, rb=R.T0, rc=R.T1)),
+        ]
+        assert constfold_straightline(insts) == 0
+
+    def test_fuse_lda_base_into_memory_disp(self):
+        insts = [
+            IRInst(Instruction(opcodes.LDA, ra=R.T0, rb=R.GP, disp=64)),
+            IRInst(Instruction(opcodes.LDQ, ra=R.T1, rb=R.T0, disp=8)),
+        ]
+        assert fuse_lda_bases(insts) == 1
+        assert len(insts) == 1
+        mem = insts[0].inst
+        assert mem.op is opcodes.LDQ and mem.rb == R.GP and mem.disp == 72
+
+    def test_fuse_refuses_non_memory_use(self):
+        insts = [
+            IRInst(Instruction(opcodes.LDA, ra=R.T0, rb=R.GP, disp=64)),
+            IRInst(Instruction(opcodes.ADDQ, ra=R.T0, rb=R.T1, rc=R.T2)),
+        ]
+        assert fuse_lda_bases(insts) == 0
+        assert len(insts) == 2
+
+
+APP = r"""
+long work(long x) {
+    long a = x * 5 + 1;
+    if (a % 3 == 0) a -= 2;
+    return a;
+}
+int main() {
+    long i, acc = 0;
+    for (i = 0; i < 300; i++) acc += work(i);
+    printf("%d\n", acc & 0xFFFFFF);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_executable([APP])
+
+
+@pytest.fixture(scope="module")
+def counters(build_analysis):
+    return build_analysis(COUNTER_ANALYSIS)
+
+
+def counting_tool(iargc, iargv, atom):
+    atom.AddCallProto("Count(int)")
+    atom.AddCallProto("CountBy(int, int)")
+    atom.AddCallProto("Report()")
+    for proc in atom.procs():
+        atom.AddCallProc(proc, ProcBefore, "Count", 1)
+        for block in atom.blocks(proc):
+            atom.AddCallBlock(block, BlockBefore, "CountBy", 2,
+                              len(block.insts))
+    atom.AddCallProgram(ProgramAfter, "Report")
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self, app, counters):
+        base = run_module(app)
+        out = {"base": base}
+        for level in (OptLevel.O1, OptLevel.O3, OptLevel.O4):
+            res = instrument_executable(app, counting_tool, counters,
+                                        opt=level)
+            out[level] = (res, run_module(res.module))
+        return out
+
+    def test_output_bit_identical_across_levels(self, runs):
+        o1 = runs[OptLevel.O1][1]
+        for level in (OptLevel.O3, OptLevel.O4):
+            result = runs[level][1]
+            assert result.status == o1.status
+            assert result.stdout == o1.stdout
+            assert parse_counts(result) == parse_counts(o1)
+
+    def test_points_invariant_across_levels(self, runs):
+        stats = {lvl: runs[lvl][0].stats
+                 for lvl in (OptLevel.O1, OptLevel.O3, OptLevel.O4)}
+        assert len({s.points for s in stats.values()}) == 1
+        assert len({s.calls_added for s in stats.values()}) == 1
+
+    def test_o4_inlines_and_is_cheaper_than_o3(self, runs):
+        res4, run4 = runs[OptLevel.O4]
+        _res3, run3 = runs[OptLevel.O3]
+        assert res4.stats.inlined_calls > 0
+        assert run4.cycles < run3.cycles
+
+    def test_inline_splices_are_labelled(self, runs):
+        res4, _ = runs[OptLevel.O4]
+        markers = [s.name for s in res4.module.symtab
+                   if s.name.startswith("__atominl$")]
+        assert markers
+        assert any(".Count" in name or name.startswith("__atominl$Count")
+                   for name in markers)
+
+    def test_coalescer_merged_adjacent_brackets(self, app, counters):
+        """ProcBefore + BlockBefore at a procedure entry lower to
+        consecutive snippets; O4's coalescer must merge at least one
+        adjacent bracket pair (or specialize them away entirely)."""
+        res = instrument_executable(app, counting_tool, counters,
+                                    opt=OptLevel.O4)
+        stats = res.stats
+        assert stats.coalesced_brackets > 0 or stats.inlined_calls > 0
+
+    def test_uninstrumented_behaviour_unperturbed(self, runs, app):
+        res4, run4 = runs[OptLevel.O4]
+        base = runs["base"]
+        assert run4.stdout == base.stdout
+        assert run4.status == base.status
+        assert run4.cycles > base.cycles     # instrumentation is not free

@@ -232,6 +232,35 @@ def test_matrix_report_roundtrip(tmp_path):
 
 # ---- the full sharded lane (`make check-matrix`) --------------------------
 
+# ---- cross-opt differential: O0..O4 are observationally equal -------------
+
+def test_analysis_output_bit_identical_across_opt_levels(tmp_path):
+    """Every stock tool on the fast workload must emit byte-identical
+    analysis data (stdout + exit status + output files) at every opt
+    level — O4's inlining/specialization may only change *cycles*, never
+    observable behaviour."""
+    from repro.eval import run_instrumented
+    from repro.eval.cache import ArtifactCache
+    cache = ArtifactCache(tmp_path / "cache")
+    app = build_workload(FAST_WORKLOAD)
+    for tool_name in TOOL_NAMES:
+        tool = get_tool(tool_name)
+        reference = None
+        cycles = {}
+        for opt in ("O0", "O1", "O2", "O3", "O4"):
+            res = apply_tool(app, tool, opt=OptLevel[opt], cache=cache)
+            run = run_instrumented(res)
+            observed = (run.status, run.stdout,
+                        tuple(sorted(run.files.items())))
+            if reference is None:
+                reference = observed
+            else:
+                assert observed == reference, (tool_name, opt)
+            cycles[opt] = run.cycles
+        # And the optimizer pays for itself end-to-end on this workload.
+        assert cycles["O4"] <= cycles["O1"], tool_name
+
+
 @pytest.mark.matrix
 def test_full_matrix_conformance(tmp_path):
     if os.environ.get("WRL_MATRIX_FULL"):
@@ -241,7 +270,8 @@ def test_full_matrix_conformance(tmp_path):
     shard = int(os.environ.get("WRL_EVAL_SHARD", "0"))
     num_shards = int(os.environ.get("WRL_EVAL_SHARDS", "1"))
     specs = select_shard(
-        plan_matrix(tools=TOOL_NAMES, workloads=wl_set, opts=("O1",)),
+        plan_matrix(tools=TOOL_NAMES, workloads=wl_set,
+                    opts=("O1", "O4")),
         shard, num_shards)
     assert specs, "shard selected no cells"
     cache_dir = str(tmp_path / "cache")

@@ -1,0 +1,100 @@
+"""Sequence-aware cost model (same-cache-line save/restore discount).
+
+The bench harness measures exactly the cycles ATOM's brackets add, so the
+model must (a) discount statically-adjacent memory traffic the way real
+hardware would, and (b) charge identical totals whether the interpreter
+runs fused superblocks or per-instruction closures — the "model" and the
+"interpreter" are the same table applied two ways, and these tests pin
+that agreement.
+"""
+
+import pytest
+
+from repro.isa import opcodes
+from repro.isa import registers as R
+from repro.isa.instruction import Instruction
+from repro.machine import run_module
+from repro.machine.costmodel import CACHE_LINE, DEFAULT
+from repro.mlc import build_executable
+
+
+def ldq(disp, rb=R.SP, ra=R.T0):
+    return Instruction(opcodes.LDQ, ra=ra, rb=rb, disp=disp)
+
+
+def addq():
+    return Instruction(opcodes.ADDQ, ra=R.T0, rb=R.T1, rc=R.T2)
+
+
+class TestSequenceCosts:
+    def test_same_line_run_discounts_to_one_cycle(self):
+        insts = [ldq(0), ldq(8), ldq(16)]
+        full = DEFAULT.cost(insts[0].op)
+        assert full > 1
+        assert DEFAULT.sequence_costs(insts) == [full, 1, 1]
+
+    def test_crossing_the_line_pays_full_cost_again(self):
+        insts = [ldq(0), ldq(CACHE_LINE - 8), ldq(CACHE_LINE)]
+        full = DEFAULT.cost(insts[0].op)
+        # 0 and CACHE_LINE-8 share line 0; CACHE_LINE starts line 1.
+        assert DEFAULT.sequence_costs(insts) == [full, 1, full]
+
+    def test_different_base_registers_never_share_a_line(self):
+        insts = [ldq(0, rb=R.SP), ldq(0, rb=R.GP)]
+        full = DEFAULT.cost(insts[0].op)
+        assert DEFAULT.sequence_costs(insts) == [full, full]
+
+    def test_non_memory_instruction_resets_the_run(self):
+        insts = [ldq(0), addq(), ldq(8)]
+        full = DEFAULT.cost(ldq(0).op)
+        costs = DEFAULT.sequence_costs(insts)
+        assert costs[0] == full and costs[2] == full
+
+    def test_discount_never_applies_to_single_cycle_ops(self):
+        stq = Instruction(opcodes.STQ, ra=R.T0, rb=R.SP, disp=0)
+        assert DEFAULT.cost(stq.op) == 1
+        insts = [stq, stq.copy(disp=8)]
+        assert DEFAULT.sequence_costs(insts) == [1, 1]
+
+    def test_totals_match_position_by_position_accounting(self):
+        """The discount is positional (textual predecessor), not
+        trace-based, so the total is a pure function of the static
+        sequence — recomputing it must be idempotent."""
+        insts = [ldq(0), ldq(8), addq(), ldq(16), ldq(CACHE_LINE + 8)]
+        once = DEFAULT.sequence_costs(insts)
+        again = DEFAULT.sequence_costs(insts)
+        assert once == again
+
+
+# An app whose hot loop mixes save-bracket-like adjacent stack traffic
+# with scattered global accesses, so both the discounted and the full-cost
+# paths execute many times.
+APP = r"""
+long acc[8];
+long touch(long i) {
+    long a = acc[i % 8];
+    long b = acc[(i + 3) % 8];
+    acc[i % 8] = a + b + i;
+    return a ^ b;
+}
+int main() {
+    long i, total = 0;
+    for (i = 0; i < 500; i++) total += touch(i);
+    printf("%d\n", total & 0xFFFF);
+    return 0;
+}
+"""
+
+
+def test_interpreter_and_model_agree_across_dispatch_modes():
+    """Fused-superblock and per-instruction execution must charge the
+    same cycles: both sides read :meth:`CostModel.sequence_costs`, and
+    the fused path must not lose the same-line discount at superblock
+    boundaries (the regression this test pins)."""
+    app = build_executable([APP])
+    fused = run_module(app, fuse=True)
+    simple = run_module(app, fuse=False)
+    assert fused.status == simple.status == 0
+    assert fused.stdout == simple.stdout
+    assert fused.inst_count == simple.inst_count
+    assert fused.cycles == simple.cycles
