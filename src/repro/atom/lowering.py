@@ -163,10 +163,14 @@ class Lowerer:
 
         site = self._sites
         self._sites += 1
-        # Bracket identity for the cross-point coalescer: identical keys
-        # mean identical frame layout, so merged brackets are
+        # Bracket identity for the cross-point coalescer.  The save set
+        # is keyed as (register, slot displacement) pairs: point
+        # specialization may shrink a bracket without re-compacting the
+        # surviving slots, so the register list alone does not pin down
+        # the layout — only identical (reg, slot) layouts are
         # interchangeable.
-        key = (frame, stack_args, tuple(saved))
+        key = (frame, stack_args,
+               tuple((reg, slot[reg]) for reg in saved))
 
         insts: list[IRInst] = []
         emit = insts.append

@@ -443,8 +443,9 @@ def fuse_lda_bases(insts: list[IRInst]) -> int:
 
     Legal when, before rX is redefined, every use of rX is as the base of
     a memory instruction whose combined displacement still fits 16 bits
-    signed, rB is not redefined over the same span, and the ``lda``
-    carries no relocation.  The address arithmetic the O4 constant folder
+    signed, rB is not redefined over the same span, and neither the
+    ``lda`` nor any target instruction carries a relocation or a
+    save-bracket tag.  The address arithmetic the O4 constant folder
     leaves behind (``counts + 8*n``) disappears into the loads and stores
     themselves.  Returns the number of ``lda`` instructions fused away.
     """
@@ -472,8 +473,13 @@ def _try_fuse(insts: list[IRInst], i: int) -> bool:
             return False
         uses = nxt.uses()
         if rx in uses:
+            # A target carrying a relocation (LO16 on the displacement)
+            # or a bracket tag must not have its encoded disp rewritten:
+            # the relocation would later be applied on top of the fused
+            # displacement and corrupt it.
             if not nxt.is_memory_ref() or nxt.rb != rx \
                     or (nxt.is_store() and nxt.ra == rx) \
+                    or insts[j].relocs or insts[j].snip is not None \
                     or not _fits16(d + nxt.disp):
                 return False
             targets.append(j)
@@ -554,7 +560,8 @@ def _coalesce_block(block, max_gap: int) -> int:
         while j < len(insts) and insts[j].snip == tag:
             j += 1
         # At most max_gap legal application instructions in between.
-        saved = frozenset(key[2])    # key = (frame, stack_args, saves)
+        # key = (frame, stack_args, ((reg, slot), ...))
+        saved = frozenset(reg for reg, _ in key[2])
         k = j
         while k < len(insts) and k - j <= max_gap \
                 and insts[k].snip is None:
@@ -677,12 +684,8 @@ def _shrink_bracket(insts: list[IRInst]) -> int:
            if ir.snip is not None and ir.snip[1] == "epi"]
     if not pro or not epi:
         return 0
+    # saves is the bracket's (register, slot displacement) layout.
     frame, stack_args, saves = insts[pro[0]].snip[2]
-    slot: dict[int, int] = {}
-    for n in pro:
-        inst = insts[n].inst
-        if inst.op is opcodes.STQ and inst.rb == R.SP:
-            slot[inst.ra] = inst.disp
     used_regs: set[int] = set()
     used_disps: set[int] = set()
     sp_payload = False
@@ -699,11 +702,14 @@ def _shrink_bracket(insts: list[IRInst]) -> int:
                 if inst.rb == R.SP:
                     used_disps.add(inst.disp)
     drop: set[int] = set()
-    remaining: list[int] = []
-    for reg in saves:
-        disp = slot.get(reg)
+    remaining: list[tuple[int, int]] = []
+    for reg, disp in saves:
         if reg in used_regs or disp in used_disps:
-            remaining.append(reg)
+            # Surviving saves keep their original slots, so the re-key
+            # below must carry the (reg, slot) pairs — two shrunk
+            # brackets saving the same registers in different slots are
+            # not interchangeable.
+            remaining.append((reg, disp))
             continue
         for n in pro + epi:
             inst = insts[n].inst
@@ -761,7 +767,8 @@ def _regsave_bracket(insts: list[IRInst], live: frozenset[int]) -> int:
     if not pro or not epi:
         return 0
     _frame, stack_args, saves = insts[pro[0]].snip[2]
-    if stack_args or not saves:
+    save_regs = [reg for reg, _ in saves]
+    if stack_args or not save_regs:
         return 0
     for ir in insts:
         if ir.snip is None and R.SP in (ir.inst.uses() | ir.inst.defs()):
@@ -771,9 +778,9 @@ def _regsave_bracket(insts: list[IRInst], live: frozenset[int]) -> int:
         touched |= ir.inst.uses() | ir.inst.defs()
     pool = [r for r in _REGSAVE_POOL
             if r not in live and r not in touched]
-    if len(pool) < len(saves):
+    if len(pool) < len(save_regs):
         return 0
-    scratch = dict(zip(saves, pool))
+    scratch = dict(zip(save_regs, pool))
     out: list[IRInst] = []
     for n, ir in enumerate(insts):
         if ir.snip is None:
@@ -794,4 +801,4 @@ def _regsave_bracket(insts: list[IRInst], live: frozenset[int]) -> int:
             out.append(ir)
     insts[:] = out
     TRACE.count("om.regsave_brackets")
-    return len(saves)
+    return len(save_regs)

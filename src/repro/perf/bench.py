@@ -48,6 +48,12 @@ DEFAULT_OPTS = ("O0", "O1", "O2", "O3", "O4")
 #: --compare fails when a cell's excess cycles grow by more than this.
 DEFAULT_THRESHOLD = 0.10
 
+#: Absolute excess-cycle slack for --compare.  A cell whose baseline
+#: excess is zero or negative (instrumentation measured as free on that
+#: workload) has no meaningful relative limit; without a floor, any
+#: nonzero excess there would gate as an infinite-percentage regression.
+EXCESS_CYCLE_FLOOR = 100
+
 
 def default_report_path() -> Path:
     """``BENCH_interp.json`` at the repository root."""
@@ -231,8 +237,11 @@ def compare_reports(old: dict, new: dict,
 
     * **cycle overhead** (deterministic): for every (workload, tool,
       opt) cell present in both reports, the instrumented-minus-base
-      excess cycles may not grow by more than ``threshold`` (relative);
-      brand-new cells are never regressions.
+      excess cycles may not grow by more than ``threshold`` (relative,
+      against the baseline clamped to zero, plus an absolute slack of
+      ``EXCESS_CYCLE_FLOOR`` cycles so near-zero baselines don't turn
+      tiny absolute growth into gate failures); brand-new cells are
+      never regressions.
     * **interpreter throughput** (wall clock): fused insts/sec may not
       drop by more than ``threshold`` — but only when both reports come
       from the same host class, since insts/sec on different machines
@@ -249,13 +258,18 @@ def compare_reports(old: dict, new: dict,
             continue
         old_excess = base["instr_cycles"] - base["base_cycles"]
         new_excess = row["instr_cycles"] - row["base_cycles"]
-        limit = old_excess * (1.0 + threshold)
+        limit = max(old_excess, 0) * (1.0 + threshold) + EXCESS_CYCLE_FLOOR
         if new_excess > limit:
+            if old_excess > 0:
+                detail = (f"+{100.0 * (new_excess - old_excess) / old_excess:.1f}%, "
+                          f"limit +{100.0 * threshold:.0f}%")
+            else:
+                # No meaningful relative growth against a zero/negative
+                # baseline: report the absolute gate instead.
+                detail = f"limit {limit:.0f} excess cycles"
             regressions.append(
                 f"{key[0]}+{key[1]}@{key[2]}: excess cycles "
-                f"{old_excess} -> {new_excess} "
-                f"(+{100.0 * (new_excess - old_excess) / max(old_excess, 1):.1f}%, "
-                f"limit +{100.0 * threshold:.0f}%)")
+                f"{old_excess} -> {new_excess} ({detail})")
 
     if _same_host(old, new):
         for name, row in new.get("interpreter", {}).items():

@@ -18,9 +18,10 @@ from repro.isa.instruction import Instruction
 from repro.machine import run_module
 from repro.mlc import build_analysis_unit, build_executable
 from repro.om import build_ir
-from repro.om.ir import IRInst
+from repro.om.ir import IRBlock, IRInst
 from repro.om.dataflow import inline_summary
-from repro.om.opt import constfold_straightline, fuse_lda_bases
+from repro.om.opt import (_coalesce_block, _shrink_bracket,
+                          constfold_straightline, fuse_lda_bases)
 
 from .conftest import COUNTER_ANALYSIS, parse_counts
 
@@ -140,6 +141,102 @@ class TestPointSpecialization:
         ]
         assert fuse_lda_bases(insts) == 0
         assert len(insts) == 2
+
+    def test_fuse_refuses_reloc_carrying_target(self):
+        """A LO16 relocation on the target's displacement would later be
+        applied on top of the fused disp and corrupt it."""
+        from repro.objfile.relocs import Relocation, RelocType
+        from repro.objfile.sections import TEXT
+        rel = Relocation(TEXT, 0, RelocType.LO16, "sym", 0)
+        insts = [
+            IRInst(Instruction(opcodes.LDA, ra=R.T0, rb=R.GP, disp=64)),
+            IRInst(Instruction(opcodes.LDQ, ra=R.T1, rb=R.T0, disp=8),
+                   relocs=[rel]),
+        ]
+        assert fuse_lda_bases(insts) == 0
+        assert len(insts) == 2
+        assert insts[1].inst.rb == R.T0 and insts[1].inst.disp == 8
+
+    def test_fuse_refuses_bracket_tagged_target(self):
+        insts = [
+            IRInst(Instruction(opcodes.LDA, ra=R.T0, rb=R.GP, disp=64)),
+            IRInst(Instruction(opcodes.STQ, ra=R.T1, rb=R.T0, disp=0)),
+        ]
+        insts[1].snip = (0, "pro", (16, 0, ((R.T1, 0),)))
+        assert fuse_lda_bases(insts) == 0
+        assert len(insts) == 2
+
+
+def _tagged(site, role, key, insts):
+    out = []
+    for inst in insts:
+        ir = IRInst(inst)
+        ir.snip = (site, role, key)
+        out.append(ir)
+    return out
+
+
+class TestBracketKeys:
+    """Bracket keys encode the actual (register, slot) layout.
+
+    A shrunk bracket keeps its surviving saves at their original slot
+    displacements, so the register list alone does not identify a frame
+    layout; merging on register names would pair a prologue storing at
+    one displacement with an epilogue restoring from another.
+    """
+
+    def test_shrink_rekeys_with_surviving_slots(self):
+        key = (16, 0, ((R.T0, 0), (R.T1, 8)))
+        insts = (
+            _tagged(0, "pro", key, [
+                Instruction(opcodes.LDA, ra=R.SP, rb=R.SP, disp=-16),
+                Instruction(opcodes.STQ, ra=R.T0, rb=R.SP, disp=0),
+                Instruction(opcodes.STQ, ra=R.T1, rb=R.SP, disp=8),
+            ])
+            + [IRInst(Instruction(opcodes.ADDQ, ra=R.T1, rb=R.T1,
+                                  rc=R.T1))]
+            + _tagged(0, "epi", key, [
+                Instruction(opcodes.LDQ, ra=R.T1, rb=R.SP, disp=8),
+                Instruction(opcodes.LDQ, ra=R.T0, rb=R.SP, disp=0),
+                Instruction(opcodes.LDA, ra=R.SP, rb=R.SP, disp=16),
+            ]))
+        assert _shrink_bracket(insts) == 1
+        keys = {ir.snip[2] for ir in insts if ir.snip is not None}
+        # t1 survives at its *original* slot 8, and the key says so.
+        assert keys == {(16, 0, ((R.T1, 8),))}
+        saves = [ir.inst for ir in insts
+                 if ir.snip is not None and ir.inst.op is opcodes.STQ]
+        assert [(s.ra, s.disp) for s in saves] == [(R.T1, 8)]
+
+    def _adjacent_brackets(self, key_epi, key_pro):
+        return IRBlock(index=0, insts=(
+            _tagged(0, "epi", key_epi, [
+                Instruction(opcodes.LDQ, ra=R.T1, rb=R.SP,
+                            disp=key_epi[2][0][1]),
+                Instruction(opcodes.LDA, ra=R.SP, rb=R.SP,
+                            disp=key_epi[0]),
+            ])
+            + _tagged(1, "pro", key_pro, [
+                Instruction(opcodes.LDA, ra=R.SP, rb=R.SP,
+                            disp=-key_pro[0]),
+                Instruction(opcodes.STQ, ra=R.T1, rb=R.SP,
+                            disp=key_pro[2][0][1]),
+            ])))
+
+    def test_coalescer_refuses_same_regs_different_slots(self):
+        """Shrunk bracket keeping t1 at slot 8 vs fresh bracket saving
+        t1 at slot 0: same frame, same registers, different layout —
+        merging would restore t1 from the wrong slot."""
+        block = self._adjacent_brackets((16, 0, ((R.T1, 8),)),
+                                        (16, 0, ((R.T1, 0),)))
+        assert _coalesce_block(block, max_gap=2) == 0
+        assert len(block.insts) == 4
+
+    def test_coalescer_merges_identical_layouts(self):
+        block = self._adjacent_brackets((16, 0, ((R.T1, 0),)),
+                                        (16, 0, ((R.T1, 0),)))
+        assert _coalesce_block(block, max_gap=2) == 1
+        assert block.insts == []
 
 
 APP = r"""

@@ -1,0 +1,42 @@
+"""The --compare regression gate: baseline clamping and absolute slack.
+
+A baseline cell whose excess cycles are zero (or negative — possible on
+cells where instrumentation happened to measure as free) has no
+meaningful *relative* limit; the gate clamps the baseline to zero and
+grants ``EXCESS_CYCLE_FLOOR`` cycles of absolute slack instead of
+flagging any nonzero growth as an infinite-percentage regression.
+"""
+
+from repro.perf.bench import EXCESS_CYCLE_FLOOR, compare_reports
+
+
+def _report(excess, base=1_000_000):
+    return {"tools": [{"workload": "w", "tool": "t", "opt": "O4",
+                       "base_cycles": base,
+                       "instr_cycles": base + excess}]}
+
+
+class TestCompareExcessClamp:
+    def test_real_regression_still_flagged(self):
+        assert compare_reports(_report(10_000), _report(12_000))
+
+    def test_within_threshold_growth_passes(self):
+        assert not compare_reports(_report(10_000), _report(10_900))
+
+    def test_zero_baseline_growth_within_floor_passes(self):
+        assert not compare_reports(_report(0), _report(EXCESS_CYCLE_FLOOR))
+
+    def test_zero_baseline_growth_beyond_floor_flagged(self):
+        assert compare_reports(_report(0),
+                               _report(EXCESS_CYCLE_FLOOR * 50))
+
+    def test_negative_baseline_does_not_invert_threshold(self):
+        # Clamped limit is floor cycles above zero, never negative:
+        # shrinking excess is clean, real growth still gates.
+        assert not compare_reports(_report(-5_000), _report(-4_000))
+        assert compare_reports(_report(-5_000),
+                               _report(EXCESS_CYCLE_FLOOR * 50))
+
+    def test_new_cells_are_never_regressions(self):
+        assert not compare_reports({"tools": []},
+                                   _report(10_000_000))
