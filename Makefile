@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-bench check-matrix eval-matrix check-obs
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-matrix eval-matrix check-obs check-profile
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -47,6 +47,22 @@ eval-matrix:
 check-obs:
 	$(PYTHON) -m pytest -q tests/obs
 	$(PYTHON) -m repro.obs.overhead --quick --out /tmp/obs_overhead.json
+
+# Guest-profiler lane: runtime-profiler unit tests, the sampling-off
+# overhead budget (the sampler branch must cost nothing when disabled;
+# same <2% gate as tracing), then an end-to-end profile of prof@O4 —
+# flamegraph stacks + annotated disassembly written to PROFILE_DIR
+# (uploaded as a CI artifact), failing if >1% of samples are
+# unattributable.
+PROFILE_DIR ?= /tmp/wrl-profile
+check-profile:
+	$(PYTHON) -m pytest -q tests/obs/test_runtime.py
+	$(PYTHON) -m repro.obs.overhead --quick --out /tmp/obs_overhead.json
+	$(PYTHON) -m repro.obs.runtime --workload fib --tool prof --opt 4 \
+	    --interval 997 --out-dir $(PROFILE_DIR)
+	$(PYTHON) -m repro.obs.cli profile $(PROFILE_DIR)/profile.json --top 5
+	$(PYTHON) -m repro.obs.annotate $(PROFILE_DIR)/module.wof \
+	    $(PROFILE_DIR)/profile.json -o $(PROFILE_DIR)/annotated-cli.txt
 
 validate-baseline:
 	$(PYTHON) -c "import json, sys; \

@@ -245,6 +245,7 @@ def instrument_executable(app_exe: Module, instrument_fn, analysis_unit,
     final.entry = final.addr_of(VENEER_NAME)
     final.analysis_gp = anal_module.gp_value
     final.meta["atom:anal_text_base"] = anal_text_base
+    final.meta["atom:anal_text_size"] = anal_text_size
     final.meta["atom:anal_data_base"] = anal_data_base
     final.meta["atom:atomdata_base"] = atomdata_base
     final.meta["atom:opt_level"] = int(opt)

@@ -43,6 +43,7 @@ from pathlib import Path
 
 from ..atom import OptLevel
 from ..obs import TRACE, trace_path_from_env
+from ..obs.runtime import ENV_HEARTBEAT
 from ..tools import TOOL_NAMES, get_tool
 from ..workloads import WORKLOAD_NAMES, build_workload
 from . import runner
@@ -237,6 +238,20 @@ def execute_task(spec: TaskSpec, cache_spec=None, fuse: bool = True,
     return rec
 
 
+def _heartbeat(spec: TaskSpec):
+    """A HeartbeatWriter when ``WRL_HEARTBEAT`` names a file, else None.
+
+    Heartbeats are observational only: they ride the sampling hook (which
+    never perturbs guest state) and touch no :meth:`TaskResult.identity`
+    field, so a heartbeat-enabled matrix run stays bit-identical.
+    """
+    from ..obs.runtime import HeartbeatWriter, heartbeat_path
+    path = heartbeat_path()
+    if path is None:
+        return None
+    return HeartbeatWriter(path, spec.task_id)
+
+
 def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
     rec = TaskResult(tool=spec.tool, workload=spec.workload, opt=spec.opt,
                      heap_mode=spec.heap_mode)
@@ -245,6 +260,9 @@ def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
     t0 = time.perf_counter()
     task_span = TRACE.span("task", "eval", task=spec.task_id)
     task_span.__enter__()
+    heartbeat = _heartbeat(spec)
+    if heartbeat is not None:
+        heartbeat.emit("start")
     try:
         app = build_workload(spec.workload)
         tool = get_tool(spec.tool)
@@ -253,21 +271,33 @@ def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
                     spec.base_max_insts, fuse, spec.reps, spec.warmup)
         memo = _base_memo.get(base_key)
         if memo is None:
+            base_sampler = None if heartbeat is None \
+                else heartbeat.sampler("base")
             memo = _timed(
                 lambda: runner.run_uninstrumented(
                     app, args=spec.wl_args, stdin=spec.stdin,
-                    max_insts=spec.base_max_insts, fuse=fuse),
+                    max_insts=spec.base_max_insts, fuse=fuse,
+                    sampler=base_sampler),
                 reps=spec.reps, warmup=spec.warmup)
             _base_memo[base_key] = memo
         base, base_wall = memo
+        if heartbeat is not None:
+            heartbeat.emit("base", insts=base.inst_count,
+                           cycles=base.cycles)
 
         instrumented = runner.apply_tool(
             app, tool, opt=OptLevel[spec.opt], heap_mode=spec.heap_mode,
             tool_args=spec.tool_args, cache=cache)
+        instr_sampler = None if heartbeat is None \
+            else heartbeat.sampler("instrumented")
+        if heartbeat is not None:
+            heartbeat.emit("instrumented-built",
+                           cache_hit=instrumented.cached)
         instr, instr_wall = _timed(
             lambda: runner.run_instrumented(
                 instrumented, args=spec.wl_args, stdin=spec.stdin,
-                max_insts=spec.max_insts, fuse=fuse),
+                max_insts=spec.max_insts, fuse=fuse,
+                sampler=instr_sampler),
             reps=spec.reps, warmup=spec.warmup)
 
         rec.base_status = base.status
@@ -294,6 +324,13 @@ def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
     rec.wall_s = time.perf_counter() - t0
     rec.analysis_compiled = \
         runner.COMPILE_COUNTS["analysis"] > analysis_before
+    if heartbeat is not None:
+        ips = int(rec.instr_insts / rec.instr_wall_s) \
+            if rec.instr_wall_s else 0
+        heartbeat.emit("done", status=rec.status,
+                       insts=rec.instr_insts, ips=ips,
+                       cache_hit=not rec.instr_compiled,
+                       wall_s=round(rec.wall_s, 3))
     task_span.add(status=rec.status)
     task_span.__exit__(None, None, None)
     return rec
@@ -612,6 +649,11 @@ def main(argv=None) -> int:
                              "(.json = Chrome trace event format, "
                              ".jsonl = line-delimited; default: "
                              "$WRL_TRACE)")
+    parser.add_argument("--heartbeat", default=None, metavar="PATH",
+                        help="append live JSONL progress records "
+                             "(task id, insts retired, insts/sec, cache "
+                             "hits) to PATH while the matrix runs; "
+                             "default: $WRL_HEARTBEAT")
     args = parser.parse_args(argv)
 
     tools = tuple(args.tools.split(","))
@@ -661,6 +703,10 @@ def main(argv=None) -> int:
                   if rec.status == "ok" else rec.error)
         print(f"  [{mark}] {rec.workload}+{rec.tool}@{rec.opt}: {detail}")
 
+    if args.heartbeat:
+        # Workers inherit the environment (fork and spawn alike), so the
+        # env var is the one channel that reaches every executor.
+        os.environ[ENV_HEARTBEAT] = str(Path(args.heartbeat).resolve())
     if args.trace:
         TRACE.reset()
         TRACE.enable()
@@ -678,6 +724,10 @@ def main(argv=None) -> int:
             TRACE.write(Path(args.trace))
             TRACE.disable()
             print(f"wrote trace to {args.trace}")
+        if args.heartbeat:
+            print(f"heartbeats in {args.heartbeat} "
+                  f"(tail -f while running; wrl-trace summary to "
+                  f"aggregate)")
     elapsed = time.perf_counter() - t0
 
     config = {

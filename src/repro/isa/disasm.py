@@ -36,15 +36,26 @@ def render(inst: Instruction, pc: int,
 
 
 def disassemble(text: bytes, base: int,
-                symbols: dict[int, str] | None = None) -> list[str]:
-    """Disassemble a text segment into annotated lines."""
+                symbols: dict[int, str] | None = None,
+                annotate=None) -> list[str]:
+    """Disassemble a text segment into annotated lines.
+
+    ``annotate``, when given, is called with each instruction's address
+    and may return a string to place in a left margin column before the
+    address (profilers overlay per-PC sample counts this way); ``None``
+    leaves the margin blank.  Label lines are not annotated.
+    """
     lines = []
     for i, inst in enumerate(encoding.decode_stream(text)):
         pc = base + 4 * i
         prefix = ""
         if symbols and pc in symbols:
             prefix = f"{symbols[pc]}:\n"
-        lines.append(f"{prefix}  {pc:#010x}:  {render(inst, pc, symbols)}")
+        margin = ""
+        if annotate is not None:
+            margin = annotate(pc) or ""
+        lines.append(f"{prefix}{margin}  {pc:#010x}:  "
+                     f"{render(inst, pc, symbols)}")
     return lines
 
 

@@ -27,10 +27,38 @@ def main(argv: list[str] | None = None) -> int:
                     help="capture a structured trace of the run "
                          "(.json = Chrome trace, .jsonl = line-"
                          "delimited; default: $WRL_TRACE)")
+    ap.add_argument("--profile", default=None, metavar="PATH",
+                    help="write a deterministic PC-sample profile "
+                         "artifact (render with wrl-trace profile / "
+                         "wrl-annotate)")
+    ap.add_argument("--sample-interval", type=int, default=None,
+                    metavar="N",
+                    help="sample every N retired instructions "
+                         "(default 1000; implies --profile semantics)")
+    ap.add_argument("--call-stacks", action="store_true",
+                    help="track shadow call stacks while profiling "
+                         "(collapsed flamegraph stacks in the artifact; "
+                         "slower: disables superblock dispatch)")
+    ap.add_argument("--collapsed", default=None, metavar="PATH",
+                    help="also write collapsed flamegraph stacks "
+                         "(implies --call-stacks)")
     args = ap.parse_args(argv)
     if args.max_insts <= 0:
         ap.error("--max-insts must be positive")
+    if args.sample_interval is not None and args.sample_interval < 1:
+        ap.error("--sample-interval must be >= 1")
     module = Module.load(args.executable)
+
+    sampler = None
+    profiling = args.profile or args.collapsed \
+        or args.sample_interval is not None or args.call_stacks
+    if profiling:
+        from ..obs import runtime
+        interval = args.sample_interval or runtime.DEFAULT_INTERVAL
+        if args.call_stacks or args.collapsed:
+            sampler = runtime.StackSampler(interval)
+        else:
+            sampler = runtime.PcSampler(interval)
     if args.trace:
         TRACE.reset()
         TRACE.enable()
@@ -47,7 +75,8 @@ def main(argv: list[str] | None = None) -> int:
     from ..eval.runner import run_uninstrumented
     try:
         result = run_uninstrumented(module, args=tuple(args.args),
-                                    stdin=stdin, max_insts=args.max_insts)
+                                    stdin=stdin, max_insts=args.max_insts,
+                                    sampler=sampler)
     except EvalTimeout as exc:
         print(f"wrl-run: {exc}", file=sys.stderr)
         return 124
@@ -60,6 +89,21 @@ def main(argv: list[str] | None = None) -> int:
             TRACE.disable()
             print(f"wrl-run: wrote trace to {args.trace}",
                   file=sys.stderr)
+        # A timeout still yields a valid (partial) profile; write what
+        # was sampled either way.
+        if sampler is not None and sampler.cpu is not None:
+            from ..obs import runtime
+            doc = runtime.profile_doc(sampler, module)
+            if args.profile:
+                runtime.write_profile(doc, args.profile)
+                print(f"wrl-run: wrote profile to {args.profile}",
+                      file=sys.stderr)
+            if args.collapsed:
+                runtime.write_collapsed(doc, args.collapsed)
+                print(f"wrl-run: wrote collapsed stacks to "
+                      f"{args.collapsed}", file=sys.stderr)
+            if not args.profile and not args.collapsed:
+                print(runtime.render_profile(doc), file=sys.stderr)
     sys.stdout.buffer.write(result.stdout)
     sys.stderr.buffer.write(result.stderr)
     if args.stats:

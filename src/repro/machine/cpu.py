@@ -102,6 +102,8 @@ class Cpu:
         self.sb_compiled = 0
         self.sb_cache_hits = 0
         self._insts = encoding.decode_stream(text)
+        #: Lazy call/return classification table for shadow-stack sampling.
+        self._ctl: bytearray | None = None
         self._costs = cost_model.sequence_costs(self._insts)
         self._code = [self._compile(inst, i, self._costs[i])
                       for i, inst in enumerate(self._insts)]
@@ -120,8 +122,19 @@ class Cpu:
     def inst_count(self) -> int:
         return self.stats[1]
 
-    def run(self, entry: int, max_insts: int = 2_000_000_000) -> int:
-        """Run from ``entry`` until the program exits; returns exit status."""
+    def run(self, entry: int, max_insts: int = 2_000_000_000,
+            sampler=None) -> int:
+        """Run from ``entry`` until the program exits; returns exit status.
+
+        ``sampler`` (see :mod:`repro.obs.runtime`) turns on deterministic
+        PC sampling: after every ``sampler.interval`` retired instructions
+        the sampler observes the instruction that crossed the boundary.
+        The unsampled path below is untouched — sampling off costs one
+        ``is None`` test per call to :meth:`run`, nothing per instruction.
+        """
+        if sampler is not None:
+            return self._run_sampled(self._index_of(entry), max_insts,
+                                     sampler.bind(self))
         index = self._index_of(entry)
         dispatch = self._dispatch
         code = self._code
@@ -147,6 +160,95 @@ class Cpu:
                                self.text_base + 4 * index) from None
         except MemoryFault as exc:
             raise MachineError(str(exc), self.text_base + 4 * index) from None
+
+    def _run_sampled(self, index: int, max_insts: int, sampler) -> int:
+        """Dispatch loop with deterministic instruction-count sampling.
+
+        Samples fire at exact retired-instruction boundaries: the fused
+        fast path only runs while more than ``_max_fused`` instructions
+        remain before the next boundary (a superblock advances ``stats[1]``
+        by at most ``_max_fused``, so it can never straddle one), and the
+        per-instruction loop advances by exactly one, landing precisely on
+        the boundary with ``prev`` holding the crossing instruction.  The
+        sampled stream is therefore a pure function of (text, entry,
+        interval) — identical with fusion on or off.
+
+        When ``sampler.track_calls`` is set the run stays entirely on
+        per-instruction closures and feeds call/return transitions to the
+        sampler's shadow stack (slower, but exact).
+        """
+        dispatch = self._dispatch
+        code = self._code
+        stats = self.stats
+        interval = sampler.interval
+        if interval < 1:
+            raise ValueError(f"sample interval must be >= 1: {interval}")
+        track = sampler.track_calls
+        ctl = self._call_table() if track else None
+        sample = sampler.sample
+        max_fused = self._max_fused
+        budget_cap = max_insts + 1
+        next_at = stats[1] + interval
+        prev = index
+        try:
+            if track:
+                enter = sampler.enter
+                leave = sampler.leave
+                while True:
+                    while stats[1] < next_at:
+                        prev = index
+                        index = code[prev]()
+                        k = ctl[prev]
+                        if k:
+                            if k == 1:
+                                enter(prev, index)
+                            else:
+                                leave(index)
+                        if stats[1] > max_insts:
+                            raise BudgetExhausted(
+                                "instruction budget exhausted",
+                                self.text_base + 4 * index)
+                    sample(prev)
+                    next_at += interval
+            while True:
+                fast_limit = min(next_at, budget_cap) - max_fused
+                while stats[1] < fast_limit:
+                    index = dispatch[index]()
+                while stats[1] < next_at:
+                    prev = index
+                    index = code[prev]()
+                    if stats[1] > max_insts:
+                        raise BudgetExhausted("instruction budget exhausted",
+                                              self.text_base + 4 * index)
+                sample(prev)
+                next_at += interval
+        except ExitProgram as exc:
+            # The exit syscall raises *after* charging stats, bypassing the
+            # boundary checks above.  The fused path cannot reach a
+            # boundary (it stops _max_fused short), so if one was crossed
+            # the crossing instruction is ``prev`` from the slow loop.
+            if stats[1] >= next_at:
+                sample(prev)
+            return exc.status
+        except IndexError:
+            raise MachineError("control left the text segment",
+                               self.text_base + 4 * index) from None
+        except MemoryFault as exc:
+            raise MachineError(str(exc), self.text_base + 4 * index) from None
+
+    def _call_table(self) -> bytearray:
+        """Per-index control class: 1 = call (bsr/jsr), 2 = return."""
+        tbl = self._ctl
+        if tbl is None:
+            tbl = bytearray(len(self._insts))
+            for i, inst in enumerate(self._insts):
+                klass = inst.op.inst_class
+                if klass is InstClass.CALL:
+                    tbl[i] = 1
+                elif klass is InstClass.RET:
+                    tbl[i] = 2
+            self._ctl = tbl
+        return tbl
 
     def _index_of(self, addr: int) -> int:
         offset = addr - self.text_base

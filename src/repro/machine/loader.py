@@ -140,15 +140,18 @@ class Machine:
 
     # ---- running -----------------------------------------------------------
 
-    def run(self, max_insts: int = 2_000_000_000) -> RunResult:
+    def run(self, max_insts: int = 2_000_000_000,
+            sampler=None) -> RunResult:
         # Tracing disabled (the common case): one attribute check, then
         # the exact pre-observability path.
         if not TRACE.enabled:
-            status = self.cpu.run(self.module.entry, max_insts=max_insts)
+            status = self.cpu.run(self.module.entry, max_insts=max_insts,
+                                  sampler=sampler)
             return self._result(status)
         with TRACE.span("machine.run", "interpret", fuse=self.fuse) as sp:
             t0 = time.perf_counter_ns()
-            status = self.cpu.run(self.module.entry, max_insts=max_insts)
+            status = self.cpu.run(self.module.entry, max_insts=max_insts,
+                                  sampler=sampler)
             wall_ns = time.perf_counter_ns() - t0
             _note_run(self.cpu, status, wall_ns, sp)
         return self._result(status)
@@ -187,10 +190,10 @@ def run_module(module: Module, *, stdin: bytes = b"",
                cost_model: CostModel | None = None,
                preload_files: dict[str, bytes] | None = None,
                max_insts: int = 2_000_000_000,
-               fuse: bool = True) -> RunResult:
+               fuse: bool = True, sampler=None) -> RunResult:
     """Convenience: load and run an executable module in one call."""
     machine = Machine(module, stdin=stdin, args=args,
                       cost_model=cost_model or DEFAULT,
                       preload_files=preload_files or {},
                       fuse=fuse)
-    return machine.run(max_insts=max_insts)
+    return machine.run(max_insts=max_insts, sampler=sampler)

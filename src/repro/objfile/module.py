@@ -22,6 +22,21 @@ from .symtab import SymBind, SymKind, Symbol, SymbolTable
 
 MAGIC = b"WOF1"
 
+#: ``pc_attr`` codes: what an ATOM-*inserted* instruction (one with no
+#: ``pc_map`` entry) is doing at its new address.  Together with the
+#: analysis-text range recorded in ``meta`` this lets a profiler attribute
+#: every sampled PC to {original program | save-bracket | call glue |
+#: inlined splice | analysis routine}.
+PC_ATTR_SAVE = 1    #: register save/restore bracket around a point
+PC_ATTR_GLUE = 2    #: call glue: argument setup, bsr/jsr, wrappers, veneer
+PC_ATTR_SPLICE = 3  #: O4-inlined analysis body (``__atominl$`` splice)
+
+PC_ATTR_NAMES = {
+    PC_ATTR_SAVE: "save",
+    PC_ATTR_GLUE: "glue",
+    PC_ATTR_SPLICE: "splice",
+}
+
 
 class ObjError(Exception):
     """Malformed object file or illegal module operation."""
@@ -43,6 +58,9 @@ class Module:
     analysis_gp: int = 0
     #: Static map of new text address -> original text address (ATOM output).
     pc_map: dict[int, int] = field(default_factory=dict)
+    #: New text address -> PC_ATTR_* code for ATOM-inserted instructions
+    #: (addresses absent from ``pc_map``).  ATOM output only.
+    pc_attr: dict[int, int] = field(default_factory=dict)
     #: Free-form integer metadata (segment bases and the like).
     meta: dict[str, int] = field(default_factory=dict)
     #: Additional loadable segments outside the four standard sections —
@@ -152,6 +170,11 @@ class Module:
             w.u64(vaddr)
             w.u32(len(blob))
             out.write(blob)
+
+        w.u32(len(self.pc_attr))
+        for pc, code in self.pc_attr.items():
+            w.u64(pc)
+            w.u32(code)
         return out.getvalue()
 
     @classmethod
@@ -205,6 +228,9 @@ class Module:
             key = r.string()
             mod.meta[key] = r.i64()
 
+        # Trailing fields are optional so older serialized modules (cache
+        # artifacts, committed fixtures) keep loading: tolerate EOF at each
+        # field boundary.
         remaining = inp.read(4)
         if remaining:
             (nseg,) = struct.unpack("<I", remaining)
@@ -213,6 +239,12 @@ class Module:
                 vaddr = r.u64()
                 size = r.u32()
                 mod.extra_segments.append((name, vaddr, inp.read(size)))
+            remaining = inp.read(4)
+            if remaining:
+                (nattr,) = struct.unpack("<I", remaining)
+                for _ in range(nattr):
+                    pc = r.u64()
+                    mod.pc_attr[pc] = r.u32()
         return mod
 
     def save(self, path) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 
 from ..isa import disasm
-from .module import Module
+from .module import Module, PC_ATTR_NAMES
 from .sections import TEXT
 
 
@@ -65,7 +65,17 @@ def dump_pc_map(mod: Module, out) -> None:
     if not mod.pc_map:
         return
     moved = sum(1 for n, o in mod.pc_map.items() if n != o)
-    out(f"\npc map: {len(mod.pc_map)} entries, {moved} moved")
+    line = f"\npc map: {len(mod.pc_map)} entries, {moved} moved"
+    if mod.pc_attr:
+        by_kind: dict[str, int] = {}
+        for code in mod.pc_attr.values():
+            name = PC_ATTR_NAMES.get(code, f"code{code}")
+            by_kind[name] = by_kind.get(name, 0) + 1
+        detail = ", ".join(f"{by_kind[k]} {k}"
+                           for k in ("save", "glue", "splice")
+                           if k in by_kind)
+        line += f"; inserted: {len(mod.pc_attr)} ({detail})"
+    out(line)
 
 
 def dump_disasm(mod: Module, out) -> None:
@@ -73,7 +83,18 @@ def dump_disasm(mod: Module, out) -> None:
     base = text.vaddr if text.vaddr is not None else 0
     symbols = disasm.symbol_map(mod) if mod.linked else {}
     out("\ndisassembly:")
-    for line in disasm.disassemble(bytes(text.data), base, symbols):
+    # Mark ATOM-inserted instructions by kind (+s save bracket, +g call
+    # glue, +i inlined splice) so instrumented dumps read at a glance.
+    marks = {"save": "+s", "glue": "+g", "splice": "+i"}
+    annotate = None
+    if mod.pc_attr:
+        def annotate(pc: int) -> str:
+            code = mod.pc_attr.get(pc)
+            if code is None:
+                return "  "
+            return marks.get(PC_ATTR_NAMES.get(code, ""), "+?")
+    for line in disasm.disassemble(bytes(text.data), base, symbols,
+                                   annotate=annotate):
         out(line)
 
 

@@ -38,6 +38,7 @@ JSON).
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
@@ -139,6 +140,12 @@ class Tracer:
         if self.enabled:
             self.counters[name] = self.counters.get(name, 0) + n
 
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        """Record a zero-duration marker event (progress heartbeats)."""
+        if self.enabled:
+            t = time.monotonic_ns()
+            self._record(name, cat, t, t, args)
+
     def observe(self, name: str, value: float) -> None:
         if self.enabled:
             self.hists.setdefault(name, []).append(value)
@@ -218,19 +225,39 @@ def trace_path_from_env() -> str | None:
 
 # ---- histogram summaries ---------------------------------------------------
 
+def percentile(sorted_values, q: float):
+    """Nearest-rank percentile of an already-sorted list (0 when empty).
+
+    Nearest-rank is exact on small samples: ``percentile(vs, 0.9)`` of ten
+    values is the 9th, not the maximum (the old ``(9*n)//10`` index was
+    biased one rank high and always returned the max for n <= 10).
+    """
+    n = len(sorted_values)
+    if not n:
+        return 0
+    rank = math.ceil(q * n)           # 1-based nearest rank
+    return sorted_values[min(n, max(1, rank)) - 1]
+
+
 def hist_summary(values) -> dict:
-    """count/min/max/mean/p50/p90 over a list of observations."""
+    """count/min/max/mean/p50/p90 over a list of observations.
+
+    Always returns every key — empty and single-element inputs yield
+    zeros / the lone value — so consumers can render a summary without
+    guarding each field.
+    """
     vs = sorted(values)
     n = len(vs)
     if not n:
-        return {"count": 0}
+        return {"count": 0, "min": 0, "max": 0, "mean": 0,
+                "p50": 0, "p90": 0}
     return {
         "count": n,
         "min": vs[0],
         "max": vs[-1],
         "mean": sum(vs) / n,
         "p50": vs[n // 2] if n % 2 else (vs[n // 2 - 1] + vs[n // 2]) / 2,
-        "p90": vs[min(n - 1, (9 * n) // 10)],
+        "p90": percentile(vs, 0.90),
     }
 
 
@@ -358,6 +385,6 @@ def load_trace(path: Path | str) -> dict:
 __all__ = [
     "TRACE", "TRACE_SCHEMA", "ENV_TRACE", "Tracer",
     "span", "count", "observe", "enabled", "trace_path_from_env",
-    "hist_summary", "chrome_events", "to_chrome",
+    "hist_summary", "percentile", "chrome_events", "to_chrome",
     "write_chrome", "write_jsonl", "read_jsonl", "load_trace",
 ]

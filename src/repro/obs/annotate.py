@@ -1,0 +1,153 @@
+"""``wrl-annotate``: overlay profile samples on disassembly.
+
+Takes an executable (WOF) and a profile artifact produced by
+``wrl-run --profile`` / :mod:`repro.obs.runtime` and renders the text
+segment with a left margin of per-instruction sample counts, cycle
+percentages, and an attribution marker::
+
+      samples  cycles%
+         1021   12.4%    0x12000004c:  addq r1, r2, r3
+           37    0.4% b  0x120000050:  stq r9, 0(sp)
+
+Markers: blank = pristine (original program), ``b`` = save bracket,
+``g`` = call glue, ``i`` = inlined splice, ``a`` = analysis routine,
+``?`` = unattributed.  By default only the hottest procedures are
+shown; ``--full`` renders the whole text segment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..isa import disasm
+from ..objfile.module import Module
+from ..objfile.sections import TEXT
+from .runtime import (Attributor, BUCKET_ANALYSIS, BUCKET_BRACKET,
+                      BUCKET_ORIG, BUCKET_SPLICE, BUCKET_UNKNOWN,
+                      load_profile, pristine_split)
+
+_MARKERS = {
+    BUCKET_ORIG: " ",
+    BUCKET_BRACKET: "b",
+    BUCKET_SPLICE: "i",
+    BUCKET_ANALYSIS: "a",
+    BUCKET_UNKNOWN: "?",
+}
+#: Width of the sample margin: ``{n:>8} {pct:>6.1f}% {mark}`` = 18 cols.
+_MARGIN = " " * 18
+
+
+def _proc_ranges(attr: Attributor, names: list[str]) -> list[tuple[int, int]]:
+    """Text ranges for the named procedures (app FUNCs and analysis
+    routines), in address order."""
+    ranges = []
+    want = set(names)
+    for start, end, name in attr._funcs:
+        if name in want and end > start:
+            ranges.append((start, end))
+    anal = attr._anal
+    for i, (start, name) in enumerate(anal):
+        if name in want:
+            end = anal[i + 1][0] if i + 1 < len(anal) else attr.anal_end
+            ranges.append((start, end))
+    ranges.sort()
+    return ranges
+
+
+def hot_procs(doc: dict, top: int) -> list[str]:
+    """The ``top`` distinct hottest location names, by charged cycles."""
+    names: list[str] = []
+    for row in doc.get("procs", ()):
+        if row["name"] not in names:
+            names.append(row["name"])
+        if len(names) >= top:
+            break
+    return names
+
+
+def render_annotated(module: Module, doc: dict, *, top: int | None = 5,
+                     procs: list[str] | None = None) -> str:
+    """Render annotated disassembly for a module + profile pair."""
+    attr = Attributor(module)
+    samples = {int(pc, 16): row for pc, row in doc.get("pcs", {}).items()}
+    total_cycles = max(1, doc.get("sampled_cycles") or 0)
+
+    def margin(pc: int) -> str:
+        row = samples.get(pc)
+        if row is None:
+            return _MARGIN
+        pct = 100.0 * row.get("cycles", 0) / total_cycles
+        kind = row.get("kind", "")
+        mark = "g" if kind == "glue" else _MARKERS.get(row["bucket"], "?")
+        return f"{row['n']:>8} {pct:>6.1f}% {mark}"
+
+    symbols = disasm.symbol_map(module)
+    for value, name in attr._anal:
+        symbols.setdefault(value, f"anal${name}")
+
+    text = module.section(TEXT)
+    base = text.vaddr or 0
+    data = bytes(text.data)
+
+    if procs:
+        ranges = _proc_ranges(attr, procs)
+    elif top is not None:
+        ranges = _proc_ranges(attr, hot_procs(doc, top))
+    else:
+        ranges = [(base, base + len(data))]
+
+    split = pristine_split(doc)
+    total = max(1, split["total"])
+    out = [f"{doc.get('module', module.name)}: {doc['samples']} samples, "
+           f"interval {doc['interval']}, {doc['cycles']} cycles",
+           f"pristine {100.0 * split['pristine'] / total:.1f}%  "
+           f"overhead {100.0 * split['overhead'] / total:.1f}%  "
+           f"unknown {100.0 * split['unknown'] / total:.1f}%",
+           f"{'samples':>8} {'cycles%':>7}"]
+    for start, end in ranges:
+        lo = max(start, base)
+        hi = min(end, base + len(data))
+        if hi <= lo:
+            continue
+        out.append("")
+        out.extend(disasm.disassemble(data[lo - base:hi - base], lo,
+                                      symbols, annotate=margin))
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="wrl-annotate",
+        description="overlay profile sample counts on disassembly")
+    ap.add_argument("module", help="executable (WOF) the profile ran")
+    ap.add_argument("profile", help="profile artifact (wrl-profile/v1)")
+    ap.add_argument("--top", type=int, default=5,
+                    help="annotate the N hottest procedures (default 5)")
+    ap.add_argument("--procs", default=None,
+                    help="comma-separated procedure names to annotate")
+    ap.add_argument("--full", action="store_true",
+                    help="annotate the entire text segment")
+    ap.add_argument("-o", "--out", default=None,
+                    help="write to a file instead of stdout")
+    opts = ap.parse_args(argv)
+    try:
+        module = Module.load(opts.module)
+        doc = load_profile(opts.profile)
+    except (OSError, ValueError) as exc:
+        print(f"wrl-annotate: {exc}", file=sys.stderr)
+        return 1
+    procs = [p for p in opts.procs.split(",") if p] if opts.procs else None
+    text = render_annotated(module, doc,
+                            top=None if opts.full else opts.top,
+                            procs=procs)
+    if opts.out:
+        Path(opts.out).write_text(text + "\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

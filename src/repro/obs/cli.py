@@ -1,12 +1,18 @@
-"""``wrl-trace``: inspect and convert pipeline traces.
+"""``wrl-trace``: inspect and convert pipeline traces and profiles.
 
-Two subcommands over the files ``--trace`` flags produce:
+Three subcommands:
 
 * ``summary TRACE`` — aggregate spans per (category, name): count,
   total/mean/max duration; then counters and histogram summaries.
+  ``--top N`` ranks spans/counters/histograms by total time (or
+  value/count) and shows only the N largest of each.
 * ``convert IN OUT`` — re-emit a trace in the format selected by the
   output suffix (``.jsonl`` for JSONL, anything else for Chrome
   trace-event JSON).
+* ``profile PROFILE`` — summarize a guest profile artifact produced by
+  ``wrl-run --profile`` (top-K locations, pristine vs. overhead split,
+  inclusive/exclusive frame tables); ``--collapsed OUT`` extracts the
+  flamegraph stacks.
 """
 
 from __future__ import annotations
@@ -26,33 +32,56 @@ def _fmt_ns(ns: float) -> str:
     return f"{ns / 1e3:.1f}us"
 
 
-def summarize(snap: dict, out=sys.stdout) -> None:
+def span_rows(snap: dict) -> list[tuple[str, list[int]]]:
+    """(label, durations) per span key, ranked by total duration.
+
+    Ties break on the label, so equal-duration rows always print in the
+    same order regardless of event arrival order.
+    """
     rows: dict[tuple[str, str], list[int]] = {}
     for ev in snap.get("events", ()):
         key = (ev.get("cat", ""), ev["name"])
         rows.setdefault(key, []).append(ev["dur_ns"])
+    labeled = [(f"{cat}/{name}" if cat else name, durs)
+               for (cat, name), durs in rows.items()]
+    labeled.sort(key=lambda kv: (-sum(kv[1]), kv[0]))
+    return labeled
+
+
+def summarize(snap: dict, out=None, top: int | None = None) -> None:
+    # Resolve stdout at call time, not def time: the interpreter-wide
+    # stream may be redirected (or replaced by a test harness) between
+    # import and use.
+    out = out if out is not None else sys.stdout
+    rows = span_rows(snap)
     pids = {ev["pid"] for ev in snap.get("events", ())}
     print(f"{len(snap.get('events', ()))} spans across "
           f"{len(pids) or 1} process(es)", file=out)
     if rows:
+        shown = rows if top is None else rows[:top]
         print(f"  {'cat/name':<40} {'count':>6} {'total':>10} "
               f"{'mean':>10} {'max':>10}", file=out)
-        for (cat, name), durs in sorted(
-                rows.items(), key=lambda kv: -sum(kv[1])):
-            label = f"{cat}/{name}" if cat else name
+        for label, durs in shown:
             print(f"  {label:<40} {len(durs):>6} "
                   f"{_fmt_ns(sum(durs)):>10} "
                   f"{_fmt_ns(sum(durs) / len(durs)):>10} "
                   f"{_fmt_ns(max(durs)):>10}", file=out)
+        if top is not None and len(rows) > top:
+            print(f"  ... {len(rows) - top} more span group(s)", file=out)
     counters = snap.get("counters", {})
     if counters:
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0])) \
+            if top is not None else sorted(counters.items())
         print("counters:", file=out)
-        for name, value in sorted(counters.items()):
+        for name, value in ranked[:top]:
             print(f"  {name:<40} {value:>14,g}", file=out)
     hists = snap.get("hists", {})
     if hists:
+        ranked = sorted(hists.items(),
+                        key=lambda kv: (-len(kv[1]), kv[0])) \
+            if top is not None else sorted(hists.items())
         print("histograms:", file=out)
-        for name, values in sorted(hists.items()):
+        for name, values in ranked[:top]:
             s = hist_summary(values)
             print(f"  {name:<40} n={s['count']} mean={s['mean']:,.0f} "
                   f"p50={s['p50']:,.0f} p90={s['p90']:,.0f} "
@@ -66,16 +95,42 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="cmd", required=True)
     p_sum = sub.add_parser("summary", help="aggregate a trace file")
     p_sum.add_argument("trace", help="trace file (.jsonl or Chrome JSON)")
+    p_sum.add_argument("--top", type=int, default=None, metavar="N",
+                       help="show only the N largest spans/counters/"
+                            "histograms (ranked by total time, value, "
+                            "and count)")
     p_conv = sub.add_parser("convert",
                             help="rewrite a trace in another format")
     p_conv.add_argument("input")
     p_conv.add_argument("output",
                         help=".jsonl for JSONL, else Chrome trace JSON")
+    p_prof = sub.add_parser("profile",
+                            help="summarize a guest profile artifact")
+    p_prof.add_argument("profile",
+                        help="profile JSON from wrl-run --profile")
+    p_prof.add_argument("--top", type=int, default=10, metavar="K",
+                        help="locations/frames to show (default 10)")
+    p_prof.add_argument("--collapsed", default=None, metavar="OUT",
+                        help="extract collapsed flamegraph stacks")
     args = parser.parse_args(argv)
 
     try:
         if args.cmd == "summary":
-            summarize(load_trace(args.trace))
+            if args.top is not None and args.top < 1:
+                parser.error("--top must be >= 1")
+            summarize(load_trace(args.trace), top=args.top)
+        elif args.cmd == "profile":
+            from .runtime import load_profile, render_profile, \
+                write_collapsed
+            doc = load_profile(args.profile)
+            print(render_profile(doc, top=args.top))
+            if args.collapsed:
+                if not doc.get("collapsed"):
+                    print("wrl-trace: profile has no collapsed stacks "
+                          "(run with --call-stacks)", file=sys.stderr)
+                    return 1
+                write_collapsed(doc, args.collapsed)
+                print(f"wrote {args.collapsed}")
         else:
             snap = load_trace(args.input)
             out = Path(args.output)

@@ -10,10 +10,16 @@ For each ``BENCH_interp`` workload it interleaves two variants:
 
 * **hooked** — the shipped path: :func:`repro.machine.run_module` with
   the process tracer disabled (its per-run hook reduces to one
-  attribute check);
+  attribute check) and no sampler (one ``is None`` test per run);
 * **detached** — the identical run driven without the observability
-  layer: the loader's pre-trace body replicated inline (``Machine`` +
-  ``cpu.run`` + ``RunResult`` assembly, no tracer branch).
+  layer at all: the interpreter's dispatch loop replicated inline
+  (``Machine`` + raw superblock loop + ``RunResult`` assembly), with
+  neither the tracer branch nor the sampler branch present.
+
+Since PC sampling lives behind a single ``sampler is None`` check in
+:meth:`Cpu.run`, this comparison also enforces the profiler's
+zero-cost-when-off contract — the check-profile CI lane runs this
+module for exactly that reason.
 
 Throughput is best-of-N per variant; the run fails when the hooked
 path's insts/sec falls more than ``--budget`` (default 2%) below the
@@ -49,9 +55,33 @@ def _run_hooked(module) -> int:
 
 
 def _run_detached(module) -> int:
-    """The loader's pre-observability run path, byte for byte."""
+    """The pre-observability run path, byte for byte.
+
+    Inlines the interpreter loop from :meth:`Cpu.run` *without* the
+    ``sampler is None`` entry check, so the measured baseline carries
+    zero observability residue: any cost the shipped loop pays for
+    being sampleable shows up as hooked-vs-detached overhead.
+    """
+    from ..machine.cpu import BudgetExhausted
+    from ..machine.syscalls import ExitProgram
+
     machine = Machine(module)
-    status = machine.cpu.run(module.entry, max_insts=_MAX_INSTS)
+    cpu = machine.cpu
+    index = cpu._index_of(module.entry)
+    dispatch = cpu._dispatch
+    code = cpu._code
+    stats = cpu.stats
+    fused_safe = _MAX_INSTS - cpu._max_fused
+    try:
+        while stats[1] <= fused_safe:
+            index = dispatch[index]()
+        while True:
+            index = code[index]()
+            if stats[1] > _MAX_INSTS:
+                raise BudgetExhausted("instruction budget exhausted",
+                                      cpu.text_base + 4 * index)
+    except ExitProgram as exc:
+        status = exc.status
     result = RunResult(
         status=status,
         stdout=bytes(machine.kernel.stdout),

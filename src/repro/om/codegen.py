@@ -20,7 +20,8 @@ from ..isa import encoding
 from ..isa.opcodes import Format
 from ..obs import TRACE
 from ..objfile.linker import apply_relocation
-from ..objfile.module import Module
+from ..objfile.module import (Module, PC_ATTR_GLUE, PC_ATTR_SAVE,
+                              PC_ATTR_SPLICE)
 from ..objfile.relocs import Relocation
 from ..objfile.sections import BSS, DATA, LITA, TEXT, Section
 from ..objfile.symtab import SymBind, SymKind, Symbol, SymbolTable
@@ -42,6 +43,8 @@ class EmitResult:
     inst_addr: dict[int, int] = field(default_factory=dict)
     #: new address -> original address, for instructions that existed
     pc_map: dict[int, int] = field(default_factory=dict)
+    #: new address -> PC_ATTR_* code, for instructions ATOM inserted
+    pc_attr: dict[int, int] = field(default_factory=dict)
     text_end: int = 0
 
 
@@ -175,6 +178,15 @@ def _emit(program: IRProgram, *,
         words += struct.pack("<I", encoding.encode(inst))
         if ir.orig_pc is not None:
             result.pc_map[pc] = ir.orig_pc
+        else:
+            # Inserted instruction: classify it so runtime profilers can
+            # bucket its cycles (save bracket / inlined splice / call glue).
+            if ir.origin is not None:
+                result.pc_attr[pc] = PC_ATTR_SPLICE
+            elif ir.snip is not None:
+                result.pc_attr[pc] = PC_ATTR_SAVE
+            else:
+                result.pc_attr[pc] = PC_ATTR_GLUE
         for rel in ir.relocs:
             new_relocs.append(Relocation(
                 section=TEXT, offset=pc - base, type=rel.type,
@@ -199,6 +211,7 @@ def _emit(program: IRProgram, *,
     out.symtab = symtab
     out.meta = dict(source.meta)
     out.pc_map = result.pc_map
+    out.pc_attr = result.pc_attr
 
     # Keep non-text relocations (data words, GOT slots) and the relocated
     # text ones, then re-resolve everything against the new symbol values.

@@ -20,7 +20,8 @@ def load(name: str):
 def test_examples_exist():
     names = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "cache_simulation.py",
-            "malloc_histogram.py", "tool_gallery.py"} <= names
+            "malloc_histogram.py", "tool_gallery.py",
+            "profiling_walkthrough.py"} <= names
 
 
 def test_quickstart_runs(capsys):
@@ -45,6 +46,14 @@ def test_cache_simulation_importable():
     module = load("cache_simulation")
     assert callable(module.main)
     assert "CacheInit" in module.CACHE_ANALYSIS
+
+
+def test_profiling_walkthrough_runs(capsys):
+    load("profiling_walkthrough").main()
+    out = capsys.readouterr().out
+    assert "pristine" in out
+    assert "splice" in out
+    assert "re-profiled O4 run identical: True" in out
 
 
 def test_tool_gallery_rejects_unknown(capsys):

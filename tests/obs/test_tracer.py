@@ -78,8 +78,33 @@ def test_counters_accumulate_and_histograms_collect(tracer):
 def test_hist_summary_percentiles():
     s = hist_summary(range(1, 11))
     assert s["count"] == 10 and s["min"] == 1 and s["max"] == 10
-    assert s["mean"] == 5.5 and s["p50"] == 5.5 and s["p90"] == 10
-    assert hist_summary([]) == {"count": 0}
+    # Nearest-rank p90 of ten values is the 9th, not the max (the old
+    # index was biased one rank high and pinned p90 to max for n <= 10).
+    assert s["mean"] == 5.5 and s["p50"] == 5.5 and s["p90"] == 9
+
+
+def test_hist_summary_empty_and_singleton_have_every_key():
+    keys = {"count", "min", "max", "mean", "p50", "p90"}
+    empty = hist_summary([])
+    assert set(empty) == keys
+    assert empty == {"count": 0, "min": 0, "max": 0, "mean": 0,
+                     "p50": 0, "p90": 0}
+    lone = hist_summary([42.0])
+    assert set(lone) == keys
+    assert lone == {"count": 1, "min": 42.0, "max": 42.0, "mean": 42.0,
+                    "p50": 42.0, "p90": 42.0}
+
+
+def test_percentile_nearest_rank():
+    from repro.obs import percentile
+    vs = list(range(1, 101))
+    assert percentile(vs, 0.50) == 50
+    assert percentile(vs, 0.90) == 90
+    assert percentile(vs, 0.999) == 100
+    assert percentile([7], 0.90) == 7
+    assert percentile([], 0.90) == 0
+    # q=0 clamps to the first rank rather than indexing off the front.
+    assert percentile(vs, 0.0) == 1
 
 
 # ---- snapshot / merge (the cross-process contract) ------------------------
@@ -102,6 +127,35 @@ def test_snapshot_merge_combines_worker_traces(tracer):
     assert tracer.counters["cache.hits"] == 3
     assert tracer.hists["ips"] == [100.0]
     tracer.merge({})                                 # tolerated
+
+
+def test_merge_overlapping_counter_and_hist_keys(tracer):
+    tracer.count("cache.hits", 10)
+    tracer.observe("ips", 100.0)
+    tracer.observe("latency", 5.0)
+    worker = Tracer()
+    worker.enable()
+    worker.count("cache.hits", 7)
+    worker.count("cache.misses", 2)
+    worker.observe("ips", 200.0)
+    worker.observe("ips", 300.0)
+    tracer.merge(worker.snapshot())
+    # Overlapping counters sum; overlapping hists concatenate in order;
+    # disjoint keys from either side survive untouched.
+    assert tracer.counters == {"cache.hits": 17, "cache.misses": 2}
+    assert tracer.hists["ips"] == [100.0, 200.0, 300.0]
+    assert tracer.hists["latency"] == [5.0]
+
+
+def test_instant_records_zero_duration_marker(tracer):
+    tracer.instant("heartbeat", "eval", task="t1", insts=500)
+    (ev,) = tracer.events
+    assert ev["name"] == "heartbeat" and ev["cat"] == "eval"
+    assert ev["dur_ns"] == 0
+    assert ev["args"] == {"task": "t1", "insts": 500}
+    off = Tracer()
+    off.instant("ignored")
+    assert off.events == []
 
 
 def test_reset_clears_and_owned_tracks_pid(tracer):
@@ -213,3 +267,56 @@ def test_cli_summary_and_convert(tmp_path, capsys):
     assert main(["convert", str(src), str(dst)]) == 0
     assert load_trace(dst)["counters"] == {"hits": 3}
     assert main(["summary", str(tmp_path / "missing.json")]) == 1
+
+
+def _top_snapshot():
+    """Spans with known totals, including an exact tie, plus ranked
+    counters/hists."""
+    return {
+        "events": [
+            {"name": "big", "cat": "a", "ts_ns": 0, "dur_ns": 300,
+             "pid": 1, "tid": 1, "args": {}},
+            {"name": "tie2", "cat": "a", "ts_ns": 0, "dur_ns": 100,
+             "pid": 1, "tid": 1, "args": {}},
+            {"name": "tie1", "cat": "a", "ts_ns": 0, "dur_ns": 100,
+             "pid": 1, "tid": 1, "args": {}},
+            {"name": "small", "cat": "a", "ts_ns": 0, "dur_ns": 10,
+             "pid": 1, "tid": 1, "args": {}},
+        ],
+        "counters": {"zeta": 5, "alpha": 5, "huge": 100},
+        "hists": {"busy": [1.0, 2.0, 3.0], "quiet": [9.0]},
+    }
+
+
+def test_span_rows_rank_by_total_with_label_tiebreak():
+    from repro.obs.cli import span_rows
+    labels = [label for label, _ in span_rows(_top_snapshot())]
+    # Equal totals (tie1/tie2) order by label, independent of event
+    # arrival order: tie2 arrived first but tie1 sorts first.
+    assert labels == ["a/big", "a/tie1", "a/tie2", "a/small"]
+
+
+def test_cli_summary_top_limits_and_is_deterministic(capsys):
+    from repro.obs.cli import summarize
+    summarize(_top_snapshot(), top=2)
+    out = capsys.readouterr().out
+    assert "a/big" in out and "a/tie1" in out
+    assert "a/tie2" not in out and "a/small" not in out
+    assert "... 2 more span group(s)" in out
+    # Counters rank by (-value, name): huge first, then the alpha/zeta
+    # tie alphabetically — alpha shown at top=2, zeta cut.
+    assert out.index("huge") < out.index("alpha")
+    assert "zeta" not in out
+    # Histograms rank by observation count.
+    assert "busy" in out and "quiet" in out
+
+
+def test_cli_summary_top_flag(tmp_path, capsys):
+    from repro.obs.cli import main
+    src = tmp_path / "trace.json"
+    write_chrome(_sample_snapshot(), src)
+    assert main(["summary", str(src), "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "... 1 more span group(s)" in out
+    with pytest.raises(SystemExit):
+        main(["summary", str(src), "--top", "0"])
