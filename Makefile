@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-bench check-matrix eval-matrix check-obs check-profile
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -27,6 +27,17 @@ bench-smoke:
 check-bench:
 	$(PYTHON) -m repro.perf.bench --out /tmp/bench_fresh.json
 	$(PYTHON) -m repro.perf.bench --compare BENCH_interp.json /tmp/bench_fresh.json
+
+# Region-JIT lane: the jit on/off differential suites (machine-level
+# state identity plus the end-to-end instrumented/profiled lane), then
+# the bench regression gate so a JIT throughput regression fails CI
+# (interpreter insts/sec gates only on same-host comparisons; the
+# deterministic cycle legs gate everywhere).
+check-jit:
+	$(PYTHON) -m pytest -q tests/machine/test_jit.py \
+	    tests/eval/test_jit_differential.py tests/machine/test_superblocks.py
+	$(PYTHON) -m repro.perf.bench --out /tmp/bench_jit.json
+	$(PYTHON) -m repro.perf.bench --compare BENCH_interp.json /tmp/bench_jit.json
 
 # Parallel conformance/differential matrix lane (pytest -m matrix).
 # Deterministically sharded: `make check-matrix SHARD=0 SHARDS=2` runs

@@ -148,7 +148,7 @@ def _instrument_from_payload(payload: bytes) -> InstrumentResult | None:
 
 
 def _checked_run(module: Module, *, stage: str, args, stdin,
-                 max_insts: int, fuse: bool = True,
+                 max_insts: int, fuse: bool = True, jit: bool = True,
                  sampler=None) -> RunResult:
     if not isinstance(max_insts, int) or max_insts <= 0:
         raise ValueError(
@@ -156,7 +156,7 @@ def _checked_run(module: Module, *, stage: str, args, stdin,
     try:
         with TRACE.span(f"interpret.{stage}", "interpret") as sp:
             result = run_module(module, args=tuple(args), stdin=stdin,
-                                max_insts=max_insts, fuse=fuse,
+                                max_insts=max_insts, fuse=fuse, jit=jit,
                                 sampler=sampler)
             sp.add(insts=result.inst_count, cycles=result.cycles,
                    status=result.status)
@@ -169,14 +169,17 @@ def _checked_run(module: Module, *, stage: str, args, stdin,
 
 def run_uninstrumented(app: Module, *, args=(), stdin=b"",
                        max_insts: int = 500_000_000,
-                       fuse: bool = True, sampler=None) -> RunResult:
+                       fuse: bool = True, jit: bool = True,
+                       sampler=None) -> RunResult:
     return _checked_run(app, stage="base", args=args, stdin=stdin,
-                        max_insts=max_insts, fuse=fuse, sampler=sampler)
+                        max_insts=max_insts, fuse=fuse, jit=jit,
+                        sampler=sampler)
 
 
 def run_instrumented(result: InstrumentResult, *, args=(), stdin=b"",
                      max_insts: int = 2_000_000_000,
-                     fuse: bool = True, sampler=None) -> RunResult:
+                     fuse: bool = True, jit: bool = True,
+                     sampler=None) -> RunResult:
     return _checked_run(result.module, stage="instrumented", args=args,
                         stdin=stdin, max_insts=max_insts, fuse=fuse,
-                        sampler=sampler)
+                        jit=jit, sampler=sampler)

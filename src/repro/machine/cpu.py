@@ -26,6 +26,16 @@ all — the classic threaded-code-to-template-JIT step.  Compilation is
 lazy (a counting trampoline compiles a superblock on its second entry),
 so cold startup code never pays the compile cost.
 
+Above fusion sits the region JIT (:mod:`repro.machine.jit`, ``jit=``):
+superblock heads that stay hot past a threshold are recompiled together
+with their successor blocks into one multi-block Python function that
+keeps register state in locals and loops entirely inside compiled code,
+side-exiting back to this dispatch loop at region boundaries.  The JIT
+honours ``_jit_limit`` (a one-element fuel list set by :meth:`run` and
+:meth:`_run_sampled`): a region never pushes ``stats[1]`` past the
+current limit, which is how both the instruction budget and the
+deterministic sampling boundaries survive multi-block execution.
+
 This simulator is the reproduction's stand-in for Alpha silicon.  ATOM
 itself uses *no* simulation — the instrumented executable is ordinary
 machine code that runs here natively, analysis routines and all.
@@ -86,7 +96,7 @@ class Cpu:
 
     def __init__(self, memory: Memory, kernel: Kernel, text_base: int,
                  text: bytes, cost_model: CostModel = DEFAULT,
-                 fuse: bool = True):
+                 fuse: bool = True, jit: bool = True):
         self.memory = memory
         self.kernel = kernel
         self.text_base = text_base
@@ -94,6 +104,12 @@ class Cpu:
         #: stats[0] = cycles, stats[1] = instructions executed
         self.stats = [0, 0]
         self.fused = fuse
+        #: Region-JIT manager (None when jit or fuse is off).
+        self.jit = None
+        #: Fuel ceiling for JIT'd regions: a region returns before
+        #: stats[1] would exceed ``_jit_limit[0]``.  One-element list so
+        #: generated code can share it by reference.
+        self._jit_limit = [0]
         #: Fusion bookkeeping the observability layer reads per run:
         #: runs found at decode, fused executors actually compiled, and
         #: compiles served from the shared source cache.  Plain integer
@@ -109,6 +125,9 @@ class Cpu:
                       for i, inst in enumerate(self._insts)]
         if fuse:
             self._dispatch, self._max_fused = self._build_superblocks()
+            if jit:
+                from .jit import JitManager
+                self.jit = JitManager(self)
         else:
             self._dispatch, self._max_fused = self._code, 1
 
@@ -121,6 +140,10 @@ class Cpu:
     @property
     def inst_count(self) -> int:
         return self.stats[1]
+
+    def jit_stats(self) -> dict | None:
+        """Region-JIT cache counters for this Cpu (None when jit off)."""
+        return self.jit.stats() if self.jit is not None else None
 
     def run(self, entry: int, max_insts: int = 2_000_000_000,
             sampler=None) -> int:
@@ -139,6 +162,8 @@ class Cpu:
         dispatch = self._dispatch
         code = self._code
         stats = self.stats
+        # JIT'd regions meter themselves against the budget directly.
+        self._jit_limit[0] = max_insts
         # While at least ``_max_fused`` instructions of budget remain, no
         # single dispatch — superblock or not — can push stats[1] past
         # max_insts, so the fast loop needs only one check per dispatch.
@@ -147,15 +172,21 @@ class Cpu:
             while stats[1] <= fused_safe:
                 index = dispatch[index]()
             # Budget nearly exhausted: finish per-instruction so the
-            # budget is charged (and checked) one instruction at a time.
+            # budget is checked *before* each instruction — exactly
+            # ``max_insts`` retire, never one more.
             while True:
-                index = code[index]()
-                if stats[1] > max_insts:
+                if stats[1] >= max_insts:
                     raise BudgetExhausted("instruction budget exhausted",
                                           self.text_base + 4 * index)
+                index = code[index]()
         except ExitProgram as exc:
             return exc.status
         except IndexError:
+            # Only a dispatch-table lookup can raise this for us; an
+            # IndexError out of a handler body (in-bounds ``index``) is a
+            # simulator bug and must keep its real traceback.
+            if 0 <= index < len(code):
+                raise
             raise MachineError("control left the text segment",
                                self.text_base + 4 * index) from None
         except MemoryFault as exc:
@@ -196,6 +227,10 @@ class Cpu:
                 leave = sampler.leave
                 while True:
                     while stats[1] < next_at:
+                        if stats[1] >= max_insts:
+                            raise BudgetExhausted(
+                                "instruction budget exhausted",
+                                self.text_base + 4 * index)
                         prev = index
                         index = code[prev]()
                         k = ctl[prev]
@@ -204,22 +239,23 @@ class Cpu:
                                 enter(prev, index)
                             else:
                                 leave(index)
-                        if stats[1] > max_insts:
-                            raise BudgetExhausted(
-                                "instruction budget exhausted",
-                                self.text_base + 4 * index)
                     sample(prev)
                     next_at += interval
+            jit_limit = self._jit_limit
             while True:
-                fast_limit = min(next_at, budget_cap) - max_fused
+                limit = next_at if next_at < budget_cap else budget_cap
+                # Regions stop strictly short of the boundary (and the
+                # budget), so the slow loop below always lands on it.
+                jit_limit[0] = limit - 1
+                fast_limit = limit - max_fused
                 while stats[1] < fast_limit:
                     index = dispatch[index]()
                 while stats[1] < next_at:
-                    prev = index
-                    index = code[prev]()
-                    if stats[1] > max_insts:
+                    if stats[1] >= max_insts:
                         raise BudgetExhausted("instruction budget exhausted",
                                               self.text_base + 4 * index)
+                    prev = index
+                    index = code[prev]()
                 sample(prev)
                 next_at += interval
         except ExitProgram as exc:
@@ -231,6 +267,8 @@ class Cpu:
                 sample(prev)
             return exc.status
         except IndexError:
+            if 0 <= index < len(code):
+                raise
             raise MachineError("control left the text segment",
                                self.text_base + 4 * index) from None
         except MemoryFault as exc:
@@ -328,19 +366,25 @@ class Cpu:
             nonlocal cold
             if cold:
                 cold = False
-                code = self._code
-                i = start
-                try:
-                    while i < end:
-                        i = code[i]()
-                except MemoryFault as exc:
-                    raise MachineError(str(exc),
-                                       self.text_base + 4 * i) from None
-                return code[term]() if term is not None else i
+                return self._step_run(start, end, term)
             fused = self._fuse(start, end, term)
             self._dispatch[start] = fused
             return fused()
         return trampoline
+
+    def _step_run(self, start: int, end: int, term: int | None) -> int:
+        """Execute run ``[start, end)`` (+ terminator) on the ordinary
+        per-instruction closures; the cold path under both the lazy
+        fusion trampoline and the JIT's hotness counters."""
+        code = self._code
+        i = start
+        try:
+            while i < end:
+                i = code[i]()
+        except MemoryFault as exc:
+            raise MachineError(str(exc),
+                               self.text_base + 4 * i) from None
+        return code[term]() if term is not None else i
 
     def _fuse(self, start: int, end: int, term: int | None):
         """Compile insts [start, end) (+ terminator) into one function.

@@ -38,6 +38,9 @@ class RunResult:
     #: Addresses a test may want to compare across runs.
     heap_base: int = 0
     initial_sp: int = 0
+    #: Region-JIT cache counters (None when the JIT is off).  Excluded
+    #: from equality: cache behaviour is not architectural state.
+    jit_stats: dict | None = field(default=None, compare=False)
 
     def output_text(self) -> str:
         return self.stdout.decode("utf-8", "replace")
@@ -59,6 +62,9 @@ class Machine:
     #: Superblock fusion in the interpreter (architecturally invisible;
     #: disable to A/B the per-instruction dispatch loop).
     fuse: bool = True
+    #: Region JIT above fusion (also architecturally invisible; disable
+    #: to A/B hot-path compilation).  Requires ``fuse``.
+    jit: bool = True
 
     def __post_init__(self) -> None:
         if not self.module.linked:
@@ -69,7 +75,8 @@ class Machine:
             self.kernel.files[name] = bytearray(content)
         self._load_segments()
         self.cpu = Cpu(self.memory, self.kernel, self._text_vaddr,
-                       self._text_bytes, self.cost_model, fuse=self.fuse)
+                       self._text_bytes, self.cost_model, fuse=self.fuse,
+                       jit=self.jit)
         self._setup_stack()
 
     # ---- loading ----------------------------------------------------------
@@ -166,6 +173,7 @@ class Machine:
             inst_count=self.cpu.inst_count,
             heap_base=self.heap_base,
             initial_sp=self.initial_sp,
+            jit_stats=self.cpu.jit_stats(),
         )
 
 
@@ -181,6 +189,12 @@ def _note_run(cpu: Cpu, status: int, wall_ns: int, sp) -> None:
     TRACE.count("cpu.superblocks", cpu.sb_runs)
     TRACE.count("cpu.superblocks_compiled", cpu.sb_compiled)
     TRACE.count("cpu.sb_cache_hits", cpu.sb_cache_hits)
+    if cpu.jit is not None:
+        jstats = cpu.jit.stats()
+        sp.add(jit_regions=jstats["jit_regions"])
+        TRACE.count("cpu.jit_regions", jstats["jit_regions"])
+        TRACE.count("cpu.jit_evictions", jstats["jit_evictions"])
+        TRACE.count("cpu.jit_denied", jstats["jit_denied"])
     if wall_ns > 0 and insts:
         TRACE.observe("machine.insts_per_sec", insts * 1e9 / wall_ns)
 
@@ -190,10 +204,11 @@ def run_module(module: Module, *, stdin: bytes = b"",
                cost_model: CostModel | None = None,
                preload_files: dict[str, bytes] | None = None,
                max_insts: int = 2_000_000_000,
-               fuse: bool = True, sampler=None) -> RunResult:
+               fuse: bool = True, jit: bool = True,
+               sampler=None) -> RunResult:
     """Convenience: load and run an executable module in one call."""
     machine = Machine(module, stdin=stdin, args=args,
                       cost_model=cost_model or DEFAULT,
                       preload_files=preload_files or {},
-                      fuse=fuse)
+                      fuse=fuse, jit=jit)
     return machine.run(max_insts=max_insts, sampler=sampler)

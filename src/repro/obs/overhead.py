@@ -71,15 +71,16 @@ def _run_detached(module) -> int:
     dispatch = cpu._dispatch
     code = cpu._code
     stats = cpu.stats
+    cpu._jit_limit[0] = _MAX_INSTS
     fused_safe = _MAX_INSTS - cpu._max_fused
     try:
         while stats[1] <= fused_safe:
             index = dispatch[index]()
         while True:
-            index = code[index]()
-            if stats[1] > _MAX_INSTS:
+            if stats[1] >= _MAX_INSTS:
                 raise BudgetExhausted("instruction budget exhausted",
                                       cpu.text_base + 4 * index)
+            index = code[index]()
     except ExitProgram as exc:
         status = exc.status
     result = RunResult(
@@ -160,7 +161,7 @@ def _baseline_ips() -> dict[str, int]:
         return {}
     if not report:
         return {}
-    return {name: row["fused_ips"]
+    return {name: row.get("jit_ips") or row["fused_ips"]
             for name, row in report["interpreter"].items()}
 
 

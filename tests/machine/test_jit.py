@@ -1,0 +1,307 @@
+"""The region JIT must be architecturally invisible.
+
+Every test runs the same program with jit on and off (and usually the
+plain per-instruction loop too) and insists on identical observable
+state — registers, stats, memory, exit status, faults and fault pcs —
+with the loops hot enough that regions actually get promoted past
+:data:`repro.machine.jit.JIT_THRESHOLD` and the compiled code, not the
+counter warm path, is what gets compared.  The dispatch-loop error
+paths fixed alongside the JIT (budget off-by-one, IndexError masking)
+are pinned here as well.
+"""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.machine import MachineError
+from repro.machine.jit import JIT_THRESHOLD
+from repro.machine.loader import Machine
+
+HOT = 8 * JIT_THRESHOLD
+
+
+def build(body: str):
+    src = f"""
+        .text
+        .globl __start
+__start:
+        ldgp
+{body}
+        mov  t9, a0
+        li   v0, 1
+        sys
+"""
+    from repro.objfile.linker import link
+    return link([assemble(src, "t.s")])
+
+
+def machine_state(machine: Machine):
+    pages = {no: bytes(page)
+             for no, page in machine.memory._pages.items() if any(page)}
+    return (list(machine.cpu.regs), list(machine.cpu.stats), pages)
+
+
+#: Hot loop bodies: memory traffic through stack slots (slot hoisting
+#: and store-to-load forwarding), sub-word accesses, calls and returns
+#: (dynamic re-entry through the label map), and a multi-block loop.
+JIT_PROGRAMS = {
+    "stack-slots": f"""
+        lda  sp, -64(sp)
+        li   t0, {HOT}
+        clr  t9
+loop:   stq  t0, 0(sp)
+        ldq  t1, 0(sp)
+        stl  t0, 8(sp)
+        ldl  t2, 8(sp)
+        stw  t0, 16(sp)
+        ldwu t3, 16(sp)
+        stb  t0, 24(sp)
+        ldbu t4, 24(sp)
+        addq t9, t1, t9
+        addq t9, t4, t9
+        subq t0, 1, t0
+        bne  t0, loop
+        and  t9, 0xff, t9
+""",
+    "call-return": f"""
+        li   s0, {HOT}
+        clr  t9
+loop:   mov  s0, a0
+        bsr  ra, double
+        addq t9, v0, t9
+        subq s0, 1, s0
+        bne  s0, loop
+        and  t9, 0xff, t9
+        br   done
+double: addq a0, a0, v0
+        ret  (ra)
+done:
+""",
+    "nested-loops": f"""
+        li   s0, {JIT_THRESHOLD * 3}
+        clr  t9
+outer:  li   t0, 10
+inner:  addq t9, t0, t9
+        subq t0, 1, t0
+        bgt  t0, inner
+        subq s0, 1, s0
+        bgt  s0, outer
+        and  t9, 0xff, t9
+""",
+    "frame-adjust": f"""
+        li   s0, {HOT}
+        clr  t9
+loop:   lda  sp, -32(sp)
+        stq  s0, 0(sp)
+        ldq  t1, 0(sp)
+        addq t9, t1, t9
+        lda  sp, 32(sp)
+        subq s0, 1, s0
+        bne  s0, loop
+        and  t9, 0xff, t9
+""",
+}
+
+
+def run_three(body: str, max_insts: int = 2_000_000_000):
+    """{(fuse, jit): (RunResult, state)} over all three dispatch paths."""
+    out = {}
+    for fuse, jit in ((True, True), (True, False), (False, False)):
+        machine = Machine(build(body), fuse=fuse, jit=jit)
+        result = machine.run(max_insts=max_insts)
+        out[(fuse, jit)] = (result, machine_state(machine))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(JIT_PROGRAMS))
+def test_jit_state_bit_identical(name):
+    results = run_three(JIT_PROGRAMS[name])
+    jit_result, jit_state = results[(True, True)]
+    for other in ((True, False), (False, False)):
+        result, state = results[other]
+        assert jit_result.status == result.status
+        assert jit_result.cycles == result.cycles
+        assert jit_result.inst_count == result.inst_count
+        assert jit_state == state
+
+
+def test_hot_loops_actually_promote():
+    machine = Machine(build(JIT_PROGRAMS["stack-slots"]), jit=True)
+    machine.run()
+    stats = machine.cpu.jit_stats()
+    assert stats["jit_regions"] >= 1
+    assert stats["jit_resident"] >= 1
+
+
+def test_jit_stats_none_when_disabled():
+    machine = Machine(build(JIT_PROGRAMS["stack-slots"]), jit=False)
+    machine.run()
+    assert machine.cpu.jit_stats() is None
+
+
+def test_memory_fault_pc_identical_in_jit_region():
+    # poke stays hot on a valid address long enough to be promoted,
+    # then faults inside the *compiled region* on the last call.
+    body = f"""
+        lda  sp, -16(sp)
+        li   s0, {HOT}
+        clr  t9
+loop:   mov  sp, a0
+        bsr  ra, poke
+        subq s0, 1, s0
+        bne  s0, loop
+        li   a0, 0x90000000
+        bsr  ra, poke
+        br   done
+poke:   stq  zero, 0(a0)
+        ret  (ra)
+done:
+"""
+    outcomes = []
+    for jit in (True, False):
+        machine = Machine(build(body), jit=jit)
+        with pytest.raises(MachineError) as excinfo:
+            machine.run()
+        assert excinfo.value.pc is not None
+        outcomes.append((str(excinfo.value), machine_state(machine)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_divide_fault_identical_in_jit_region():
+    body = f"""
+        li   s0, {HOT}
+        li   a0, 4
+        clr  t9
+loop:   bsr  ra, dodiv
+        subq s0, 1, s0
+        bne  s0, loop
+        clr  a0
+        bsr  ra, dodiv
+        br   done
+dodiv:  li   t0, 100
+        divq t0, a0, t1
+        ret  (ra)
+done:
+"""
+    outcomes = []
+    for jit in (True, False):
+        machine = Machine(build(body), jit=jit)
+        with pytest.raises(MachineError, match="division by zero") as ei:
+            machine.run()
+        assert ei.value.pc is not None
+        outcomes.append((str(ei.value), machine_state(machine)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_cache_eviction_stress():
+    # Many distinct hot loops with a cache that holds only two regions:
+    # every promotion past the cap evicts the oldest, the evicted head
+    # re-promotes when it gets hot again, and none of it may change
+    # architectural state.  The loops are separated by branch chains
+    # longer than one region's block budget so each loop promotes as
+    # its own region rather than all landing in the first one.
+    from repro.machine.jit import MAX_BLOCKS
+    pieces = []
+    for k in range(6):
+        pieces.append(f"""        li   t0, {HOT}
+l{k}:     addq t9, {k + 1}, t9
+        subq t0, 1, t0
+        bne  t0, l{k}""")
+        pieces.extend(f"s{k}_{j}: br s{k}_{j + 1}"
+                      for j in range(MAX_BLOCKS + 2))
+        pieces.append(f"s{k}_{MAX_BLOCKS + 2}:")
+    body = "\n".join(pieces) + "\n        and  t9, 0xff, t9\n"
+    baseline = Machine(build(body), jit=False)
+    base_result = baseline.run()
+
+    machine = Machine(build(body), jit=True)
+    machine.cpu.jit.cache_cap = 2
+    result = machine.run()
+    stats = machine.cpu.jit_stats()
+    assert stats["jit_evictions"] > 0
+    assert stats["jit_resident"] <= 2
+    assert (result.status, result.cycles, result.inst_count) == \
+        (base_result.status, base_result.cycles, base_result.inst_count)
+    assert machine_state(machine) == machine_state(baseline)
+
+
+def test_invalidation_hooks():
+    machine = Machine(build(JIT_PROGRAMS["stack-slots"]), jit=True)
+    machine.run()
+    jm = machine.cpu.jit
+    before = jm.stats()["jit_resident"]
+    assert before >= 1
+    jm.invalidate_all()
+    after = jm.stats()
+    assert after["jit_resident"] == 0
+    assert after["jit_invalidations"] >= before
+
+
+def test_invalidate_range_is_selective():
+    machine = Machine(build(JIT_PROGRAMS["stack-slots"]), jit=True)
+    machine.run()
+    jm = machine.cpu.jit
+    regions = list(jm._installed.values())
+    assert regions
+    # A range that overlaps no region must invalidate nothing.
+    past_end = max(r.hi for r in regions) + 100
+    jm.invalidate(past_end, past_end + 10)
+    assert jm.stats()["jit_resident"] == len(regions)
+    # A range covering the first region's head must drop (at least) it.
+    victim = regions[0]
+    jm.invalidate(victim.head, victim.head + 1)
+    assert jm.stats()["jit_resident"] < len(regions)
+
+
+def test_handler_internal_indexerror_propagates():
+    # An IndexError raised *inside* a handler body is a simulator bug
+    # and must surface with its real traceback, not be masked as
+    # "control left the text segment" by the dispatch loop's guard.
+    for fuse in (True, False):
+        machine = Machine(build("        addq t9, 1, t9"), fuse=fuse)
+        cpu = machine.cpu
+        index = cpu._index_of(machine.module.entry)
+
+        def buggy():
+            raise IndexError("handler bug, not a control-flow exit")
+
+        cpu._code[index] = buggy
+        cpu._dispatch[index] = buggy
+        with pytest.raises(IndexError, match="handler bug"):
+            machine.run()
+
+
+def test_control_past_text_end_still_reported():
+    # The guard the IndexError catch exists for: control falling past
+    # the end of text (a module with no exit syscall) must still
+    # surface as the control-left-text fault, not a raw IndexError.
+    src = """
+        .text
+        .globl __start
+__start:
+        addq t9, 1, t9
+        addq t9, 1, t9
+"""
+    from repro.objfile.linker import link
+    module = link([assemble(src, "t.s")])
+    for fuse in (True, False):
+        machine = Machine(module, fuse=fuse)
+        with pytest.raises(MachineError,
+                           match="control left the text segment"):
+            machine.run()
+
+
+def test_sampled_profile_identical_with_jit():
+    # The deterministic PC sampler must land on exact instruction
+    # boundaries with the JIT engaged: the sampled stream is a pure
+    # function of (text, entry, interval).
+    from repro.obs.runtime import PcSampler
+    samples = {}
+    for jit in (True, False):
+        machine = Machine(build(JIT_PROGRAMS["nested-loops"]), jit=jit)
+        sampler = PcSampler(interval=7)
+        machine.run(sampler=sampler)
+        samples[jit] = (dict(sampler.counts),
+                        dict(sampler.cycle_counts))
+    assert samples[True] == samples[False]
+    assert samples[True][0], "sampler collected nothing"

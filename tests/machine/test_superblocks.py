@@ -177,17 +177,27 @@ def test_branch_targets_split_runs():
         assert (end - start) + (term is not None) >= 2
 
 
-def test_instruction_budget_exact_in_both_modes():
+def test_instruction_budget_exact_in_all_modes():
     # A long straight-line loop body: a naive fused charge would blow
-    # straight past the budget mid-superblock.
+    # straight past the budget mid-superblock, and the historical
+    # per-instruction tail retired one instruction *past* the budget
+    # before raising.  Exactly N instructions must retire — no more —
+    # on all three dispatch paths, with identical machine state.
     body = "loop: " + "\n      ".join(["addq t0, 1, t0"] * 30) + \
            "\n      br loop"
-    for fuse in (True, False):
-        machine = Machine(build(body), fuse=fuse)
-        with pytest.raises(MachineError, match="budget"):
-            machine.run(max_insts=100)
-        assert machine.cpu.inst_count == 101, \
-            f"budget overshot with fuse={fuse}"
+    # 100 exhausts before the JIT threshold; 2000 exhausts well after
+    # the hot loop has been promoted into a compiled region.
+    for budget in (100, 2000):
+        states = {}
+        for fuse, jit in ((False, False), (True, False), (True, True)):
+            machine = Machine(build(body), fuse=fuse, jit=jit)
+            with pytest.raises(MachineError, match="budget"):
+                machine.run(max_insts=budget)
+            assert machine.cpu.inst_count == budget, \
+                f"budget overshot with fuse={fuse} jit={jit}"
+            states[(fuse, jit)] = machine_state(machine)
+        assert states[(False, False)] == states[(True, False)] \
+            == states[(True, True)]
 
 
 def test_memory_fault_pc_identical_in_fused_block():
