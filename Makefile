@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz fuzz-corpus
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -74,6 +74,29 @@ check-profile:
 	$(PYTHON) -m repro.obs.cli profile $(PROFILE_DIR)/profile.json --top 5
 	$(PYTHON) -m repro.obs.annotate $(PROFILE_DIR)/module.wof \
 	    $(PROFILE_DIR)/profile.json -o $(PROFILE_DIR)/annotated-cli.txt
+
+# Fuzz lane: the deep pytest suite (generator/reducer/matrix/corpus,
+# `-m fuzz`), then a fixed-seed wrl-fuzz smoke over fresh programs under
+# a hard time budget.  A divergence writes a reduced repro program to
+# FUZZ_DIR (uploaded as a CI artifact) and fails the lane.  The deep
+# lane is tunable without code changes: make check-fuzz FUZZ_SEED=100
+# FUZZ_COUNT=50 FUZZ_BUDGET=600.
+FUZZ_DIR ?= /tmp/wrl-fuzz
+FUZZ_SEED ?= 0
+FUZZ_COUNT ?= 8
+FUZZ_BUDGET ?= 60
+check-fuzz:
+	$(PYTHON) -m pytest -q -m fuzz tests/fuzz
+	$(PYTHON) -m repro.eval.fuzz_matrix --seed $(FUZZ_SEED) \
+	    --count $(FUZZ_COUNT) --time-budget $(FUZZ_BUDGET) \
+	    --jobs 2 --out $(FUZZ_DIR)
+
+# Regenerate the committed seed corpus (policy in DESIGN.md): only when
+# the generator's output changes deliberately, never to paper over a
+# divergence.
+fuzz-corpus:
+	$(PYTHON) -m repro.mlc.fuzz --seed 0 --count 25 \
+	    --out-dir tests/fuzz/corpus
 
 validate-baseline:
 	$(PYTHON) -c "import json, sys; \

@@ -1,0 +1,270 @@
+"""Structural test-case reduction for MLC sources.
+
+Given a program and a predicate ("does this source still show the
+failure?"), :func:`reduce_source` shrinks the program while keeping the
+predicate true.  It never needs to understand MLC semantics: every
+candidate edit is validated by re-running the predicate, which is
+expected to treat non-compiling sources as "not failing" (see
+:func:`checked_predicate`), so an edit that breaks a later use of a
+deleted declaration is simply rejected.
+
+The candidate edits, tried largest-first and re-derived after every
+accepted edit:
+
+* delete a whole top-level declaration or function definition;
+* delete one statement (brace-aware: ``if``/``else`` chains, loop
+  bodies, ``do … while (…);`` tails are treated as one span);
+* unwrap a compound statement — replace ``if (…) { body }`` /
+  ``for (…) { body }`` / ``while (…) { body }`` with just ``body``;
+* finally, delete single lines and collapse blank lines as polish.
+
+This is deliberately text-based rather than AST-based so it can shrink
+*any* reproduction — including hand-written programs and sources a
+miscompiling toolchain rejects from round-tripping through the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+Predicate = Callable[[str], bool]
+
+_STRUCT_KEYWORDS = ("if", "for", "while", "do", "switch")
+
+
+def _mask_literals(source: str) -> str:
+    """Same-length copy with string/char contents and comments blanked,
+    so brace/paren/semicolon scanning cannot be fooled by literals."""
+    out = list(source)
+    i, n = 0, len(source)
+    while i < n:
+        c = source[i]
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            j = i
+            while j < n and source[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    out[j] = "x"
+                    if j + 1 < n:
+                        out[j + 1] = "x"
+                    j += 2
+                    continue
+                if source[j] == quote:
+                    break
+                out[j] = "x" if source[j] != "\n" else "\n"
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def _skip_ws(text: str, i: int) -> int:
+    while i < len(text) and text[i].isspace():
+        i += 1
+    return i
+
+
+def _match(text: str, i: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the group closing the ``open_ch`` at ``i``."""
+    assert text[i] == open_ch
+    depth = 0
+    for j in range(i, len(text)):
+        if text[j] == open_ch:
+            depth += 1
+        elif text[j] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(text)
+
+
+def _word_at(text: str, i: int) -> str:
+    j = i
+    while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+        j += 1
+    return text[i:j]
+
+
+def _stmt_end(masked: str, i: int) -> int:
+    """End (exclusive) of the statement starting at ``i``.
+
+    Handles ``if``/``else`` chains, loops with brace or single-statement
+    bodies, ``do … while (…);``, ``switch``, plain ``…;`` statements and
+    bare ``{…}`` blocks.
+    """
+    n = len(masked)
+    i = _skip_ws(masked, i)
+    if i >= n:
+        return n
+    if masked[i] == "{":
+        return _match(masked, i, "{", "}")
+    word = _word_at(masked, i)
+    if word in ("case", "default"):
+        # labels are glued to their statement list by the span scanner;
+        # treat just the label as the span
+        j = masked.find(":", i)
+        return (j + 1) if j != -1 else n
+    if word == "do":
+        j = _stmt_end(masked, _skip_ws(masked, i + 2))
+        j = _skip_ws(masked, j)
+        if masked[j:j + 5] == "while":
+            j = _match(masked, masked.index("(", j), "(", ")")
+            j = _skip_ws(masked, j)
+            if j < n and masked[j] == ";":
+                j += 1
+        return j
+    if word in ("if", "for", "while", "switch"):
+        j = masked.index("(", i)
+        j = _match(masked, j, "(", ")")
+        j = _stmt_end(masked, j)
+        k = _skip_ws(masked, j)
+        if word == "if" and masked[k:k + 4] == "else" and \
+                not (masked[k + 4:k + 5].isalnum() or
+                     masked[k + 4:k + 5] == "_"):
+            return _stmt_end(masked, k + 4)
+        return j
+    # plain statement / declaration: to the ; at paren/brace depth 0
+    paren = brace = 0
+    for j in range(i, n):
+        c = masked[j]
+        if c == "(":
+            paren += 1
+        elif c == ")":
+            paren -= 1
+        elif c == "{":
+            brace += 1
+        elif c == "}":
+            if brace == 0:
+                return j          # ran off the enclosing block
+            brace -= 1
+        elif c == ";" and paren == 0 and brace == 0:
+            return j + 1
+    return n
+
+
+def _spans(source: str) -> list[tuple[int, int, str]]:
+    """All candidate edits as ``(start, end, replacement)`` triples."""
+    masked = _mask_literals(source)
+    n = len(masked)
+    edits: list[tuple[int, int, str]] = []
+
+    def statements(lo: int, hi: int) -> None:
+        i = _skip_ws(masked, lo)
+        while i < hi:
+            end = min(_stmt_end(masked, i), hi)
+            if end <= i:
+                break
+            text = masked[i:end]
+            word = _word_at(masked, i)
+            if word not in ("case", "default"):
+                edits.append((i, end, ""))                    # delete
+            brace = text.find("{")
+            if brace != -1 and word in _STRUCT_KEYWORDS:
+                inner_end = _match(masked, i + brace, "{", "}")
+                edits.append((i, end,
+                              source[i + brace + 1:inner_end - 1]))  # unwrap
+            if brace != -1:
+                statements(i + brace + 1,
+                           _match(masked, i + brace, "{", "}") - 1)
+            i = _skip_ws(masked, end)
+
+    # top level: declarations and function definitions
+    i = _skip_ws(masked, 0)
+    while i < n:
+        semi = masked.find(";", i)
+        brace = masked.find("{", i)
+        if semi == -1 and brace == -1:
+            break
+        if brace != -1 and (semi == -1 or brace < semi):
+            end = _match(masked, brace, "{", "}")
+            edits.append((i, end, ""))
+            statements(brace + 1, end - 1)
+        else:
+            end = semi + 1
+            edits.append((i, end, ""))
+        i = _skip_ws(masked, end)
+    return edits
+
+
+def _tidy(source: str) -> str:
+    lines = [ln.rstrip() for ln in source.splitlines() if ln.strip()]
+    return "\n".join(lines) + "\n"
+
+
+def checked_predicate(compile_fn: Callable[[str], object],
+                      failing: Predicate) -> Predicate:
+    """Wrap ``failing`` so sources that no longer compile are rejected
+    (the reducer's contract).  ``compile_fn`` must raise on error."""
+    def predicate(source: str) -> bool:
+        try:
+            compile_fn(source)
+        except Exception:
+            return False
+        return failing(source)
+    return predicate
+
+
+def reduce_source(source: str, still_failing: Predicate, *,
+                  max_rounds: int = 40,
+                  progress: Callable[[str], None] | None = None) -> str:
+    """Shrink ``source`` while ``still_failing`` stays true.
+
+    ``still_failing`` must already include validity checking (use
+    :func:`checked_predicate`); it is assumed true for ``source``
+    itself.  Results are cached by text, so re-deriving candidate spans
+    after each accepted edit never re-runs the predicate on a text it
+    has already judged.
+    """
+    cache: dict[str, bool] = {source: True}
+
+    def check(text: str) -> bool:
+        if text not in cache:
+            cache[text] = still_failing(text)
+        return cache[text]
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    current = source
+    for round_no in range(max_rounds):
+        changed = False
+        # largest-first structural edits, rescanned after every success
+        while True:
+            candidates = sorted(_spans(current),
+                                key=lambda e: e[1] - e[0] - len(e[2]),
+                                reverse=True)
+            for start, end, repl in candidates:
+                trial = current[:start] + repl + current[end:]
+                if trial != current and check(trial):
+                    current = trial
+                    changed = True
+                    note(f"round {round_no}: "
+                         f"{len(current.splitlines())} lines")
+                    break
+            else:
+                break
+        # line-deletion polish
+        lines = current.splitlines(keepends=True)
+        k = 0
+        while k < len(lines):
+            trial = "".join(lines[:k] + lines[k + 1:])
+            if lines[k].strip() and check(trial):
+                lines.pop(k)
+                current = trial
+                changed = True
+            else:
+                k += 1
+        if not changed:
+            break
+    tidied = _tidy(current)
+    if tidied != current and check(tidied):
+        current = tidied
+    return current

@@ -22,6 +22,8 @@ from repro.obs.runtime import PcSampler, profile_doc
 
 from ..atom.test_o4_hypothesis import analysis_bodies, analysis_source
 
+pytestmark = pytest.mark.jit
+
 #: mlc-compiled example programs: loops hot enough to promote regions,
 #: function calls (dynamic re-entry), arrays, strings and file output.
 EXAMPLE_PROGRAMS = {

@@ -17,6 +17,8 @@ from repro.machine import MachineError
 from repro.machine.jit import JIT_THRESHOLD
 from repro.machine.loader import Machine
 
+pytestmark = pytest.mark.jit
+
 HOT = 8 * JIT_THRESHOLD
 
 
@@ -251,6 +253,128 @@ def test_invalidate_range_is_selective():
     victim = regions[0]
     jm.invalidate(victim.head, victim.head + 1)
     assert jm.stats()["jit_resident"] < len(regions)
+
+
+def chain(tag: str, blocks: int) -> str:
+    """A branch chain longer than one region's block budget, so the
+    loops on either side can never land in the same region."""
+    lines = [f"{tag}_{j}: br {tag}_{j + 1}" for j in range(blocks)]
+    return "\n".join(lines + [f"{tag}_{blocks}:"])
+
+
+def test_cache_cap_one_eviction_churn():
+    # Two hot loops alternating inside an outer loop with a one-slot
+    # cache: every outer iteration promotes each loop anew, evicting
+    # the other — maximal churn, every promotion a re-promotion of a
+    # previously evicted head.  State must stay bit-identical.
+    from repro.machine.jit import MAX_BLOCKS
+    outer = 6
+    body = f"""
+        li   s5, {outer}
+        clr  t9
+outer:  li   t0, {HOT}
+lA:     addq t9, 1, t9
+        subq t0, 1, t0
+        bne  t0, lA
+{chain('sa', MAX_BLOCKS + 2)}
+        li   t1, {HOT}
+lB:     addq t9, 2, t9
+        subq t1, 1, t1
+        bne  t1, lB
+{chain('sb', MAX_BLOCKS + 2)}
+        subq s5, 1, s5
+        bgt  s5, outer
+        and  t9, 0xff, t9
+"""
+    baseline = Machine(build(body), jit=False)
+    base_result = baseline.run()
+
+    machine = Machine(build(body), jit=True)
+    machine.cpu.jit.cache_cap = 1
+    result = machine.run()
+    stats = machine.cpu.jit_stats()
+    assert stats["jit_resident"] <= 1
+    # churn, not steady state: far more promotions than the cache holds,
+    # which can only happen if evicted heads re-promote identically
+    assert stats["jit_regions"] > 4
+    assert stats["jit_evictions"] >= stats["jit_regions"] - 1
+    assert (result.status, result.cycles, result.inst_count) == \
+        (base_result.status, base_result.cycles, base_result.inst_count)
+    assert machine_state(machine) == machine_state(baseline)
+
+
+class InvalidateMidRun:
+    """Sampler that fires ``invalidate(lo, hi)`` over the first
+    installed region at the Nth sample boundary — while control is
+    still executing inside the hot loop that region covers."""
+
+    track_calls = False
+
+    def __init__(self, interval: int, at_sample: int):
+        self.interval = interval
+        self.at_sample = at_sample
+        self.counts: dict[int, int] = {}
+        self.cpu = None
+        self.invalidated_spans: list[tuple[int, int]] = []
+
+    def bind(self, cpu):
+        self.cpu = cpu
+        return self
+
+    def sample(self, index: int) -> None:
+        self.counts[index] = self.counts.get(index, 0) + 1
+        n = sum(self.counts.values())
+        jm = self.cpu.jit
+        if jm is not None and n == self.at_sample and jm._installed:
+            region = next(iter(jm._installed.values()))
+            jm.invalidate(region.lo, region.hi)
+            self.invalidated_spans.append((region.lo, region.hi))
+
+
+@pytest.mark.parametrize("name", ["stack-slots", "nested-loops"])
+def test_invalidate_mid_region_then_repromote(name):
+    # Invalidate the promoted region's whole [lo, hi) span at an exact
+    # instruction boundary mid-loop: execution falls back to the warm
+    # tiers, the loop re-heats and re-promotes, and the final state and
+    # sample stream are bit-identical to a JIT-less run.
+    from repro.obs.runtime import PcSampler
+    interval = 97
+    baseline = Machine(build(JIT_PROGRAMS[name]), jit=False)
+    base_sampler = PcSampler(interval=interval)
+    base_result = baseline.run(sampler=base_sampler)
+
+    machine = Machine(build(JIT_PROGRAMS[name]), jit=True)
+    sampler = InvalidateMidRun(interval=interval, at_sample=4)
+    result = machine.run(sampler=sampler)
+
+    assert sampler.invalidated_spans, "nothing was promoted before the " \
+        "invalidation point; make the loop hotter or sample later"
+    stats = machine.cpu.jit_stats()
+    assert stats["jit_invalidations"] >= 1
+    # the loop got hot again after the drop and promoted a second time
+    assert stats["jit_regions"] >= 2
+    assert stats["jit_resident"] >= 1
+    assert (result.status, result.cycles, result.inst_count) == \
+        (base_result.status, base_result.cycles, base_result.inst_count)
+    assert machine_state(machine) == machine_state(baseline)
+    assert sampler.counts == base_sampler.counts
+
+
+def test_invalidate_mid_region_state_matches_uninvalidated_jit():
+    # Same program, same JIT, with and without a mid-run invalidation:
+    # re-promotion must regenerate code that leaves identical state.
+    results = {}
+    for invalidate in (False, True):
+        machine = Machine(build(JIT_PROGRAMS["stack-slots"]), jit=True)
+        if invalidate:
+            sampler = InvalidateMidRun(interval=97, at_sample=4)
+        else:
+            from repro.obs.runtime import PcSampler
+            sampler = PcSampler(interval=97)
+        result = machine.run(sampler=sampler)
+        results[invalidate] = (result.status, result.cycles,
+                               result.inst_count, machine_state(machine))
+    assert results[True] == results[False]
 
 
 def test_handler_internal_indexerror_propagates():

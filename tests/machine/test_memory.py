@@ -1,4 +1,12 @@
-"""Sparse memory: mapping, typed access, faults, strings."""
+"""Sparse memory: mapping, typed access, faults, strings — and the
+typed-view fast paths the region JIT compiles against.
+
+The fast-path tests treat ``read()``/``write()`` (byte-slice based,
+view-free) as the reference implementation and insist the ``_fast*``
+typed views and the ``read_uint``/``write_uint`` fast branches agree
+with it bit-for-bit, especially at page boundaries and on unaligned
+addresses where the two implementations genuinely differ in mechanism.
+"""
 
 import pytest
 from hypothesis import given
@@ -95,3 +103,126 @@ def test_unaligned_access_allowed():
     mem = mapped()
     mem.write_uint(0x1001, 0xDEADBEEF, 4)
     assert mem.read_uint(0x1001, 4) == 0xDEADBEEF
+
+
+# ---- typed-view fast paths (what the region JIT compiles against) ----
+
+VIEW_FOR_SIZE = {8: "_fastq", 4: "_fastl", 2: "_fastw"}
+SIZES = (1, 2, 4, 8)
+
+
+def touched(n_pages: int = 4) -> Memory:
+    """A memory whose first ``n_pages`` are fully mapped, allocated and
+    fast-path installed — the steady state JIT regions run in."""
+    mem = Memory()
+    mem.map_region(0, n_pages * PAGE_SIZE, "r")
+    for page in range(n_pages):
+        mem.write_u8(page * PAGE_SIZE, 0)       # allocate + install
+    return mem
+
+
+def fill(mem: Memory, base: int, length: int) -> bytes:
+    blob = bytes((37 * i + 11) & 0xFF for i in range(length))
+    mem.write(base, blob)
+    return blob
+
+
+def test_fast_views_installed_and_aliased():
+    mem = touched(2)
+    for views in (mem._fastq, mem._fastl, mem._fastw):
+        assert set(views) == {0, 1}
+    # the views write through to the same bytes the slow path reads
+    mem._fastq[0][3] = 0x1122334455667788
+    assert mem.read(24, 8) == bytes.fromhex("8877665544332211")
+    mem._fastw[1][1] = 0xBEEF
+    assert mem.read_uint(PAGE_SIZE + 2, 2) == 0xBEEF
+
+
+def test_fast_views_track_pages_allocated_later():
+    """A page validated by check() before its first write must gain its
+    views at allocation time, not serve stale/no views."""
+    mem = Memory()
+    mem.map_region(0, 2 * PAGE_SIZE, "r")
+    mem.check(PAGE_SIZE + 8, 8)                 # validated, still BSS
+    assert 1 in mem._full and 1 not in mem._fast
+    mem.write_u8(PAGE_SIZE + 8, 0x5A)           # first allocation
+    assert 1 in mem._fast
+    assert mem._fastq[1][1] == 0x5A
+
+
+def test_read_uint_fast_equals_slow_everywhere():
+    """Every alignment x size near a page boundary: the fast branch
+    (typed slice of a ``_fast`` page) must equal the reference byte
+    path bit-for-bit."""
+    mem = touched(3)
+    blob = fill(mem, 0, 3 * PAGE_SIZE)
+    for size in SIZES:
+        for addr in list(range(0, 32)) + \
+                list(range(PAGE_SIZE - 16, PAGE_SIZE + 16)):
+            expect = int.from_bytes(blob[addr:addr + size], "little")
+            assert mem.read_uint(addr, size) == expect, (addr, size)
+            assert int.from_bytes(mem.read(addr, size), "little") == expect
+
+
+def test_jit_view_indexing_equals_read():
+    """The exact access shape `_gen_mem` compiles: aligned addresses go
+    ``view[(a & 4095) >> shift]``, everything else falls back to
+    ``read``.  Both must see the same bits at every offset straddling a
+    page boundary."""
+    mem = touched(3)
+    fill(mem, 0, 3 * PAGE_SIZE)
+    for size, view_name in VIEW_FOR_SIZE.items():
+        views = getattr(mem, view_name)
+        shift = size.bit_length() - 1
+        for a in range(PAGE_SIZE - 2 * size, PAGE_SIZE + 2 * size):
+            reference = int.from_bytes(mem.read(a, size), "little")
+            if a & (size - 1):                  # JIT takes the read path
+                assert mem.read_uint(a, size) == reference
+            else:
+                assert views[a >> 12][(a & 4095) >> shift] == reference
+
+
+def test_write_uint_straddle_matches_byte_writes():
+    """Writes that straddle the page boundary take the slow branch; the
+    landed bytes must be exactly what byte-wise writes produce."""
+    for size in (2, 4, 8):
+        for start in range(PAGE_SIZE - size + 1, PAGE_SIZE):
+            value = (0x0102030405060708 * 3) & ((1 << (8 * size)) - 1)
+            via_uint = touched(2)
+            via_uint.write_uint(start, value, size)
+            via_bytes = touched(2)
+            via_bytes.write(start, value.to_bytes(size, "little"))
+            assert via_uint.read(0, 2 * PAGE_SIZE) == \
+                via_bytes.read(0, 2 * PAGE_SIZE), (start, size)
+
+
+def test_view_write_then_straddle_read_coherent():
+    """Interleaving view writes (JIT stores) with straddling reads
+    (slow path) must stay coherent — both sides address one bytearray."""
+    mem = touched(2)
+    mem._fastq[0][(PAGE_SIZE - 8) >> 3] = 0xA1B2C3D4E5F60718
+    mem._fastq[1][0] = 0x1828384858687888
+    got = mem.read_uint(PAGE_SIZE - 4, 8)       # 4 bytes from each page
+    assert got == int.from_bytes(
+        (0xA1B2C3D4E5F60718).to_bytes(8, "little")[4:] +
+        (0x1828384858687888).to_bytes(8, "little")[:4], "little")
+
+
+@given(ops=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2 * PAGE_SIZE + 24),
+              st.integers(min_value=0, max_value=(1 << 64) - 1),
+              st.sampled_from(SIZES)),
+    min_size=1, max_size=24))
+def test_mixed_width_traffic_fast_equals_slow(ops):
+    """The same mixed-width write stream applied through the typed fast
+    paths and through the reference byte path yields identical memory
+    images and identical read-backs at every width."""
+    fast, slow = touched(3), touched(3)
+    for addr, value, size in ops:
+        fast.write_uint(addr, value, size)
+        slow.write(addr, (value & ((1 << (8 * size)) - 1))
+                   .to_bytes(size, "little"))
+    assert fast.read(0, 3 * PAGE_SIZE) == slow.read(0, 3 * PAGE_SIZE)
+    for addr, _, size in ops:
+        assert fast.read_uint(addr, size) == \
+            int.from_bytes(slow.read(addr, size), "little")
