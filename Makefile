@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz fuzz-corpus
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz check-taint fuzz-corpus
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -90,6 +90,24 @@ check-fuzz:
 	$(PYTHON) -m repro.eval.fuzz_matrix --seed $(FUZZ_SEED) \
 	    --count $(FUZZ_COUNT) --time-budget $(FUZZ_BUDGET) \
 	    --jobs 2 --out $(FUZZ_DIR)
+
+# Taint lane: shadow-semantics property tests and the end-to-end taint
+# tool tests, pristine attribution under the densest instrumentation
+# regime, a taint-only differential over the committed corpus
+# (time-budgeted; a divergence writes a reduced repro to TAINT_DIR),
+# then the taint rows of the bench regression gate against the
+# committed baseline.
+TAINT_DIR ?= /tmp/wrl-taint
+TAINT_BUDGET ?= 240
+check-taint:
+	$(PYTHON) -m pytest -q tests/tools/test_taint_shadow.py \
+	    tests/tools/test_tools.py -k "taint or Taint"
+	$(PYTHON) -m pytest -q tests/obs/test_runtime.py -k taint
+	$(PYTHON) -m repro.eval.fuzz_matrix --corpus tests/fuzz/corpus \
+	    --tools taint --no-rotate-tools --time-budget $(TAINT_BUDGET) \
+	    --jobs 2 --out $(TAINT_DIR)
+	$(PYTHON) -m repro.perf.bench --tools taint --out /tmp/bench_taint.json
+	$(PYTHON) -m repro.perf.bench --compare BENCH_interp.json /tmp/bench_taint.json
 
 # Regenerate the committed seed corpus (policy in DESIGN.md): only when
 # the generator's output changes deliberately, never to paper over a

@@ -225,6 +225,22 @@ class AtomContext:
     def InstRegUses(self, inst: IRInst) -> frozenset[int]:
         return inst.inst.uses()
 
+    # Raw register fields.  ``InstRegDefs``/``InstRegUses`` return sets and
+    # therefore cannot distinguish roles when fields alias (e.g. the stored
+    # register vs. the base register of ``stq r5, 0(r5)``).  Tools that
+    # need role-precise operands — the taint tool wants *exactly* the
+    # stored register — read the encoding fields directly.  ``ZERO`` (31)
+    # is returned verbatim for unused fields.
+
+    def InstRA(self, inst: IRInst) -> int:
+        return inst.inst.ra
+
+    def InstRB(self, inst: IRInst) -> int:
+        return inst.inst.rb
+
+    def InstRC(self, inst: IRInst) -> int:
+        return inst.inst.rc
+
     def ProcName(self, proc: IRProc) -> str:
         return proc.name
 

@@ -18,8 +18,13 @@ Layout::
 * Writes are atomic (temp file + ``os.replace``), so concurrent workers
   racing on the same key at worst both compile; the store never holds a
   half-written blob.
-* Eviction is LRU by file mtime past ``cap`` entries (hits touch the
-  blob); ``WRL_CACHE_CAP`` overrides the default of 512.
+* Eviction is LRU past ``cap`` entries; ``WRL_CACHE_CAP`` overrides the
+  default of 512.  Recency is tracked by stamping blobs with explicit,
+  strictly increasing nanosecond mtimes (``os.utime(path, ns=...)``) on
+  every store and hit: filesystem timestamp granularity can be as coarse
+  as one second, and letting hits tie would make eviction pick among hot
+  blobs effectively arbitrarily.  Ordering falls back to the blob name
+  only for stamps not issued by this process (e.g. a pre-existing tree).
 
 Resolution order for the default store: disabled when ``WRL_CACHE`` is
 ``0``/``off``/``false``; rooted at ``WRL_CACHE_DIR`` when set; otherwise
@@ -33,6 +38,7 @@ import json
 import os
 import struct
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -100,6 +106,10 @@ class ArtifactCache:
         #: next use" (fresh store, or invalidated by clear/corruption —
         #: moments when our view of the tree may have drifted from disk).
         self._nblobs: int | None = None
+        #: Last LRU stamp issued (ns).  Each touch takes
+        #: max(now_ns, last + 1), so stamps are strictly increasing even
+        #: when the clock is coarse or steps backwards.
+        self._lru_clock = 0
 
     # ---- paths ------------------------------------------------------------
 
@@ -134,10 +144,7 @@ class ArtifactCache:
             return None
         self.stats.hits += 1
         TRACE.count("cache.hits")
-        try:
-            os.utime(path)                       # refresh LRU position
-        except OSError:
-            pass
+        self._touch(path)                        # refresh LRU position
         return payload
 
     def put(self, key: str, payload: bytes) -> None:
@@ -159,9 +166,19 @@ class ArtifactCache:
             raise
         self.stats.stores += 1
         TRACE.count("cache.stores")
+        self._touch(path)
         if self._nblobs is not None and not existed:
             self._nblobs += 1
         self._evict()
+
+    def note_corrupt(self) -> None:
+        """Record an undecodable payload found by a caller: the blob
+        passed the digest check but its contents did not unpack as the
+        expected artifact.  Counted so these misses are visible in
+        ``wrl-trace summary`` rather than silently recompiled around."""
+        self.stats.corrupt += 1
+        TRACE.count("cache.corrupt")
+        self._nblobs = None
 
     def __len__(self) -> int:
         return sum(1 for _ in self._iter_blobs())
@@ -176,6 +193,21 @@ class ArtifactCache:
         self._nblobs = None
 
     # ---- eviction ---------------------------------------------------------
+
+    def _touch(self, path: Path) -> None:
+        """Stamp ``path`` with the next strictly increasing LRU time.
+
+        ``os.utime(path)`` alone is not enough: on filesystems with
+        coarse (up to 1 s) timestamp granularity, blobs touched in the
+        same tick tie and eviction order among them is arbitrary —
+        evicting hot blobs.  Explicit ns stamps from a monotonically
+        advanced clock make recency a total order.
+        """
+        self._lru_clock = t = max(time.time_ns(), self._lru_clock + 1)
+        try:
+            os.utime(path, ns=(t, t))
+        except OSError:
+            pass
 
     def _iter_blobs(self):
         # Tolerate a root that has never seen a put (or was removed from
@@ -202,12 +234,15 @@ class ArtifactCache:
         self._nblobs = len(blobs)
         if len(blobs) <= self.cap:
             return
-        def mtime(path):
+        def lru_key(path):
+            # ns-precision recency (matching _touch's stamps), with the
+            # blob name as a deterministic tie-break for stamps this
+            # process did not issue.
             try:
-                return path.stat().st_mtime
+                return (path.stat().st_mtime_ns, path.name)
             except OSError:
-                return 0.0
-        blobs.sort(key=mtime)
+                return (0, path.name)
+        blobs.sort(key=lru_key)
         for path in blobs[:len(blobs) - self.cap]:
             try:
                 path.unlink()

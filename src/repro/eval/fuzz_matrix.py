@@ -66,7 +66,7 @@ SAMPLED_OPTS = ("O0", "O4")
 
 DEFAULT_INTERVAL = 509          # prime, so samples drift across loops
 DEFAULT_MAX_INSTS = 80_000_000
-DEFAULT_TOOLS = ("prof", "dyninst")
+DEFAULT_TOOLS = ("prof", "dyninst", "taint")
 
 
 # ---------------------------------------------------------------- cells
@@ -380,7 +380,8 @@ def main(argv: list[str] | None = None) -> int:
                     help="check committed .mlc files from DIR instead of "
                          "generating")
     ap.add_argument("--tools", default=",".join(DEFAULT_TOOLS),
-                    help="comma-separated tool list (default prof,dyninst)")
+                    help="comma-separated tool list "
+                         "(default prof,dyninst,taint)")
     ap.add_argument("--rotate-tools", action=argparse.BooleanOptionalAction,
                     default=True,
                     help="one tool per program, rotating by seed "

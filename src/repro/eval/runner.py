@@ -16,17 +16,19 @@ and fresh worker processes in the parallel pipeline — skip
 from __future__ import annotations
 
 import inspect
+import struct
 
 from ..atom import OptLevel, instrument_executable
 from ..atom.instrument import InstrumentResult, InstrumentStats
 from ..machine import RunResult, run_module
 from ..machine.cpu import BudgetExhausted
 from ..mlc import build_analysis_unit
-from ..objfile.module import Module
+from ..objfile.module import Module, ObjError
 from ..obs import TRACE
 from ..tools import Tool
-from .cache import (ArtifactCache, analysis_key, get_default_cache,
-                    instrument_key, pack_instrument, unpack_instrument)
+from .cache import (ArtifactCache, CacheFormatError, analysis_key,
+                    get_default_cache, instrument_key, pack_instrument,
+                    unpack_instrument)
 from .errors import EvalTimeout
 
 #: Compiled analysis units keyed by a content hash of the analysis
@@ -62,7 +64,7 @@ def analysis_unit_for(tool: Tool, *, cache=_DEFAULT_CACHE) -> Module:
         disk = _resolve_cache(cache)
         if disk is not None:
             blob = disk.get(key)
-            if blob is not None and _module_or_none(blob) is None:
+            if blob is not None and _module_or_none(blob, disk) is None:
                 blob = None                       # unreadable: recompile
         if blob is None:
             COMPILE_COUNTS["analysis"] += 1
@@ -79,21 +81,47 @@ def analysis_unit_for(tool: Tool, *, cache=_DEFAULT_CACHE) -> Module:
     return Module.from_bytes(blob)
 
 
-def _module_or_none(blob: bytes) -> Module | None:
+#: Exceptions a *malformed byte stream* can legitimately raise while
+#: decoding a cached artifact: truncated/garbled framing (struct.error),
+#: bad WOF structure (ObjError), stale or unparsable payload framing
+#: (CacheFormatError), and value/lookup failures from garbage contents
+#: (ValueError, KeyError).  Anything else — TypeError, AttributeError,
+#: NameError... — is a programming error in the decoder and must
+#: propagate: swallowing it would launder a real bug into a permanent
+#: cache miss that gets silently recompiled around forever.
+_DECODE_ERRORS = (struct.error, ObjError, CacheFormatError, ValueError,
+                  KeyError)
+
+
+def _module_or_none(blob: bytes,
+                    cache: ArtifactCache | None = None) -> Module | None:
     try:
         return Module.from_bytes(blob)
-    except Exception:
+    except _DECODE_ERRORS:
+        if cache is not None:
+            cache.note_corrupt()
         return None
 
 
 def _instrument_fingerprint(tool: Tool) -> str | None:
     """Source text of the tool's instrumentation routine, or None when
     it cannot be recovered (interactively defined functions) — in which
-    case the instrumented-executable cache is skipped for safety."""
+    case the instrumented-executable cache is skipped for safety.
+
+    A tool whose Instrument routine reads state outside the
+    ``tool_args`` already in the cache key (e.g. taint's
+    ``WRL_TAINT_SOURCES`` environment fallback) publishes that state
+    via a ``cache_fingerprint_extra`` attribute; it is folded in here so
+    a cached instrumented executable can never be served under inputs
+    it was not built for."""
     try:
-        return inspect.getsource(tool.instrument)
+        text = inspect.getsource(tool.instrument)
     except (OSError, TypeError):
         return None
+    extra = getattr(tool.instrument, "cache_fingerprint_extra", None)
+    if extra is not None:
+        text += f"\n# extra: {extra()}"
+    return text
 
 
 def apply_tool(app: Module, tool: Tool, *,
@@ -119,7 +147,7 @@ def apply_tool(app: Module, tool: Tool, *,
                                      tuple(tool_args))
                 payload = disk.get(key)
                 if payload is not None:
-                    hit = _instrument_from_payload(payload)
+                    hit = _instrument_from_payload(payload, disk)
                     if hit is not None:
                         sp.add(cached=True)
                         return hit
@@ -136,15 +164,21 @@ def apply_tool(app: Module, tool: Tool, *,
         return result
 
 
-def _instrument_from_payload(payload: bytes) -> InstrumentResult | None:
+def _instrument_from_payload(payload: bytes,
+                             cache: ArtifactCache | None = None,
+                             ) -> InstrumentResult | None:
     try:
         module_bytes, stats = unpack_instrument(payload)
         module = Module.from_bytes(module_bytes)
-        return InstrumentResult(module=module,
-                                stats=InstrumentStats(**stats),
-                                plans=None, cached=True)
-    except Exception:
-        return None                 # malformed payload: treat as a miss
+    except _DECODE_ERRORS:
+        # Malformed or stale payload: a counted miss, recompiled below.
+        # Decoder bugs (TypeError & co.) propagate — see _DECODE_ERRORS.
+        if cache is not None:
+            cache.note_corrupt()
+        return None
+    return InstrumentResult(module=module,
+                            stats=InstrumentStats(**stats),
+                            plans=None, cached=True)
 
 
 def _checked_run(module: Module, *, stage: str, args, stdin,

@@ -33,7 +33,7 @@ class CostModel:
     def cost(self, op: OpInfo) -> int:
         return self.overrides.get(op.mnemonic, op.cycles)
 
-    def sequence_costs(self, insts) -> list[int]:
+    def sequence_costs(self, insts, streams=None) -> list[int]:
         """Per-instruction cycles with a static same-cache-line discount.
 
         ATOM's save/restore brackets issue runs of stq/ldq against
@@ -44,18 +44,31 @@ class CostModel:
         already hot.  Position-based and branch-agnostic, so fused and
         per-instruction execution charge identical totals by
         construction.
+
+        ``streams`` (optional, one int per instruction) partitions the
+        text by provenance: the discount chain runs *within* a stream
+        only, each stream seeing the subsequence of instructions carrying
+        its id.  Instrumented executables pass 0 for original
+        instructions and 1 for ATOM-inserted ones, which makes
+        instrumentation cost-transparent — an original instruction is
+        charged exactly what the uninstrumented text charges it, however
+        many snippets are spliced around it, so the profiler's ``orig``
+        attribution bucket reconciles with the uninstrumented run to the
+        cycle even under per-instruction-dense tools like taint.
         """
         out: list[int] = []
-        prev: tuple[int, int] | None = None
-        for inst in insts:
+        if streams is None:
+            streams = [0] * len(insts)
+        prev: dict[int, tuple[int, int] | None] = {}
+        for inst, stream in zip(insts, streams):
             cycles = self.cost(inst.op)
             if inst.is_load() or inst.is_store():
                 key = (inst.rb, inst.disp // CACHE_LINE)
-                if prev == key and cycles > 1:
+                if prev.get(stream) == key and cycles > 1:
                     cycles = 1
-                prev = key
+                prev[stream] = key
             else:
-                prev = None
+                prev[stream] = None
             out.append(cycles)
         return out
 

@@ -96,7 +96,8 @@ class Cpu:
 
     def __init__(self, memory: Memory, kernel: Kernel, text_base: int,
                  text: bytes, cost_model: CostModel = DEFAULT,
-                 fuse: bool = True, jit: bool = True):
+                 fuse: bool = True, jit: bool = True,
+                 cost_streams=None):
         self.memory = memory
         self.kernel = kernel
         self.text_base = text_base
@@ -120,7 +121,8 @@ class Cpu:
         self._insts = encoding.decode_stream(text)
         #: Lazy call/return classification table for shadow-stack sampling.
         self._ctl: bytearray | None = None
-        self._costs = cost_model.sequence_costs(self._insts)
+        self._costs = cost_model.sequence_costs(self._insts,
+                                                cost_streams)
         self._code = [self._compile(inst, i, self._costs[i])
                       for i, inst in enumerate(self._insts)]
         if fuse:

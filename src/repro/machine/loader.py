@@ -76,8 +76,26 @@ class Machine:
         self._load_segments()
         self.cpu = Cpu(self.memory, self.kernel, self._text_vaddr,
                        self._text_bytes, self.cost_model, fuse=self.fuse,
-                       jit=self.jit)
+                       jit=self.jit,
+                       cost_streams=self._cost_streams())
         self._setup_stack()
+
+    def _cost_streams(self) -> list[int] | None:
+        """Provenance streams for the cost model's same-line discount.
+
+        For ATOM output (``pc_map`` non-empty) original instructions form
+        stream 0 and everything ATOM inserted (brackets, glue, splices,
+        the analysis unit) forms stream 1, so instrumentation never
+        changes what an original instruction costs — the profiler's
+        ``orig`` bucket then matches the uninstrumented run exactly.
+        Plain executables keep the single-stream behaviour.
+        """
+        pc_map = self.module.pc_map
+        if not pc_map:
+            return None
+        base = self._text_vaddr
+        return [0 if base + 4 * i in pc_map else 1
+                for i in range(len(self._text_bytes) // 4)]
 
     # ---- loading ----------------------------------------------------------
 

@@ -44,7 +44,7 @@ ACCEPTED_SCHEMAS = ("repro-bench-interp/v1", "repro-bench-interp/v2",
 #: Compact default matrix: enough signal to regress against without the
 #: full 20x11x5 sweep (use --all for that).
 DEFAULT_WORKLOADS = ("sieve", "matrix", "quick", "crc")
-DEFAULT_TOOLS = ("dyninst", "prof")
+DEFAULT_TOOLS = ("dyninst", "prof", "taint")
 DEFAULT_OPTS = ("O0", "O1", "O2", "O3", "O4")
 
 #: --compare fails when a cell's excess cycles grow by more than this.

@@ -19,6 +19,11 @@ unalign   unalign access tool                         each memory reference*
 (*) the original unalign tool worked per basic block; ours instruments each
 multi-byte non-stack memory reference — see EXPERIMENTS.md.
 
+Beyond the paper's eleven, ``taint`` is a byte-granular taint-propagation
+tool (shadow memory + shadow register file, the densest instrumentation
+regime the substrate carries: every load, store, ALU op and syscall) —
+see DESIGN.md §10.
+
 Each tool is a subpackage with an ``Instrument`` routine (Python, run at
 instrumentation time) and an ``analysis.mlc`` file (the analysis routines,
 compiled and linked into the instrumented executable's address space).
@@ -31,7 +36,7 @@ import importlib.resources as resources
 from dataclasses import dataclass
 
 TOOL_NAMES = ("branch", "cache", "dyninst", "gprof", "inline", "io",
-              "malloc", "pipe", "prof", "syscall", "unalign")
+              "malloc", "pipe", "prof", "syscall", "taint", "unalign")
 
 
 @dataclass(frozen=True)
@@ -64,5 +69,5 @@ def get_tool(name: str) -> Tool:
 
 
 def all_tools() -> list[Tool]:
-    """All eleven tools in the paper's Figure 5 order."""
+    """All tools (the paper's eleven plus taint), alphabetical."""
     return [get_tool(name) for name in TOOL_NAMES]

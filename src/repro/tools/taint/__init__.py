@@ -1,0 +1,208 @@
+"""taint: byte-granular dynamic taint propagation.
+
+The heaviest instrumentation regime the substrate carries: every load,
+store, ALU op, load-address op, register-writing control transfer and
+system call gets a callback.  The analysis routines maintain
+
+* a page-sparse shadow memory (one taint flag byte plus one origin pc
+  per application byte, behind a page directory mirroring
+  ``machine/memory.py``'s layout), and
+* a shadow register file (one taint bit per architectural register).
+
+Propagation policy (documented in DESIGN.md §10):
+
+* register-to-register ops (OPERATE, lda/ldah) — destination taint is
+  the union of the taint of every source register read (``uses()``);
+  for cmov this conservatively includes the condition register;
+* loads — destination taint is the OR of the shadow bytes covered by
+  the access (address/base-register taint is *not* propagated);
+* stores — strong update: every covered shadow byte takes the stored
+  register's taint; a tainted byte remembers the pc of the store that
+  wrote its current value (its origin);
+* control transfers that write a register (bsr/jsr/ret link writes) —
+  the link register is cleared (the return address is a constant);
+* syscalls — v0 is cleared after the call; ``read`` from stdin taints
+  the filled buffer when the stdin source is enabled; ``sbrk``/``sbrk2``
+  clear shadow over the returned region (stale taint must not survive a
+  shrink/regrow); ``write`` is the *sink*: the buffer is scanned and
+  per-fd tainted-byte statistics recorded, including the pc of the
+  first tainted write and the origin of its first tainted byte.
+
+Taint sources are declared as tool arguments (``atom ... taint -- argv
+stdin range:0x2000000:64``) or, when no arguments are given, via the
+``WRL_TAINT_SOURCES`` environment variable; the default is
+``argv stdin``.  The environment value is folded into the instrumentation
+cache fingerprint via ``cache_fingerprint_extra`` so cached instrumented
+executables can never go stale against the environment.
+
+The report (``taint.out``) is deterministic: a coalesced map of tainted
+address ranges plus the per-fd sink table, no timestamps, original pcs
+only — byte-identical across opt levels, dispatch strategies and
+serial/parallel evaluation.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ...atom import (EffAddrValue, InstAfter, InstBefore, InstTypeCall,
+                     InstTypeJump, InstTypeLoad, InstTypeRet,
+                     InstTypeStore, InstTypeSyscall, InstTypeUncondBr,
+                     ProgramAfter, ProgramBefore)
+from ...isa import registers as R
+
+DESCRIPTION = "byte-granular taint propagation tool"
+POINTS = "each load/store/ALU op/reg-writing transfer/syscall"
+ARGS = 5
+OUTPUT_FILE = "taint.out"
+
+#: sources applied when neither tool args nor environment specify any
+DEFAULT_SOURCES = ("argv", "stdin")
+
+ENV_VAR = "WRL_TAINT_SOURCES"
+
+
+class TaintArgsError(ValueError):
+    pass
+
+
+def parse_sources(tokens):
+    """``(argv, stdin, ranges)`` from source tokens.
+
+    Tokens: ``argv``, ``stdin``, ``range:<start>:<len>`` (ints, any
+    base), or ``none`` (explicitly no sources).
+    """
+    src_argv = False
+    src_stdin = False
+    ranges: list[tuple[int, int]] = []
+    for tok in tokens:
+        if tok == "argv":
+            src_argv = True
+        elif tok == "stdin":
+            src_stdin = True
+        elif tok == "none":
+            pass
+        elif tok.startswith("range:"):
+            parts = tok.split(":")
+            if len(parts) != 3:
+                raise TaintArgsError(f"bad taint range {tok!r} "
+                                     "(want range:<start>:<len>)")
+            try:
+                start, length = int(parts[1], 0), int(parts[2], 0)
+            except ValueError as exc:
+                raise TaintArgsError(f"bad taint range {tok!r}: {exc}") \
+                    from None
+            if start < 0 or length <= 0:
+                raise TaintArgsError(f"bad taint range {tok!r}: start "
+                                     "must be >= 0 and len > 0")
+            ranges.append((start, length))
+        else:
+            raise TaintArgsError(
+                f"unknown taint source {tok!r} "
+                "(want argv, stdin, range:<start>:<len>, or none)")
+    return src_argv, src_stdin, tuple(ranges)
+
+
+def _sources_from(iargv):
+    tokens = list(iargv[1:])
+    if not tokens:
+        tokens = os.environ.get(ENV_VAR, "").replace(",", " ").split()
+    if not tokens:
+        tokens = list(DEFAULT_SOURCES)
+    return parse_sources(tokens)
+
+
+def Instrument(iargc, iargv, atom):
+    src_argv, src_stdin, ranges = _sources_from(iargv)
+
+    atom.AddCallProto("TaintInit(int)")
+    atom.AddCallProto("TaintArgv(REGV, REGV)")
+    atom.AddCallProto("TaintRange(long, long)")
+    # register-file transitions: straight-line bodies, inlinable at O4
+    atom.AddCallProto("TaintClear(int)")
+    atom.AddCallProto("TaintMov(int, int)")
+    atom.AddCallProto("TaintAlu(int, int, int)")
+    atom.AddCallProto("TaintAlu3(int, int, int, int)")
+    # shadow-memory transitions
+    atom.AddCallProto("TaintLoad(VALUE, int, int)")
+    atom.AddCallProto("TaintStore(VALUE, int, int, long)")
+    # syscall surface (sources, sinks, heap lifetime)
+    atom.AddCallProto("TaintSysBefore(REGV, REGV, REGV, REGV, long)")
+    atom.AddCallProto("TaintSysAfter(REGV)")
+    atom.AddCallProto("TaintReport()")
+
+    # TaintInit must run before any source call (it allocates the page
+    # directory); ProgramBefore calls run in the order added.
+    atom.AddCallProgram(ProgramBefore, "TaintInit",
+                        1 if src_stdin else 0)
+    if src_argv:
+        # At ProgramBefore sites the veneer holds argc in s0 and argv in
+        # s1 (a0/a1 may already be clobbered by the analysis libc init).
+        atom.AddCallProgram(ProgramBefore, "TaintArgv", R.S0, R.S1)
+    for start, length in ranges:
+        atom.AddCallProgram(ProgramBefore, "TaintRange", start, length)
+
+    for p in atom.procs():
+        in_exit = atom.ProcName(p) == "_exit"
+        for ir in atom.insts(p):
+            if atom.IsInstType(ir, InstTypeLoad):
+                dst = atom.InstRA(ir)
+                if dst != R.ZERO:
+                    atom.AddCallInst(ir, InstBefore, "TaintLoad",
+                                     EffAddrValue,
+                                     atom.InstMemAccessSize(ir), dst)
+            elif atom.IsInstType(ir, InstTypeStore):
+                # InstRA is the *stored* register (InstRegUses cannot
+                # separate it from the base when they alias).
+                atom.AddCallInst(ir, InstBefore, "TaintStore",
+                                 EffAddrValue,
+                                 atom.InstMemAccessSize(ir),
+                                 atom.InstRA(ir), atom.InstPC(ir))
+            elif atom.IsInstType(ir, InstTypeSyscall):
+                # The termination syscall never returns: before-hook
+                # only (matches the syscall tool).
+                atom.AddCallInst(ir, InstBefore, "TaintSysBefore",
+                                 R.V0, R.A0, R.A1, R.A2,
+                                 atom.InstPC(ir))
+                if not in_exit:
+                    atom.AddCallInst(ir, InstAfter, "TaintSysAfter",
+                                     R.V0)
+            else:
+                defs = atom.InstRegDefs(ir)
+                if not defs:
+                    continue            # cond branches, halt, stores
+                (dst,) = defs
+                if (atom.IsInstType(ir, InstTypeCall)
+                        or atom.IsInstType(ir, InstTypeJump)
+                        or atom.IsInstType(ir, InstTypeRet)
+                        or atom.IsInstType(ir, InstTypeUncondBr)):
+                    # link-register write: the return address is a
+                    # constant, never tainted
+                    atom.AddCallInst(ir, InstBefore, "TaintClear", dst)
+                    continue
+                srcs = sorted(atom.InstRegUses(ir))
+                if not srcs:
+                    atom.AddCallInst(ir, InstBefore, "TaintClear", dst)
+                elif len(srcs) == 1:
+                    if srcs[0] != dst:  # identity move is a no-op
+                        atom.AddCallInst(ir, InstBefore, "TaintMov",
+                                         dst, srcs[0])
+                elif len(srcs) == 2:
+                    atom.AddCallInst(ir, InstBefore, "TaintAlu",
+                                     dst, srcs[0], srcs[1])
+                else:                   # cmov reads ra, rb and old rc
+                    atom.AddCallInst(ir, InstBefore, "TaintAlu3",
+                                     dst, srcs[0], srcs[1], srcs[2])
+
+    atom.AddCallProgram(ProgramAfter, "TaintReport")
+
+
+def _cache_fingerprint_extra() -> str:
+    """Environment the Instrument routine reads — folded into the
+    instrumentation cache key by ``eval/runner.py`` so a cached
+    instrumented executable is never reused under a different
+    ``WRL_TAINT_SOURCES``."""
+    return f"{ENV_VAR}={os.environ.get(ENV_VAR, '')}"
+
+
+Instrument.cache_fingerprint_extra = _cache_fingerprint_extra

@@ -1,0 +1,150 @@
+"""Reference model of the taint tool's shadow memory.
+
+``analysis.mlc`` implements the shadow table in MLC inside the
+instrumented executable; this is the same structure in plain Python — a
+page-sparse directory of byte-granular taint flags and per-byte origin
+pcs, with strong-update store semantics.  The hypothesis suite in
+``tests/tools/test_taint_shadow.py`` drives both this model and flat
+reference dicts over overlapping mixed-width traffic, and the
+cross-validation test compares the *instrumented executable's* report
+against this model's prediction, so the MLC and Python implementations
+check each other.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
+#: Pages the directory covers (matches analysis.mlc): 256 MB, every
+#: address the loader lays out.  Accesses beyond are silently ignored,
+#: exactly as the MLC routines do.
+DIR_PAGES = 65536
+
+
+class ShadowMemory:
+    """Byte-granular taint flags + origin pcs behind a sparse page table."""
+
+    def __init__(self) -> None:
+        self._flags: dict[int, bytearray] = {}
+        self._origs: dict[int, list[int]] = {}
+        self.tainted_bytes = 0
+
+    # ---- byte primitives ----------------------------------------------
+
+    def _page_for(self, addr: int) -> int | None:
+        page = addr >> PAGE_SHIFT
+        return page if 0 <= page < DIR_PAGES else None
+
+    def set_byte(self, addr: int, taint: int, pc: int) -> None:
+        """Strong update: the byte takes ``taint``; when tainted, its
+        origin becomes ``pc`` (the writer of its current value)."""
+        page = self._page_for(addr)
+        if page is None:
+            return
+        if taint:
+            flags = self._flags.get(page)
+            if flags is None:
+                flags = self._flags[page] = bytearray(PAGE_SIZE)
+                self._origs[page] = [0] * PAGE_SIZE
+            off = addr & (PAGE_SIZE - 1)
+            if not flags[off]:
+                flags[off] = 1
+                self.tainted_bytes += 1
+            self._origs[page][off] = pc
+        else:
+            flags = self._flags.get(page)
+            if flags is None:
+                return
+            off = addr & (PAGE_SIZE - 1)
+            if flags[off]:
+                flags[off] = 0
+                self._origs[page][off] = 0
+                self.tainted_bytes -= 1
+
+    def get_byte(self, addr: int) -> int:
+        page = self._page_for(addr)
+        if page is None:
+            return 0
+        flags = self._flags.get(page)
+        return flags[addr & (PAGE_SIZE - 1)] if flags is not None else 0
+
+    def origin(self, addr: int) -> int:
+        page = self._page_for(addr)
+        if page is None:
+            return 0
+        origs = self._origs.get(page)
+        return origs[addr & (PAGE_SIZE - 1)] if origs is not None else 0
+
+    # ---- access-width operations (what the tool's callbacks do) -------
+
+    def store(self, addr: int, size: int, taint: int, pc: int) -> None:
+        """A ``size``-byte store of a register with taint ``taint``."""
+        for i in range(size):
+            self.set_byte(addr + i, 1 if taint else 0, pc)
+
+    def load(self, addr: int, size: int) -> int:
+        """Taint of a ``size``-byte load: OR over the covered bytes."""
+        taint = 0
+        for i in range(size):
+            taint |= self.get_byte(addr + i)
+        return taint
+
+    def fill(self, start: int, length: int, origin: int = 0) -> None:
+        """Taint a source range (argv/stdin/declared range)."""
+        for a in range(start, start + length):
+            self.set_byte(a, 1, origin)
+
+    def wipe(self, start: int, length: int) -> None:
+        """Clear a range (fresh sbrk memory carries no taint)."""
+        for a in range(start, start + length):
+            self.set_byte(a, 0, 0)
+
+    # ---- report view ---------------------------------------------------
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """Coalesced ``(start, length)`` runs of tainted bytes, sorted —
+        the map the MLC report prints."""
+        out: list[tuple[int, int]] = []
+        start = length = None
+        for page in sorted(self._flags):
+            flags = self._flags[page]
+            base = page << PAGE_SHIFT
+            for off in range(PAGE_SIZE):
+                if not flags[off]:
+                    continue
+                a = base + off
+                if start is not None and a == start + length:
+                    length += 1
+                else:
+                    if start is not None:
+                        out.append((start, length))
+                    start, length = a, 1
+        if start is not None:
+            out.append((start, length))
+        return out
+
+
+def parse_report(text: str) -> dict:
+    """Parse a ``taint.out`` artifact into a comparable structure."""
+    lines = text.splitlines()
+    doc: dict = {"tainted": None, "map": [], "ranges": None, "sinks": {}}
+    for line in lines:
+        s = line.strip()
+        if s.startswith("sources:"):
+            doc["sources"] = s[len("sources:"):].strip()
+        elif s.startswith("tainted bytes:"):
+            doc["tainted"] = int(s.split(":")[1])
+        elif s.startswith("0x") and "+" in s:
+            addr, plus = s.split(" +")
+            doc["map"].append((int(addr, 16), int(plus)))
+        elif s.startswith("ranges:"):
+            doc["ranges"] = int(s.split(":")[1])
+        elif s.startswith("fd "):
+            head, fields = s.split(":", 1)
+            fd = int(head.split()[1])
+            entry = doc["sinks"].setdefault(fd, {})
+            for item in fields.split():
+                k, v = item.split("=")
+                entry[k] = int(v, 0)
+    return doc

@@ -115,6 +115,40 @@ def test_eviction_keeps_newest_within_cap(tmp_path):
     assert cache.stats.evicted >= 3
 
 
+def test_lru_stamps_are_strictly_increasing(tmp_path):
+    """Regression: recency used plain filesystem mtimes, whose
+    granularity can be as coarse as one second — blobs stored or hit in
+    the same tick tied, and eviction picked among hot blobs arbitrarily.
+    Every touch must now issue a strictly greater ns stamp."""
+    cache = ArtifactCache(tmp_path, cap=100)
+    keys = [content_key("blob", str(i)) for i in range(8)]
+    for i, key in enumerate(keys):
+        cache.put(key, bytes([i]))
+    stamps = [cache._path(k).stat().st_mtime_ns for k in keys]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)     # no ties, ever
+    # Hits re-stamp too, strictly above everything issued before.
+    cache.get(keys[0])
+    assert cache._path(keys[0]).stat().st_mtime_ns > max(stamps)
+
+
+def test_eviction_tie_break_keeps_the_refreshed_blob(tmp_path):
+    """Regression: with identical on-disk mtimes a get()-refreshed blob
+    could be evicted while never-touched blobs survived.  The hit's
+    fresh stamp must order it newest regardless of prior ties."""
+    cache = ArtifactCache(tmp_path, cap=4)
+    keys = [content_key("blob", str(i)) for i in range(4)]
+    for i, key in enumerate(keys):
+        cache.put(key, bytes([i]))
+        os.utime(cache._path(key), ns=(1_000, 1_000))  # force a 4-way tie
+    assert cache.get(keys[0]) == bytes([0])    # the hot blob
+    cache.put(content_key("blob", "new"), b"n")
+    cache.put(content_key("blob", "new2"), b"n2")
+    assert len(cache) <= 4
+    assert cache.get(keys[0]) == bytes([0])    # survived both evictions
+    assert cache.stats.evicted == 2
+
+
 def test_clear_on_never_populated_root(tmp_path, monkeypatch):
     """Regression: ``clear()`` before any ``put`` used to raise
     FileNotFoundError iterating the absent ``objects/`` directory."""
@@ -222,6 +256,57 @@ def test_garbage_instrument_payload_recompiles(tmp_path):
     warm = runner.apply_tool(app, tool, cache=cache)
     assert warm.cached
     assert warm.module.to_bytes() == result.module.to_bytes()
+
+
+def test_undecodable_payload_is_a_counted_corruption(tmp_path):
+    """A digest-valid blob whose contents do not unpack is a *counted*
+    miss: the store's corrupt counter must move so the failure shows up
+    in trace summaries instead of being silently recompiled around."""
+    cache = ArtifactCache(tmp_path)
+    app = build_workload("fib")
+    tool = get_tool("prof")
+    fingerprint = runner._instrument_fingerprint(tool)
+    key = instrument_key(app.to_bytes(), tool.analysis_source,
+                         fingerprint, "O1", "linked", ())
+    cache.put(key, b"digest-valid but not an instrument payload")
+    before = cache.stats.corrupt
+    runner.apply_tool(app, tool, cache=cache)
+    assert cache.stats.corrupt == before + 1
+
+
+def test_decoder_bug_propagates_not_swallowed(tmp_path):
+    """Regression: the cache-decode path caught blanket ``Exception``,
+    so a programming error in the decoder (here: a stats dict whose keys
+    no longer match InstrumentStats) was laundered into a permanent
+    cache miss.  Such errors must raise."""
+    cache = ArtifactCache(tmp_path)
+    app = build_workload("fib")
+    tool = get_tool("prof")
+    pristine = runner.apply_tool(app, tool, cache=cache)
+    fingerprint = runner._instrument_fingerprint(tool)
+    key = instrument_key(app.to_bytes(), tool.analysis_source,
+                         fingerprint, "O1", "linked", ())
+    bad = pack_instrument(pristine.module.to_bytes(),
+                          {"not_a_stats_field": 1})
+    cache.put(key, bad)
+    with pytest.raises(TypeError):
+        runner.apply_tool(app, tool, cache=cache)
+
+
+def test_taint_env_perturbs_the_instrument_fingerprint(monkeypatch):
+    """The taint tool reads ``WRL_TAINT_SOURCES`` when no tool args are
+    given; a cached instrumented executable keyed without it would be
+    served under the wrong sources."""
+    tool = get_tool("taint")
+    monkeypatch.setenv("WRL_TAINT_SOURCES", "argv")
+    fp_argv = runner._instrument_fingerprint(tool)
+    monkeypatch.setenv("WRL_TAINT_SOURCES", "stdin")
+    fp_stdin = runner._instrument_fingerprint(tool)
+    assert fp_argv != fp_stdin
+    monkeypatch.setenv("WRL_TAINT_SOURCES", "argv")
+    assert runner._instrument_fingerprint(tool) == fp_argv
+    # Tools without the hook are unaffected.
+    assert runner._instrument_fingerprint(get_tool("prof"))
 
 
 def test_pack_unpack_roundtrip_and_format_errors():

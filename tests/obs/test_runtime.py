@@ -115,6 +115,11 @@ def test_sampling_does_not_perturb_the_guest(prof_o4):
     ("prof", OptLevel.O4),
     ("dyninst", OptLevel.O0),
     ("dyninst", OptLevel.O4),
+    # taint is the densest instrumentation regime (inst-level snippets
+    # between same-cache-line memory pairs): exactness here depends on
+    # the cost model's provenance streams.
+    ("taint", OptLevel.O0),
+    ("taint", OptLevel.O4),
 ])
 def test_attribution_accounts_for_every_cycle(fib, tool_name, opt):
     """Cross-check against the cost model: at interval=1 the orig

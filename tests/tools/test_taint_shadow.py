@@ -1,0 +1,196 @@
+"""Property tests for the taint tool's byte-granular shadow semantics.
+
+The invariants under test mirror ``tests/machine/test_memory.py``'s
+mixed-width traffic suite, but for the *shadow* plane: overlapping
+stores of different widths, page-straddling accesses, and source
+fills/wipes must leave the page-sparse :class:`ShadowMemory` in exactly
+the state a flat per-byte dict would be in.  The same structure is
+implemented in MLC inside every taint-instrumented executable
+(``tools/taint/analysis.mlc``); the end-to-end cross-check against that
+implementation lives in ``test_tools.py``'s ``TestTaint``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tools.taint.shadow import (DIR_PAGES, PAGE_SIZE, ShadowMemory,
+                                      parse_report)
+
+# A window spanning three pages, with accesses biased toward the page
+# boundaries so straddling is common, mirroring the machine memory
+# suite's traffic shape.
+WINDOW = 3 * PAGE_SIZE
+
+addrs = st.one_of(
+    st.integers(min_value=0, max_value=WINDOW - 9),
+    st.builds(lambda page, d: page * PAGE_SIZE + d,
+              st.integers(min_value=1, max_value=2),
+              st.integers(min_value=-8, max_value=7)),
+)
+sizes = st.sampled_from([1, 2, 4, 8])
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), addrs, sizes, st.booleans(),
+                  st.integers(min_value=4, max_value=2 ** 20)),
+        st.tuples(st.just("load"), addrs, sizes),
+        st.tuples(st.just("fill"), addrs,
+                  st.integers(min_value=1, max_value=32),
+                  st.integers(min_value=1, max_value=2 ** 20)),
+        st.tuples(st.just("wipe"), addrs,
+                  st.integers(min_value=1, max_value=32)),
+    ),
+    max_size=60,
+)
+
+
+class FlatShadow:
+    """The obviously-correct reference: one dict entry per tainted byte,
+    value = origin pc."""
+
+    def __init__(self):
+        self.bytes = {}
+
+    def store(self, addr, size, taint, pc):
+        for a in range(addr, addr + size):
+            if taint:
+                self.bytes[a] = pc
+            else:
+                self.bytes.pop(a, None)
+
+    def load(self, addr, size):
+        return int(any(a in self.bytes for a in range(addr, addr + size)))
+
+    def fill(self, start, length, origin):
+        for a in range(start, start + length):
+            self.bytes[a] = origin
+
+    def wipe(self, start, length):
+        for a in range(start, start + length):
+            self.bytes.pop(a, None)
+
+    def ranges(self):
+        out, run = [], None
+        for a in sorted(self.bytes):
+            if run and a == run[0] + run[1]:
+                run[1] += 1
+            else:
+                if run:
+                    out.append(tuple(run))
+                run = [a, 1]
+        if run:
+            out.append(tuple(run))
+        return out
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_shadow_matches_flat_reference(trace):
+    shadow, flat = ShadowMemory(), FlatShadow()
+    for op in trace:
+        if op[0] == "store":
+            _, addr, size, taint, pc = op
+            shadow.store(addr, size, taint, pc)
+            flat.store(addr, size, taint, pc)
+        elif op[0] == "load":
+            _, addr, size = op
+            assert shadow.load(addr, size) == flat.load(addr, size)
+        elif op[0] == "fill":
+            _, start, length, origin = op
+            shadow.fill(start, length, origin)
+            flat.fill(start, length, origin)
+        else:
+            _, start, length = op
+            shadow.wipe(start, length)
+            flat.wipe(start, length)
+    assert shadow.tainted_bytes == len(flat.bytes)
+    assert shadow.ranges() == flat.ranges()
+    for a, origin in flat.bytes.items():
+        assert shadow.get_byte(a) == 1
+        assert shadow.origin(a) == origin
+
+
+@given(addrs, sizes, st.integers(min_value=4, max_value=2 ** 20))
+@settings(max_examples=100, deadline=None)
+def test_load_taint_is_or_of_covered_bytes(addr, size, pc):
+    """A load's taint is exactly the OR over its covered shadow bytes —
+    tainting any single covered byte flips it, any byte outside the
+    access never does."""
+    shadow = ShadowMemory()
+    assert shadow.load(addr, size) == 0
+    for i in range(size):
+        shadow.set_byte(addr + i, 1, pc)
+        assert shadow.load(addr, size) == 1
+        assert shadow.origin(addr + i) == pc
+        shadow.set_byte(addr + i, 0, 0)
+        assert shadow.load(addr, size) == 0
+    shadow.set_byte(addr + size, 1, pc)     # one past the access
+    assert shadow.load(addr, size) == 0
+
+
+@given(st.integers(min_value=1, max_value=2),
+       st.integers(min_value=1, max_value=7), sizes)
+@settings(max_examples=60, deadline=None)
+def test_page_straddling_store_taints_both_pages(page, back, size):
+    """A store beginning ``back`` bytes before a page boundary covers
+    bytes on both sides; the halves must land in the right pages."""
+    addr = page * PAGE_SIZE - back
+    shadow = ShadowMemory()
+    shadow.store(addr, size, True, 0x1234)
+    assert shadow.tainted_bytes == size
+    for i in range(size):
+        assert shadow.get_byte(addr + i) == 1
+    if size > back:                          # genuinely straddles
+        assert shadow.get_byte(page * PAGE_SIZE - 1) == 1
+        assert shadow.get_byte(page * PAGE_SIZE) == 1
+        assert shadow.ranges() == [(addr, size)]
+
+
+def test_strong_update_untaints():
+    """An untainted store over a tainted range clears exactly the bytes
+    it covers — strong update, not union."""
+    shadow = ShadowMemory()
+    shadow.fill(100, 16, origin=7)
+    shadow.store(104, 8, False, 0)
+    assert shadow.tainted_bytes == 8
+    assert shadow.ranges() == [(100, 4), (112, 4)]
+    # Re-tainting updates the origin (pc of the newest writer).
+    shadow.store(104, 4, True, 0xBEEF)
+    assert shadow.origin(104) == 0xBEEF
+    assert shadow.origin(100) == 7
+
+
+def test_out_of_directory_accesses_are_ignored():
+    """Addresses past the 256 MB directory (matching analysis.mlc's
+    bounds checks) neither taint nor crash."""
+    shadow = ShadowMemory()
+    beyond = DIR_PAGES * PAGE_SIZE + 5
+    shadow.store(beyond, 8, True, 1)
+    shadow.store(-9, 8, True, 1)
+    assert shadow.tainted_bytes == 0
+    assert shadow.load(beyond, 8) == 0
+    # A store straddling the directory edge taints only the in-range part.
+    edge = DIR_PAGES * PAGE_SIZE - 4
+    shadow.store(edge, 8, True, 1)
+    assert shadow.tainted_bytes == 4
+
+
+def test_parse_report_roundtrip():
+    text = ("taint report v1\n"
+            "sources: argv=1 stdin=0 ranges=2\n"
+            "tainted bytes: 9\n"
+            "map:\n"
+            "  0xff8 +5\n"
+            "  0x2000 +4\n"
+            "ranges: 2\n"
+            "sinks:\n"
+            "  fd 1: writes=3 bytes=40 tainted_writes=1\n"
+            "  fd 1: tainted_bytes=5 first_pc=0x120004\n"
+            "  fd 1: first_origin=0x120010\n")
+    doc = parse_report(text)
+    assert doc["tainted"] == 9
+    assert doc["map"] == [(0xFF8, 5), (0x2000, 4)]
+    assert doc["ranges"] == 2
+    assert doc["sinks"][1]["writes"] == 3
+    assert doc["sinks"][1]["tainted_bytes"] == 5
+    assert doc["sinks"][1]["first_pc"] == 0x120004
+    assert doc["sinks"][1]["first_origin"] == 0x120010

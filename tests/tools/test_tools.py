@@ -1,4 +1,4 @@
-"""Tests for all eleven tools of the paper's evaluation.
+"""Tests for the paper's eleven evaluation tools plus the taint tool.
 
 Each test instruments a representative application, runs it, and checks
 the analysis report — and that the application's own behaviour is
@@ -59,7 +59,9 @@ def report(result, tool):
 
 class TestRegistry:
     def test_all_eleven_present(self):
-        assert len(TOOL_NAMES) == 11
+        # the paper's eleven plus the taint dataflow tool
+        assert len(TOOL_NAMES) == 12
+        assert "taint" in TOOL_NAMES
         tools = all_tools()
         assert [t.name for t in tools] == list(TOOL_NAMES)
         for tool in tools:
@@ -84,6 +86,8 @@ class TestRegistry:
             "pipe": ("each basic block", 2),
             "prof": ("each procedure/each basic block", 2),
             "syscall": ("before/after each system call", 2),
+            "taint": ("each load/store/ALU op/reg-writing transfer"
+                      "/syscall", 5),
             "unalign": ("each memory reference", 3),
         }
         for tool in all_tools():
@@ -202,6 +206,109 @@ class TestSyscall:
                    for l in text.splitlines()[2:] if "\t" in l}
         assert 2 in numbers                      # SYS_WRITE
         assert 6 in numbers                      # SYS_SBRK
+
+
+class TestTaint:
+    # argv[1] flows byte-by-byte through a copy loop into the stdout
+    # write; the stderr write carries only constant data.
+    TAINT_APP = r"""
+    char buf[64];
+    char pad[64];
+
+    int main(int argc, char **argv) {
+        long i = 0;
+        char *s = argv[1];
+        while (s[i]) { buf[i] = s[i]; i++; }
+        buf[i] = '\n';
+        write(1, buf, i + 1);
+        write(2, "done\n", 5);
+        return 0;
+    }
+    """
+
+    @pytest.fixture(scope="class")
+    def taint_app(self):
+        return build_executable([self.TAINT_APP])
+
+    @staticmethod
+    def run_taint(app, tool_args=(), **kw):
+        tool = get_tool("taint")
+        res = apply_tool(app, tool, tool_args=tool_args, **kw)
+        result = run_instrumented(res, args=("secret",))
+        return tool, result
+
+    def test_argv_taint_reaches_the_sink(self, taint_app):
+        from repro.tools.taint.shadow import parse_report
+        tool, result = self.run_taint(taint_app, tool_args=("argv",))
+        assert result.stdout == b"secret\n"
+        doc = parse_report(report(result, tool))
+        assert doc["sources"] == "argv=1 stdin=0 ranges=0"
+        # "prog\0" + "secret\0" from argv, plus the copies into buf.
+        assert doc["tainted"] >= 5 + 7 + 6
+        # The map is consistent: runs are disjoint, sorted, and sum to
+        # the tainted-byte total.
+        assert doc["ranges"] == len(doc["map"])
+        assert sum(n for _, n in doc["map"]) == doc["tainted"]
+        starts = [a for a, _ in doc["map"]]
+        assert starts == sorted(starts)
+        for (a, n), (b, _m) in zip(doc["map"], doc["map"][1:]):
+            assert a + n < b                 # coalesced: no touching runs
+        # stdout got the 6 copied "secret" bytes (the '\n' came from a
+        # constant store); stderr got only constants.
+        assert doc["sinks"][1]["writes"] == 1
+        assert doc["sinks"][1]["bytes"] == 7
+        assert doc["sinks"][1]["tainted_writes"] == 1
+        assert doc["sinks"][1]["tainted_bytes"] == 6
+        assert doc["sinks"][1]["first_pc"] != 0
+        # first tainted byte's origin: the copy-loop store, an original
+        # app text pc.
+        assert doc["sinks"][1]["first_origin"] != 0
+        assert doc["sinks"][2]["tainted_writes"] == 0
+        assert doc["sinks"][2]["tainted_bytes"] == 0
+        assert doc["sinks"][2]["first_pc"] == 0
+
+    def test_range_source_cross_checks_shadow_model(self, taint_app):
+        """Taint a never-written global range: the MLC report's map must
+        equal the Python ShadowMemory model's prediction exactly."""
+        from repro.tools.taint.shadow import ShadowMemory, parse_report
+        pad = taint_app.symtab.get("pad").value
+        tool, result = self.run_taint(taint_app,
+                                      tool_args=(f"range:{pad + 8}:24",))
+        doc = parse_report(report(result, tool))
+        model = ShadowMemory()
+        model.fill(pad + 8, 24)
+        assert doc["tainted"] == model.tainted_bytes == 24
+        assert doc["map"] == model.ranges() == [(pad + 8, 24)]
+        assert doc["sinks"][1]["tainted_bytes"] == 0
+
+    def test_no_sources_means_no_taint(self, taint_app):
+        from repro.tools.taint.shadow import parse_report
+        tool, result = self.run_taint(taint_app, tool_args=("none",))
+        doc = parse_report(report(result, tool))
+        assert doc["tainted"] == 0
+        assert doc["map"] == []
+        assert doc["sinks"][1]["writes"] == 1    # sink table still counts
+
+    def test_env_sources_fallback(self, taint_app, monkeypatch):
+        from repro.tools.taint.shadow import parse_report
+        monkeypatch.setenv("WRL_TAINT_SOURCES", "none")
+        tool, result = self.run_taint(taint_app, cache=None)
+        doc = parse_report(report(result, tool))
+        assert doc["sources"] == "argv=0 stdin=0 ranges=0"
+        assert doc["tainted"] == 0
+
+    def test_bad_source_args_rejected(self):
+        from repro.tools.taint import TaintArgsError, parse_sources
+        assert parse_sources(["argv", "range:0x100:8"]) == \
+            (True, False, ((0x100, 8),))
+        with pytest.raises(TaintArgsError):
+            parse_sources(["argh"])
+        with pytest.raises(TaintArgsError):
+            parse_sources(["range:10"])
+        with pytest.raises(TaintArgsError):
+            parse_sources(["range:x:8"])
+        with pytest.raises(TaintArgsError):
+            parse_sources(["range:8:0"])
 
 
 class TestUnalign:
