@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz check-taint fuzz-corpus
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz check-taint check-serve fuzz-corpus
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -108,6 +108,18 @@ check-taint:
 	    --jobs 2 --out $(TAINT_DIR)
 	$(PYTHON) -m repro.perf.bench --tools taint --out /tmp/bench_taint.json
 	$(PYTHON) -m repro.perf.bench --compare BENCH_interp.json /tmp/bench_taint.json
+
+# Daemon lane: the serve test suite, then a live differential replay —
+# start a real wrl-serve daemon, push a corpus slice through concurrent
+# duplicated thin clients, and require (1) byte-identity against the
+# cold-process artifacts and (2) a minimum dedup hit rate.  On failure
+# the daemon trace + failure report land in SERVE_DIR (uploaded as a CI
+# artifact).
+SERVE_DIR ?= /tmp/wrl-serve-artifacts
+check-serve:
+	$(PYTHON) -m pytest -q tests/serve
+	$(PYTHON) -m repro.serve.check --limit 10 --dup 3 \
+	    --min-dedup-rate 0.34 --artifacts $(SERVE_DIR)
 
 # Regenerate the committed seed corpus (policy in DESIGN.md): only when
 # the generator's output changes deliberately, never to paper over a

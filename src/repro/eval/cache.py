@@ -18,8 +18,12 @@ Layout::
 * Writes are atomic (temp file + ``os.replace``), so concurrent workers
   racing on the same key at worst both compile; the store never holds a
   half-written blob.
-* Eviction is LRU past ``cap`` entries; ``WRL_CACHE_CAP`` overrides the
-  default of 512.  Recency is tracked by stamping blobs with explicit,
+* Eviction is LRU past ``cap`` entries — and, when a byte quota is set
+  (``max_bytes``), past that many payload bytes on disk: the serve
+  daemon layers per-tenant namespaces on this, giving every tenant its
+  own rooted store whose eviction can only ever touch that tenant's
+  blobs.  ``WRL_CACHE_CAP`` overrides the default entry cap of 512.
+  Recency is tracked by stamping blobs with explicit,
   strictly increasing nanosecond mtimes (``os.utime(path, ns=...)``) on
   every store and hit: filesystem timestamp granularity can be as coarse
   as one second, and letting hits tie would make eviction pick among hot
@@ -97,15 +101,22 @@ class ArtifactCache:
     """One content-addressed blob store rooted at a directory."""
 
     def __init__(self, root: Path | str | None = None,
-                 cap: int | None = None):
+                 cap: int | None = None,
+                 max_bytes: int | None = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.cap = cap if cap is not None else _default_cap()
+        #: Optional byte quota over the blobs on disk (None = entry cap
+        #: only).  Eviction keeps the store under *both* limits.
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
         #: Cached blob count so a warm-cache ``put`` does O(1) work
         #: instead of re-listing ``objects/``; None means "recount on
         #: next use" (fresh store, or invalidated by clear/corruption —
         #: moments when our view of the tree may have drifted from disk).
         self._nblobs: int | None = None
+        #: Cached byte total, maintained the same way (only consulted
+        #: when a byte quota is set).
+        self._nbytes: int | None = None
         #: Last LRU stamp issued (ns).  Each touch takes
         #: max(now_ns, last + 1), so stamps are strictly increasing even
         #: when the clock is coarse or steps backwards.
@@ -137,6 +148,7 @@ class ArtifactCache:
             self.stats.corrupt += 1
             TRACE.count("cache.corrupt")
             self._nblobs = None
+            self._nbytes = None
             try:
                 path.unlink()
             except OSError:
@@ -167,8 +179,14 @@ class ArtifactCache:
         self.stats.stores += 1
         TRACE.count("cache.stores")
         self._touch(path)
-        if self._nblobs is not None and not existed:
-            self._nblobs += 1
+        if not existed:
+            if self._nblobs is not None:
+                self._nblobs += 1
+            if self._nbytes is not None:
+                self._nbytes += len(blob)
+        else:
+            # Overwrite: the old size is unknown; recount lazily.
+            self._nbytes = None
         self._evict()
 
     def note_corrupt(self) -> None:
@@ -179,9 +197,20 @@ class ArtifactCache:
         self.stats.corrupt += 1
         TRACE.count("cache.corrupt")
         self._nblobs = None
+        self._nbytes = None
 
     def __len__(self) -> int:
         return sum(1 for _ in self._iter_blobs())
+
+    def total_bytes(self) -> int:
+        """Bytes of blob data on disk (stat walk; not the cached view)."""
+        total = 0
+        for path in self._iter_blobs():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def clear(self) -> None:
         """Delete every blob; a no-op on a never-populated root."""
@@ -191,6 +220,7 @@ class ArtifactCache:
             except OSError:
                 pass
         self._nblobs = None
+        self._nbytes = None
 
     # ---- eviction ---------------------------------------------------------
 
@@ -225,29 +255,46 @@ class ArtifactCache:
     def _evict(self) -> None:
         # O(1) on the warm path: trust the cached count while it says we
         # are under cap, and only re-list ``objects/`` (re-establishing
-        # the exact count) once it claims the cap is exceeded.
+        # the exact count) once it claims a limit is exceeded.
         if self._nblobs is None:
             self._nblobs = sum(1 for _ in self._iter_blobs())
-        if self._nblobs <= self.cap:
+        over_count = self._nblobs > self.cap
+        over_bytes = False
+        if self.max_bytes is not None:
+            if self._nbytes is None:
+                self._nbytes = self.total_bytes()
+            over_bytes = self._nbytes > self.max_bytes
+        if not over_count and not over_bytes:
             return
-        blobs = list(self._iter_blobs())
-        self._nblobs = len(blobs)
-        if len(blobs) <= self.cap:
-            return
-        def lru_key(path):
+        def lru_key(entry):
             # ns-precision recency (matching _touch's stamps), with the
             # blob name as a deterministic tie-break for stamps this
             # process did not issue.
+            path, _ = entry
             try:
                 return (path.stat().st_mtime_ns, path.name)
             except OSError:
                 return (0, path.name)
+        blobs = []
+        for path in self._iter_blobs():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+            blobs.append((path, size))
+        self._nblobs = len(blobs)
+        self._nbytes = sum(size for _, size in blobs)
         blobs.sort(key=lru_key)
-        for path in blobs[:len(blobs) - self.cap]:
+        for path, size in blobs:
+            if self._nblobs <= self.cap and (
+                    self.max_bytes is None
+                    or self._nbytes <= self.max_bytes):
+                break
             try:
                 path.unlink()
                 self.stats.evicted += 1
                 self._nblobs -= 1
+                self._nbytes -= size
                 TRACE.count("cache.evicted")
             except OSError:
                 pass

@@ -36,7 +36,7 @@ import sys
 import time
 from collections import deque
 from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
-                                wait)
+                                ThreadPoolExecutor, wait)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -51,6 +51,18 @@ from .cache import ArtifactCache, cache_enabled, default_cache_dir
 from .errors import EvalTimeout
 
 MATRIX_SCHEMA = "repro-eval-matrix/v1"
+
+
+def default_jobs() -> int:
+    """Worker-pool width for this process: the CPUs it may actually
+    run on (``sched_getaffinity`` — cgroup/CPU-quota aware), not the
+    machine-wide ``cpu_count()``, which oversubscribes the pool inside
+    containers pinned to a slice of the host.  Shared by the ``wrl-eval``
+    ``--jobs`` default and the serve daemon's pool sizing."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
 
 #: Compact default matrix: every stock tool over four small workloads at
 #: the default opt level (use --all for the full 11 x 20 sweep).
@@ -190,10 +202,20 @@ _base_memo: dict[tuple, tuple] = {}
 
 
 def _resolve_worker_cache(cache_spec) -> ArtifactCache | None:
+    """Materialize a picklable cache spec in a worker process.
+
+    ``False`` disables the store, ``None`` uses the process default, a
+    path roots a store there, and a ``(root, cap, max_bytes)`` tuple —
+    the serve daemon's per-tenant namespaces — roots a quota-bounded
+    store whose eviction only ever touches that root.
+    """
     if cache_spec is False:
         return None
     if cache_spec is None:
         return runner._resolve_cache(runner._DEFAULT_CACHE)
+    if isinstance(cache_spec, tuple):
+        root, cap, max_bytes = cache_spec
+        return ArtifactCache(Path(root), cap=cap, max_bytes=max_bytes)
     return ArtifactCache(Path(cache_spec))
 
 
@@ -336,6 +358,28 @@ def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
     return rec
 
 
+def run_with_retries(spec: TaskSpec, cache_spec=None, fuse: bool = True,
+                     retries: int = 1, trace: bool = False) -> TaskResult:
+    """One cell with the serial retry/quarantine semantics.
+
+    This is the *contract* the serve daemon's workers share with the
+    inline (``jobs=0``) runner: erroring tasks are retried up to
+    ``retries`` times, deterministic timeouts are never retried, and
+    the surviving record carries its attempt count with ``quarantined``
+    set for any non-ok outcome — so a task that times out under the
+    daemon produces the same record as under ``wrl-eval``.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        rec = execute_task(spec, cache_spec, fuse, trace)
+        if rec.status != "error" or attempt > retries:
+            break
+    rec.attempts = attempt
+    rec.quarantined = rec.status != "ok"
+    return rec
+
+
 # ---- the work-queue runner ------------------------------------------------
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -392,14 +436,9 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
 
     if jobs <= 0:
         for idx, spec in enumerate(specs):
-            attempt = 0
-            while True:
-                attempt += 1
-                rec = execute_task(spec, cache_spec, fuse, trace_on)
-                if rec.status != "error" or attempt > retries:
-                    break
-            rec.quarantined = rec.status != "ok"
-            finish(idx, rec, attempt)
+            rec = run_with_retries(spec, cache_spec, fuse, retries,
+                                   trace_on)
+            finish(idx, rec, rec.attempts)
         return [results[i] for i in range(len(specs))]
 
     pending: deque[tuple[int, int]] = deque(
@@ -515,6 +554,48 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
     return [results[i] for i in range(len(specs))]
 
 
+def run_matrix_via_server(specs, server, *, tenant=None, jobs: int = 4,
+                          retries: int = 1, num_shards: int = 1,
+                          progress=None) -> list[TaskResult]:
+    """Execute every spec through a ``wrl-serve`` daemon (spec order).
+
+    The thin-client counterpart of :func:`run_matrix`: each cell becomes
+    one eval request, issued over up to ``jobs`` concurrent connections
+    so the daemon can dedup and batch across them.  Structured daemon
+    errors (``overloaded``, protocol rejections) become error records
+    rather than exceptions, mirroring the local runner's never-raise
+    contract; everything in :meth:`TaskResult.identity` is byte-identical
+    to a local run because the daemon's workers execute the very same
+    :func:`run_with_retries`.
+    """
+    from ..serve.client import ServeClient, ServeError
+    specs = list(specs)
+    client = ServeClient(server)
+    results: dict[int, TaskResult] = {}
+
+    def one(item):
+        idx, spec = item
+        try:
+            record = client.eval_task(spec, tenant=tenant,
+                                      retries=retries)
+            rec = TaskResult(**record)
+        except ServeError as exc:
+            rec = TaskResult(tool=spec.tool, workload=spec.workload,
+                             opt=spec.opt, heap_mode=spec.heap_mode,
+                             status="error",
+                             error=f"serve:{exc.kind}: {exc}",
+                             quarantined=True)
+        rec.shard = shard_of(spec, num_shards)
+        return idx, rec
+
+    with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        for idx, rec in pool.map(one, enumerate(specs)):
+            results[idx] = rec
+            if progress is not None:
+                progress(rec)
+    return [results[i] for i in range(len(specs))]
+
+
 # ---- the matrix report ----------------------------------------------------
 
 def default_matrix_path() -> Path:
@@ -619,9 +700,18 @@ def main(argv=None) -> int:
                         help="comma-separated workload names")
     parser.add_argument("--opts", default=",".join(DEFAULT_OPTS),
                         help="comma-separated opt levels (O0..O3)")
-    parser.add_argument("--jobs", type=int,
-                        default=max(1, os.cpu_count() or 1),
-                        help="worker processes (0 = inline/serial)")
+    parser.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="worker processes (0 = inline/serial; "
+                             "default: CPUs this process may run on)")
+    parser.add_argument("--server", default=None, metavar="SOCKET",
+                        help="run as a thin client against a wrl-serve "
+                             "daemon at SOCKET instead of executing "
+                             "locally (default: $WRL_SERVER); --jobs "
+                             "bounds concurrent requests")
+    parser.add_argument("--tenant", default=None,
+                        help="cache-namespace tenant for --server "
+                             "requests (default: $WRL_TENANT or "
+                             "'default')")
     parser.add_argument("--shard", type=_parse_shard, default=(0, 1),
                         metavar="I/N",
                         help="run shard I of N (deterministic split)")
@@ -693,15 +783,47 @@ def main(argv=None) -> int:
                   else args.cache_dir or
                   (str(default_cache_dir()) if cache_enabled()
                    else "(disabled by WRL_CACHE=0)"))
-    print(f"wrl-eval: {len(selected)}/{len(specs)} cells "
-          f"(shard {shard}/{num_shards}), jobs={args.jobs}, "
-          f"cache={cache_root}")
+    server = args.server or os.environ.get("WRL_SERVER") or None
+    tenant = args.tenant or os.environ.get("WRL_TENANT") or "default"
+    if server:
+        print(f"wrl-eval: {len(selected)}/{len(specs)} cells "
+              f"(shard {shard}/{num_shards}) via server {server}, "
+              f"tenant={tenant}, {args.jobs} concurrent requests")
+    else:
+        print(f"wrl-eval: {len(selected)}/{len(specs)} cells "
+              f"(shard {shard}/{num_shards}), jobs={args.jobs}, "
+              f"cache={cache_root}")
 
     def progress(rec: TaskResult) -> None:
         mark = {"ok": ".", "timeout": "T", "error": "E"}[rec.status]
         detail = (f"{rec.cycle_overhead:.2f}x cycles"
                   if rec.status == "ok" else rec.error)
         print(f"  [{mark}] {rec.workload}+{rec.tool}@{rec.opt}: {detail}")
+
+    if server:
+        t0 = time.perf_counter()
+        records = run_matrix_via_server(
+            selected, server, tenant=tenant, jobs=max(1, args.jobs),
+            retries=args.retries, num_shards=num_shards,
+            progress=progress)
+        elapsed = time.perf_counter() - t0
+        config = {
+            "tools": list(tools), "workloads": list(workloads),
+            "opts": list(opts), "jobs": args.jobs, "shard": shard,
+            "num_shards": num_shards, "retries": args.retries,
+            "max_insts": args.max_insts,
+            "server": server, "tenant": tenant,
+        }
+        report = build_report(records, config)
+        validate_matrix_report(report)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        summary = report["summary"]
+        print(f"wrote {out}")
+        print(f"  {summary['ok']}/{summary['total']} ok, "
+              f"{summary['timeout']} timeout, {summary['error']} error, "
+              f"{summary['quarantined']} quarantined")
+        print(f"  wall: {elapsed:.1f}s end-to-end via {server}")
+        return 0 if summary["ok"] == summary["total"] else 1
 
     if args.heartbeat:
         # Workers inherit the environment (fork and spawn alike), so the

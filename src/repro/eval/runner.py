@@ -56,6 +56,30 @@ def _resolve_cache(cache) -> ArtifactCache | None:
     return cache
 
 
+def preload_process() -> None:
+    """Pre-import the whole compile/run stack into this process.
+
+    The serve daemon's warm worker pool runs this as the pool
+    initializer: a cold Python worker pays several hundred milliseconds
+    of imports (parser, codegen, interpreter, tool registry) on its
+    first task, which would be charged to whichever unlucky request
+    lands there.  After preload, per-task cost is pure work.
+    """
+    # The imports at the top of this module already pull in the atom
+    # instrumenter, the OM passes, the MLC frontend, and the machine;
+    # what remains lazy are the tool/workload registries and the
+    # heavier leaf modules the first task would fault in.
+    from .. import tools, workloads                       # noqa: F401
+    from ..machine import jit, loader                     # noqa: F401
+    from ..mlc import codegen, parser                     # noqa: F401
+    from ..obs import runtime                             # noqa: F401
+    from ..tools import TOOL_NAMES, get_tool
+    from ..workloads import load_source                   # noqa: F401
+    for name in TOOL_NAMES:
+        tool = get_tool(name)
+        tool.analysis_source                              # noqa: B018
+
+
 def analysis_unit_for(tool: Tool, *, cache=_DEFAULT_CACHE) -> Module:
     """Compile the tool's analysis routines into a linked unit (cached)."""
     key = analysis_key(tool.analysis_source)

@@ -48,11 +48,31 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--collapsed", default=None, metavar="PATH",
                     help="also write collapsed flamegraph stacks "
                          "(implies --call-stacks)")
+    ap.add_argument("--server", default=None, metavar="SOCKET",
+                    help="execute on a running wrl-serve daemon "
+                         "instead of in-process (default: $WRL_SERVER "
+                         "when set); artifacts are byte-identical to "
+                         "the local path")
+    ap.add_argument("--tenant", default=None,
+                    help="cache namespace on the daemon (default: "
+                         "$WRL_TENANT or 'default')")
     args = ap.parse_args(argv)
     if args.max_insts <= 0:
         ap.error("--max-insts must be positive")
     if args.sample_interval is not None and args.sample_interval < 1:
         ap.error("--sample-interval must be >= 1")
+
+    import os
+    server = args.server or os.environ.get("WRL_SERVER") or None
+    if server:
+        profiling = args.profile or args.collapsed \
+            or args.sample_interval is not None or args.call_stacks
+        if profiling or args.trace:
+            ap.error("--profile/--collapsed/--sample-interval/"
+                     "--call-stacks/--trace run in-process; drop "
+                     "--server (or unset WRL_SERVER) to use them")
+        return _main_via_server(args, server)
+
     module = Module.load(args.executable)
 
     sampler = None
@@ -124,6 +144,53 @@ def main(argv: list[str] | None = None) -> int:
             print(f"--- {name} ---", file=sys.stderr)
             sys.stderr.write(content.decode("utf-8", "replace"))
     return result.status
+
+
+def _main_via_server(args, server: str) -> int:
+    """The thin-client half of wrl-run: ship the exe to a wrl-serve
+    daemon and map its structured replies onto the same exit codes as
+    the in-process path (timeout 124, machine fault 125)."""
+    import os
+
+    from ..serve.client import ServeClient
+    from ..serve.protocol import ServeError
+    tenant = args.tenant or os.environ.get("WRL_TENANT") or "default"
+    exe = open(args.executable, "rb").read()
+    try:
+        stdin = b""
+        if not sys.stdin.isatty():
+            stdin = sys.stdin.buffer.read()
+    except (OSError, ValueError, AttributeError):
+        stdin = b""
+    client = ServeClient(server)
+    try:
+        reply = client.run_exe(exe, args=tuple(args.args), stdin=stdin,
+                               max_insts=args.max_insts, jit=args.jit,
+                               tenant=tenant)
+    except ServeError as exc:
+        print(f"wrl-run: {exc}", file=sys.stderr)
+        if exc.kind == "machine-error":
+            return 125
+        if exc.kind == "overloaded":
+            return 75          # EX_TEMPFAIL: back off and retry
+        return 1
+    if reply.timeout:
+        print(f"wrl-run: {reply.message}", file=sys.stderr)
+        return 124
+    sys.stdout.buffer.write(reply.stdout)
+    sys.stderr.buffer.write(reply.stderr)
+    if args.stats:
+        print(f"[cycles={reply.cycles} insts={reply.insts}]",
+              file=sys.stderr)
+        if reply.jit_stats is not None:
+            pairs = " ".join(f"{k.removeprefix('jit_')}={v}"
+                             for k, v in reply.jit_stats.items())
+            print(f"[jit {pairs}]", file=sys.stderr)
+    if args.dump_files:
+        for name, content in sorted((reply.files or {}).items()):
+            print(f"--- {name} ---", file=sys.stderr)
+            sys.stderr.write(content.decode("utf-8", "replace"))
+    return int(reply.status)
 
 
 if __name__ == "__main__":

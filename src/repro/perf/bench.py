@@ -1,6 +1,6 @@
 """The interpreter benchmark harness (``python -m repro.perf.bench``).
 
-Two sections, one JSON report:
+Three sections, one JSON report:
 
 * ``interpreter`` — for each workload, an A/B/C of the region JIT, the
   superblock-fused dispatch, and the plain per-instruction loop.
@@ -11,6 +11,10 @@ Two sections, one JSON report:
   cycles and wall-clock throughput of the uninstrumented and
   instrumented executables — the measured version of the paper's
   Figure 6 overhead story.
+* ``serve`` — throughput of the warm ``wrl-serve`` daemon against the
+  cold-process path (one fresh Python per request), plus the p50
+  latency of a deduplicated burst: the case for
+  instrumentation-as-a-service in numbers.
 
 Simulated cycles are deterministic; wall-clock insts/sec is best-of-N
 with a warmup run so lazy superblock compilation is excluded, the
@@ -35,11 +39,11 @@ from ..obs import TRACE, trace_path_from_env
 from ..tools import TOOL_NAMES
 from ..workloads import WORKLOAD_NAMES, build_workload
 
-BENCH_SCHEMA = "repro-bench-interp/v3"
+BENCH_SCHEMA = "repro-bench-interp/v4"
 #: Older schemas ``validate_report`` still accepts (reports written by
 #: previous revisions remain comparable baselines).
 ACCEPTED_SCHEMAS = ("repro-bench-interp/v1", "repro-bench-interp/v2",
-                    BENCH_SCHEMA)
+                    "repro-bench-interp/v3", BENCH_SCHEMA)
 
 #: Compact default matrix: enough signal to regress against without the
 #: full 20x11x5 sweep (use --all for that).
@@ -178,13 +182,122 @@ def overhead_table(rows: list[dict]) -> dict:
     return acc
 
 
+#: Workload for the serve section: small enough that daemon round-trip
+#: overhead is visible in the numbers, big enough to be real work.
+SERVE_WORKLOAD = "fib"
+SERVE_WL_ARGS = ("15",)
+
+
+def measure_serve(requests: int = 6, dup: int = 6,
+                  jobs: int = 2) -> dict:
+    """Warm-daemon vs cold-process throughput, and dedup-hit latency.
+
+    * **cold** — each request is a fresh ``python -m repro.machine.cli``
+      subprocess: full interpreter start + package imports per run, the
+      pre-daemon cost model.
+    * **warm** — the same requests against a live in-process daemon
+      (sequential, so none dedup: every request executes).
+    * **dedup** — a burst of ``dup`` *concurrent identical* requests;
+      they coalesce onto one execution and the p50 per-request latency
+      shows what a dedup hit costs.
+    """
+    import os
+    import subprocess
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..serve.client import ServeClient
+    from ..serve.daemon import DaemonThread
+    from ..workloads import build_workload
+
+    module = build_workload(SERVE_WORKLOAD)
+    exe = module.to_bytes()
+    with tempfile.TemporaryDirectory(prefix="wrl-bench-serve-") as tdir:
+        exe_path = Path(tdir) / f"{SERVE_WORKLOAD}.wof"
+        exe_path.write_bytes(exe)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2])
+        env.pop("WRL_SERVER", None)
+
+        t0 = time.perf_counter()
+        for _ in range(requests):
+            subprocess.run(
+                [sys.executable, "-m", "repro.machine.cli",
+                 str(exe_path), *SERVE_WL_ARGS],
+                env=env, check=True, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL, stdin=subprocess.DEVNULL)
+        cold_s = time.perf_counter() - t0
+
+        sock = Path(tdir) / "serve.sock"
+        with DaemonThread(socket_path=sock, jobs=jobs,
+                          cache_root=Path(tdir) / "cache"):
+            client = ServeClient(sock, timeout=600.0)
+            client.run_exe(exe, args=SERVE_WL_ARGS)       # warmup
+            t0 = time.perf_counter()
+            for _ in range(requests):
+                client.run_exe(exe, args=SERVE_WL_ARGS)
+            warm_s = time.perf_counter() - t0
+
+            before = client.stats()["dedup_hits"]
+            lat: list[float] = []
+
+            def one(_):
+                t = time.perf_counter()
+                client.run_exe(exe, args=SERVE_WL_ARGS)
+                lat.append((time.perf_counter() - t) * 1000.0)
+
+            with ThreadPoolExecutor(max_workers=dup) as tp:
+                list(tp.map(one, range(dup)))
+            dedup_hits = client.stats()["dedup_hits"] - before
+
+    from ..obs import percentile
+    cold_rps = requests / cold_s
+    warm_rps = requests / warm_s
+    return {
+        "workload": SERVE_WORKLOAD,
+        "requests": requests,
+        "jobs": jobs,
+        "cold_rps": round(cold_rps, 2),
+        "warm_rps": round(warm_rps, 2),
+        "speedup": round(warm_rps / cold_rps, 2),
+        "dedup_burst": dup,
+        "dedup_hits": dedup_hits,
+        "dedup_latency_ms_p50": round(percentile(sorted(lat), 0.5), 2),
+    }
+
+
+def measure_serve_isolated() -> dict:
+    """``measure_serve`` in a fresh subprocess.
+
+    A full bench run accumulates a large heap before the serve section;
+    forking daemon workers from it drags every measurement down with
+    inherited GC pressure.  A real ``wrl-serve`` is its own lean
+    process, so measure from one: spawn a clean interpreter that runs
+    ``measure_serve()`` and prints the row as JSON.
+    """
+    import os
+    import subprocess
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2])
+    env.pop("WRL_SERVER", None)
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "import json; from repro.perf.bench import measure_serve; "
+         "print(json.dumps(measure_serve()))"],
+        env=env, check=True, stdout=subprocess.PIPE,
+        stdin=subprocess.DEVNULL, timeout=600)
+    return json.loads(proc.stdout)
+
+
 def run_bench(workloads=DEFAULT_WORKLOADS, tools=DEFAULT_TOOLS,
               opts=DEFAULT_OPTS, reps: int = 3,
-              tool_reps: int = 1, jobs: int = 0) -> dict:
-    """Run both sections and assemble the report."""
+              tool_reps: int = 1, jobs: int = 0,
+              serve: bool = True) -> dict:
+    """Run the sections and assemble the report."""
     tool_rows = measure_tools(workloads, tools, opts, reps=tool_reps,
                               jobs=jobs)
     return {
+        **({"serve": measure_serve_isolated()} if serve else {}),
         "schema": BENCH_SCHEMA,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": {
@@ -243,6 +356,18 @@ def validate_report(report: dict) -> None:
                     "instr_cycles", "cycle_overhead", "base_insts",
                     "instr_insts", "base_ips", "instr_ips"):
             need(key in row, f"tools[{i}] missing {key!r}")
+    if "serve" in report:
+        # v4 adds the daemon throughput section (optional: --no-serve
+        # smoke runs omit it; the committed baseline must carry it — a
+        # tier-1 test pins that).
+        serve = report["serve"]
+        need(isinstance(serve, dict), "serve section not an object")
+        for key in ("workload", "requests", "cold_rps", "warm_rps",
+                    "speedup", "dedup_hits", "dedup_latency_ms_p50"):
+            need(key in serve, f"serve section missing {key!r}")
+        for key in ("cold_rps", "warm_rps", "speedup"):
+            need(isinstance(serve[key], (int, float)) and serve[key] > 0,
+                 f"serve[{key!r}] not positive")
 
 
 def _same_host(old: dict, new: dict) -> bool:
@@ -313,6 +438,17 @@ def compare_reports(old: dict, new: dict,
                         f"interpreter {name}: {label} insts/s "
                         f"{base[col]:,} -> {row[col]:,} "
                         f"(limit -{100.0 * ips_threshold:.0f}%)")
+        old_serve, new_serve = old.get("serve"), new.get("serve")
+        if old_serve and new_serve:
+            # Same wall-clock caveat as the interpreter legs: this
+            # catches the daemon hot path collapsing (lost warm pool,
+            # lost batching), not host-load jitter.
+            floor = old_serve["warm_rps"] * (1.0 - ips_threshold)
+            if new_serve["warm_rps"] < floor:
+                regressions.append(
+                    f"serve: warm req/s {old_serve['warm_rps']} -> "
+                    f"{new_serve['warm_rps']} "
+                    f"(limit -{100.0 * ips_threshold:.0f}%)")
     return regressions
 
 
@@ -357,7 +493,12 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true",
                         help="full matrix: every workload and tool")
     parser.add_argument("--quick", action="store_true",
-                        help="smoke run: one workload, one tool, one opt")
+                        help="smoke run: one workload, one tool, one "
+                             "opt, no serve section")
+    parser.add_argument("--serve", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="measure the wrl-serve daemon section "
+                             "(default: on, off with --quick)")
     parser.add_argument("--out", default=str(default_report_path()),
                         help="report path (default: repo root)")
     parser.add_argument("--trace", default=trace_path_from_env(),
@@ -399,6 +540,7 @@ def main(argv=None) -> int:
         workloads, tools = WORKLOAD_NAMES, TOOL_NAMES
     if args.quick:
         workloads, tools, opts = workloads[:1], tools[:1], opts[:1]
+    serve = args.serve if args.serve is not None else not args.quick
 
     if args.reps < 1:
         parser.error("--reps must be at least 1")
@@ -423,7 +565,7 @@ def main(argv=None) -> int:
     try:
         with TRACE.span("wrl-bench", "bench"):
             report = run_bench(workloads, tools, opts, reps=args.reps,
-                               jobs=args.jobs)
+                               jobs=args.jobs, serve=serve)
     finally:
         if args.trace:
             TRACE.write(args.trace)
@@ -448,6 +590,13 @@ def main(argv=None) -> int:
         cells = "  ".join(f"{opt}={cell['cycle_overhead']}x"
                           for opt, cell in sorted(per_opt.items()))
         print(f"    {tool}: {cells}")
+    if "serve" in report:
+        row = report["serve"]
+        print(f"  serve ({row['workload']}): warm {row['warm_rps']} "
+              f"req/s vs cold {row['cold_rps']} req/s "
+              f"({row['speedup']}x), dedup burst {row['dedup_hits']}/"
+              f"{row['dedup_burst'] - 1} hits at "
+              f"{row['dedup_latency_ms_p50']}ms p50")
     return 0
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — the wrl-serve daemon entry point."""
+
+import sys
+
+from .daemon import main
+
+if __name__ == "__main__":
+    sys.exit(main())

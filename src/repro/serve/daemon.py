@@ -1,0 +1,802 @@
+"""``wrl-serve``: the persistent instrumentation-as-a-service daemon.
+
+One asyncio event loop fronts a *warm* ``ProcessPoolExecutor`` (workers
+pre-import the whole compile/run stack, so per-task cost is pure work)
+behind a unix-domain socket speaking the newline-JSON protocol of
+:mod:`repro.serve.protocol`.  The hot path is the point:
+
+* **Dedup** — concurrent identical requests (same spec/exe-hash, args,
+  budgets, tenant) coalesce onto one in-flight entry: N clients, one
+  compile+run, N streamed results.  A client disconnecting mid-stream
+  cancels only its own subscription; deduped siblings are untouched.
+* **Batching** — requests admitted within one ``batch_window`` are
+  packed into shard-aware batches (eval cells grouped by workload, so a
+  batch shares its worker's memoized uninstrumented baseline) and each
+  batch costs one pool round-trip.
+* **Admission control** — at most ``max_queue`` requests are queued or
+  executing; past that the daemon *sheds* with a structured
+  ``overloaded`` error immediately instead of stacking latency.
+* **Per-tenant quotas** — every tenant's artifacts live in their own
+  cache namespace (:mod:`repro.serve.quota`); a tenant over its entry or
+  byte quota evicts only its own blobs.
+* **Observability** — queue depth, batch size, dedup hit rate and
+  latency percentiles are kept as counters/histograms (mirrored into
+  :data:`repro.obs.TRACE` when tracing) and served by the ``stats`` op;
+  progress streams as heartbeat frames in the ``WRL_HEARTBEAT`` JSONL
+  row format.
+
+Execution inside a worker goes through the very same
+:func:`repro.eval.parallel.run_with_retries` /
+:func:`repro.eval.runner.run_uninstrumented` paths the cold-process CLIs
+use, so artifacts fetched through the daemon are byte-identical to
+``wrl-run``/``wrl-eval`` output — the contract ``make check-serve``
+enforces differentially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import base64
+import contextlib
+import hashlib
+import signal
+import sys
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict
+from pathlib import Path
+
+from ..eval import runner
+from ..eval.parallel import TaskResult, default_jobs, run_with_retries
+from ..obs import TRACE, hist_summary, percentile, trace_path_from_env
+from .protocol import (DEFAULT_SOCKET_NAME, MAX_REQUEST_BYTES, OPS,
+                       SERVE_SCHEMA, ProtocolError, decode_frame,
+                       encode_frame, error_frame, eval_dedup_key,
+                       heartbeat_frame, run_dedup_key, spec_from_wire,
+                       validate_tenant)
+from .quota import DEFAULT_TENANT_CAP, TenantCaches
+
+DEFAULT_BATCH_WINDOW = 0.005          # seconds
+DEFAULT_MAX_BATCH = 8                 # eval cells per pool round-trip
+DEFAULT_MAX_QUEUE = 64                # queued + executing requests
+
+
+# ---- worker side (picklable top-level functions) ---------------------------
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import so first tasks pay pure work."""
+    runner.preload_process()
+
+
+def _execute_eval_batch(items, fuse: bool) -> list[dict]:
+    """Run a shard-aware batch of eval cells serially in one worker.
+
+    ``items`` is ``[(spec, cache_spec, retries), ...]`` — all cells of a
+    batch share a workload, so after the first the worker's memoized
+    uninstrumented baseline makes the rest instrumentation-only.
+    Records use the exact serial retry/quarantine semantics
+    (:func:`run_with_retries`), shipped back as plain dicts.
+    """
+    out = []
+    for spec, cache_spec, retries in items:
+        rec = run_with_retries(spec, cache_spec, fuse, retries)
+        doc = asdict(rec)
+        doc["trace"] = None
+        out.append(doc)
+    return out
+
+
+def _execute_run(exe: bytes, args: tuple[str, ...], stdin: bytes,
+                 max_insts: int, fuse: bool, jit: bool) -> dict:
+    """One uninstrumented execution — the daemon half of ``wrl-run``."""
+    from ..eval.errors import EvalTimeout
+    from ..machine.cpu import MachineError
+    from ..objfile.module import Module, ObjError
+    try:
+        module = Module.from_bytes(exe)
+        result = runner.run_uninstrumented(
+            module, args=args, stdin=stdin, max_insts=max_insts,
+            fuse=fuse, jit=jit)
+    except EvalTimeout as exc:
+        return {"timeout": True, "message": str(exc)}
+    except (MachineError, ObjError) as exc:
+        return {"fault": str(exc)}
+    return {
+        "timeout": False,
+        "status": result.status,
+        "stdout": base64.b64encode(result.stdout).decode(),
+        "stderr": base64.b64encode(result.stderr).decode(),
+        "files": {name: base64.b64encode(data).decode()
+                  for name, data in sorted(result.files.items())},
+        "cycles": result.cycles,
+        "insts": result.inst_count,
+        "jit_stats": result.jit_stats,
+    }
+
+
+# ---- daemon-side request bookkeeping ---------------------------------------
+
+class _Sub:
+    """One client's subscription to an entry's frame stream."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self):
+        self.queue: asyncio.Queue = asyncio.Queue()
+
+
+class _Entry:
+    """One unit of in-flight work; N deduped subscribers share it."""
+
+    __slots__ = ("key", "op", "label", "payload", "tenant", "retries",
+                 "attempts", "subs", "t0")
+
+    def __init__(self, key: str, op: str, label: str, payload,
+                 tenant: str, retries: int):
+        self.key = key
+        self.op = op                  # "eval" | "run"
+        self.label = label
+        self.payload = payload
+        self.tenant = tenant
+        self.retries = retries
+        self.attempts = 1             # pool-break resubmission counter
+        self.subs: list[_Sub] = []
+        self.t0 = time.monotonic()
+
+    def publish(self, frame: dict) -> None:
+        for sub in list(self.subs):
+            sub.queue.put_nowait(frame)
+
+
+class ServeStats:
+    """Daemon-lifetime counters and bounded histogram samples."""
+
+    def __init__(self):
+        self.started = time.monotonic()
+        self.requests: dict[str, int] = {}
+        self.dedup_hits = 0
+        self.overloaded = 0
+        self.cancelled = 0
+        self.executed = 0
+        self.errors = 0
+        self.batches = 0
+        self.pool_rebuilds = 0
+        self.batch_sizes: deque = deque(maxlen=4096)
+        self.queue_depths: deque = deque(maxlen=4096)
+        self.latencies_ms: deque = deque(maxlen=4096)
+
+
+class Daemon:
+    """The asyncio server; construct, then ``await run()`` (or use
+    :class:`DaemonThread` / the ``wrl-serve`` CLI)."""
+
+    def __init__(self, socket_path=None, *, jobs: int | None = None,
+                 batch_window: float = DEFAULT_BATCH_WINDOW,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 fuse: bool = True,
+                 cache_root=None,
+                 tenant_cap: int = DEFAULT_TENANT_CAP,
+                 tenant_max_bytes: int | None = None,
+                 limit: int = MAX_REQUEST_BYTES):
+        self.socket_path = Path(socket_path or DEFAULT_SOCKET_NAME)
+        self.jobs = jobs if jobs else default_jobs()
+        self.batch_window = batch_window
+        self.max_batch = max(1, max_batch)
+        self.max_queue = max(1, max_queue)
+        self.fuse = fuse
+        self.limit = limit
+        self.tenants = TenantCaches(cache_root, cap=tenant_cap,
+                                    max_bytes=tenant_max_bytes)
+        self.stats = ServeStats()
+        self.pool: ProcessPoolExecutor | None = None
+        self._inflight: dict[str, _Entry] = {}
+        self._batch_buf: list[_Entry] = []
+        self._dispatched = 0
+        self._flush_handle = None
+        self._server = None
+        self._stop: asyncio.Event | None = None
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        path = self.socket_path
+        if path.exists():
+            alive = True
+            try:
+                _, probe = await asyncio.open_unix_connection(str(path))
+                probe.close()
+            except OSError:
+                alive = False
+            if alive:
+                raise RuntimeError(
+                    f"a daemon is already listening on {path}")
+            # Stale socket from a dead daemon: reclaim it.
+            path.unlink(missing_ok=True)
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        self.pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                        initializer=_warm_worker)
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=str(path), limit=self.limit)
+
+    async def run(self, ready=None) -> None:
+        """Serve until :meth:`request_stop`; cleans up socket and pool."""
+        await self.start()
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.close()
+
+    def request_stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        for entry in list(self._inflight.values()):
+            entry.publish(error_frame(None, "shutting-down",
+                                      "daemon stopping"))
+        self._inflight.clear()
+        self._batch_buf.clear()
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+        self.socket_path.unlink(missing_ok=True)
+
+    def _rebuild_pool(self) -> None:
+        dead, self.pool = self.pool, ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_warm_worker)
+        self.stats.pool_rebuilds += 1
+        TRACE.count("serve.pool_rebuilds")
+        if dead is not None:
+            for proc in list(getattr(dead, "_processes", {}).values()):
+                with contextlib.suppress(OSError):
+                    proc.terminate()
+            dead.shutdown(wait=False, cancel_futures=True)
+
+    # ---- connection handling ----------------------------------------------
+
+    async def _send(self, writer, frame: dict) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    async def _handle(self, reader, writer) -> None:
+        req_id = None
+        try:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # StreamReader's limit tripped: the request line never
+                # terminated within MAX_REQUEST_BYTES.
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._send(writer, error_frame(
+                        None, "oversized",
+                        f"request exceeds {self.limit} bytes"))
+                return
+            if not line:
+                return
+            try:
+                req = decode_frame(line)
+                op = req.get("op")
+                req_id = req.get("id")
+                if op not in OPS:
+                    raise ProtocolError("unknown-op",
+                                        f"unknown op {op!r}")
+                self.stats.requests[op] = \
+                    self.stats.requests.get(op, 0) + 1
+                TRACE.count(f"serve.requests.{op}")
+                if op == "ping":
+                    await self._send(writer, {"type": "pong",
+                                              "id": req_id,
+                                              "schema": SERVE_SCHEMA})
+                    return
+                if op == "stats":
+                    await self._send(writer, {"type": "stats",
+                                              "id": req_id,
+                                              "stats": self.stats_doc()})
+                    return
+                if op == "shutdown":
+                    await self._send(writer, {"type": "ok",
+                                              "id": req_id,
+                                              "op": "shutdown"})
+                    self.request_stop()
+                    return
+                entry, sub = self._register(op, req)
+            except ProtocolError as exc:
+                if exc.kind != "overloaded":
+                    self.stats.errors += 1
+                with contextlib.suppress(ConnectionError, OSError):
+                    await self._send(writer, error_frame(
+                        req_id, exc.kind, str(exc)))
+                return
+            await self._stream(entry, sub, reader, writer)
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _stream(self, entry: _Entry, sub: _Sub, reader,
+                      writer) -> None:
+        """Pump the subscription's frames to one client, watching its
+        half of the connection so a disconnect cancels *only* this
+        subscription (deduped siblings keep their stream)."""
+        watcher = asyncio.ensure_future(reader.read(1))
+        try:
+            while True:
+                getter = asyncio.ensure_future(sub.queue.get())
+                done, _ = await asyncio.wait(
+                    {getter, watcher},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if getter not in done:
+                    getter.cancel()
+                    try:
+                        data = watcher.result()
+                    except (ConnectionError, OSError):
+                        data = b""
+                    if data:
+                        # Spurious extra bytes; keep watching for EOF.
+                        watcher = asyncio.ensure_future(reader.read(1))
+                        continue
+                    self._unsubscribe(entry, sub)
+                    return
+                frame = getter.result()
+                try:
+                    await self._send(writer, frame)
+                except (ConnectionError, OSError):
+                    self._unsubscribe(entry, sub)
+                    return
+                if frame.get("type") in ("result", "error"):
+                    return
+        finally:
+            watcher.cancel()
+
+    def _unsubscribe(self, entry: _Entry, sub: _Sub) -> None:
+        with contextlib.suppress(ValueError):
+            entry.subs.remove(sub)
+        self.stats.cancelled += 1
+        TRACE.count("serve.cancelled")
+
+    # ---- admission, dedup, batching ----------------------------------------
+
+    def _register(self, op: str, req: dict) -> tuple[_Entry, _Sub]:
+        tenant = validate_tenant(req.get("tenant"))
+        fuse = req.get("fuse", True)
+        if not isinstance(fuse, bool):
+            raise ProtocolError("bad-request", "fuse must be a boolean")
+        retries = req.get("retries", 1)
+        if not isinstance(retries, int) or isinstance(retries, bool) \
+                or retries < 0:
+            raise ProtocolError("bad-request",
+                                "retries must be an integer >= 0")
+        if op == "eval":
+            spec = spec_from_wire(req.get("spec"))
+            key = eval_dedup_key(spec, tenant, fuse, retries)
+            label = spec.task_id
+            payload = spec
+        else:
+            exe = req.get("exe")
+            if not isinstance(exe, str) or not exe:
+                raise ProtocolError("bad-request",
+                                    "run op needs base64 exe bytes")
+            try:
+                exe_bytes = base64.b64decode(exe, validate=True)
+            except Exception as exc:
+                raise ProtocolError(
+                    "bad-request",
+                    f"exe is not valid base64: {exc}") from exc
+            args = req.get("args", [])
+            if not isinstance(args, list) \
+                    or not all(isinstance(a, str) for a in args):
+                raise ProtocolError("bad-request",
+                                    "args must be a list of strings")
+            stdin_b64 = req.get("stdin")
+            stdin = b""
+            if stdin_b64 is not None:
+                try:
+                    stdin = base64.b64decode(stdin_b64, validate=True)
+                except Exception as exc:
+                    raise ProtocolError(
+                        "bad-request",
+                        f"stdin is not valid base64: {exc}") from exc
+            max_insts = req.get("max_insts", 2_000_000_000)
+            if not isinstance(max_insts, int) \
+                    or isinstance(max_insts, bool) or max_insts <= 0:
+                raise ProtocolError("bad-request",
+                                    "max_insts must be a positive "
+                                    "integer")
+            jit = req.get("jit", True)
+            if not isinstance(jit, bool):
+                raise ProtocolError("bad-request",
+                                    "jit must be a boolean")
+            args = tuple(args)
+            key = run_dedup_key(exe_bytes, args, stdin, max_insts,
+                                fuse, jit, tenant)
+            label = "run:" + hashlib.sha256(exe_bytes).hexdigest()[:12]
+            payload = (exe_bytes, args, stdin, max_insts, fuse, jit)
+
+        entry = self._inflight.get(key)
+        if entry is not None:
+            self.stats.dedup_hits += 1
+            TRACE.count("serve.dedup_hits")
+            sub = _Sub()
+            entry.subs.append(sub)
+            sub.queue.put_nowait(heartbeat_frame(
+                entry.label, "deduped", subscribers=len(entry.subs)))
+            return entry, sub
+
+        depth = len(self._batch_buf) + self._dispatched
+        if depth >= self.max_queue:
+            self.stats.overloaded += 1
+            TRACE.count("serve.overloaded")
+            raise ProtocolError(
+                "overloaded",
+                f"{depth} requests in flight (max {self.max_queue}); "
+                f"retry later")
+        entry = _Entry(key, op, label, payload, tenant, retries)
+        self._inflight[key] = entry
+        sub = _Sub()
+        entry.subs.append(sub)
+        self._batch_buf.append(entry)
+        self.stats.queue_depths.append(depth + 1)
+        TRACE.observe("serve.queue_depth", depth + 1)
+        entry.publish(heartbeat_frame(label, "queued",
+                                      queue_depth=depth + 1))
+        self._schedule_flush()
+        return entry, sub
+
+    def _schedule_flush(self) -> None:
+        if self._flush_handle is None:
+            loop = asyncio.get_running_loop()
+            self._flush_handle = loop.call_later(self.batch_window,
+                                                 self._flush)
+
+    def _flush(self) -> None:
+        """Close the batching window: pack admitted requests into
+        shard-aware batches and ship them to the warm pool."""
+        self._flush_handle = None
+        buf, self._batch_buf = self._batch_buf, []
+        if not buf:
+            return
+        batches: list[list[_Entry]] = []
+        groups: dict[str, list[_Entry]] = {}
+        for entry in buf:
+            if entry.op == "run":
+                batches.append([entry])
+            else:
+                groups.setdefault(entry.payload.workload,
+                                  []).append(entry)
+        for _, entries in sorted(groups.items()):
+            for i in range(0, len(entries), self.max_batch):
+                batches.append(entries[i:i + self.max_batch])
+        for batch in batches:
+            self._submit(batch)
+
+    def _submit(self, batch: list[_Entry]) -> None:
+        loop = asyncio.get_running_loop()
+        self._dispatched += len(batch)
+        self.stats.batches += 1
+        self.stats.batch_sizes.append(len(batch))
+        TRACE.count("serve.batches")
+        TRACE.observe("serve.batch_size", len(batch))
+        for entry in batch:
+            entry.publish(heartbeat_frame(entry.label, "dispatch",
+                                          batch=len(batch)))
+        if batch[0].op == "run":
+            fut = loop.run_in_executor(self.pool, _execute_run,
+                                       *batch[0].payload)
+            fut.add_done_callback(
+                lambda f, b=batch: self._on_run_done(b, f))
+        else:
+            items = [(entry.payload,
+                      self.tenants.cache_spec(entry.tenant),
+                      entry.retries) for entry in batch]
+            fut = loop.run_in_executor(self.pool, _execute_eval_batch,
+                                       items, self.fuse)
+            fut.add_done_callback(
+                lambda f, b=batch: self._on_eval_done(b, f))
+
+    # ---- completion --------------------------------------------------------
+
+    def _on_eval_done(self, batch: list[_Entry], fut) -> None:
+        self._dispatched -= len(batch)
+        try:
+            records = fut.result()
+        except BrokenProcessPool:
+            self._on_pool_break(batch)
+            return
+        except asyncio.CancelledError:
+            return
+        except Exception as exc:                     # noqa: BLE001
+            for entry in batch:
+                self._finish_error(entry, "internal",
+                                   f"{type(exc).__name__}: {exc}")
+            return
+        for entry, record in zip(batch, records):
+            self._finish_result(entry, {"type": "result",
+                                        "record": record})
+
+    def _on_run_done(self, batch: list[_Entry], fut) -> None:
+        entry = batch[0]
+        self._dispatched -= 1
+        try:
+            reply = fut.result()
+        except BrokenProcessPool:
+            self._on_pool_break(batch)
+            return
+        except asyncio.CancelledError:
+            return
+        except Exception as exc:                     # noqa: BLE001
+            self._finish_error(entry, "internal",
+                               f"{type(exc).__name__}: {exc}")
+            return
+        if "fault" in reply:
+            self._finish_error(entry, "machine-error", reply["fault"])
+            return
+        self._finish_result(entry, {"type": "result", "run": reply})
+
+    def _on_pool_break(self, batch: list[_Entry]) -> None:
+        """Mirror ``run_matrix``'s guilt attribution: a multi-entry
+        batch break charges nobody (every entry is probed solo); a solo
+        break is definitively guilty and consumes an attempt."""
+        self._rebuild_pool()
+        for entry in batch:
+            if len(batch) == 1:
+                if entry.attempts > entry.retries:
+                    self._finish_dead(entry)
+                    continue
+                entry.attempts += 1
+            entry.publish(heartbeat_frame(entry.label, "probe",
+                                          attempt=entry.attempts))
+            self._submit([entry])
+
+    def _finish_dead(self, entry: _Entry) -> None:
+        if entry.op == "eval":
+            spec = entry.payload
+            rec = TaskResult(tool=spec.tool, workload=spec.workload,
+                             opt=spec.opt, heap_mode=spec.heap_mode,
+                             status="error", error="worker process died",
+                             attempts=entry.attempts, quarantined=True)
+            doc = asdict(rec)
+            doc["trace"] = None
+            self._finish_result(entry, {"type": "result", "record": doc})
+        else:
+            self._finish_error(entry, "worker-died",
+                               "worker process died executing this run")
+
+    def _finish_result(self, entry: _Entry, frame: dict) -> None:
+        self._inflight.pop(entry.key, None)
+        self.stats.executed += 1
+        TRACE.count("serve.executed")
+        latency = (time.monotonic() - entry.t0) * 1000.0
+        self.stats.latencies_ms.append(latency)
+        TRACE.observe("serve.latency_ms", latency)
+        entry.publish(frame)
+
+    def _finish_error(self, entry: _Entry, kind: str,
+                      message: str) -> None:
+        self._inflight.pop(entry.key, None)
+        self.stats.errors += 1
+        TRACE.count("serve.request_errors")
+        entry.publish(error_frame(None, kind, message))
+
+    # ---- stats -------------------------------------------------------------
+
+    def stats_doc(self) -> dict:
+        """The SLO view served by the ``stats`` op."""
+        stats = self.stats
+        lats = sorted(stats.latencies_ms)
+        eligible = sum(stats.requests.get(op, 0)
+                       for op in ("eval", "run"))
+        return {
+            "schema": SERVE_SCHEMA,
+            "uptime_s": round(time.monotonic() - stats.started, 3),
+            "jobs": self.jobs,
+            "batch_window_s": self.batch_window,
+            "max_queue": self.max_queue,
+            "queue_depth": len(self._batch_buf) + self._dispatched,
+            "requests": dict(stats.requests),
+            "dedup_hits": stats.dedup_hits,
+            "dedup_rate": round(stats.dedup_hits / eligible, 4)
+            if eligible else 0.0,
+            "overloaded": stats.overloaded,
+            "cancelled": stats.cancelled,
+            "executed": stats.executed,
+            "errors": stats.errors,
+            "batches": stats.batches,
+            "pool_rebuilds": stats.pool_rebuilds,
+            "batch_size": hist_summary(stats.batch_sizes),
+            "queue_depth_seen": hist_summary(stats.queue_depths),
+            "latency_ms": {
+                "count": len(lats),
+                "p50": round(percentile(lats, 0.50), 3),
+                "p90": round(percentile(lats, 0.90), 3),
+                "p99": round(percentile(lats, 0.99), 3),
+            },
+            "tenants": self.tenants.usage_all(),
+        }
+
+
+# ---- embedding helper (tests, bench) ---------------------------------------
+
+class DaemonThread:
+    """Run a :class:`Daemon` on a dedicated event-loop thread.
+
+    The in-process twin of the ``wrl-serve`` CLI — same daemon, same
+    socket protocol — used by the bench harness and the test suite so
+    client and server can live in one process.
+    """
+
+    def __init__(self, **daemon_kwargs):
+        self.daemon = Daemon(**daemon_kwargs)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._failure: BaseException | None = None
+
+    @property
+    def socket_path(self) -> Path:
+        return self.daemon.socket_path
+
+    def __enter__(self) -> "DaemonThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 60.0) -> "DaemonThread":
+        ready = threading.Event()
+
+        def target():
+            try:
+                asyncio.run(self._amain(ready))
+            except BaseException as exc:         # noqa: BLE001
+                self._failure = exc
+            finally:
+                ready.set()
+
+        self._thread = threading.Thread(target=target, daemon=True,
+                                        name="wrl-serve")
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("daemon did not start in time")
+        if self._failure is not None:
+            raise RuntimeError("daemon failed to start") \
+                from self._failure
+        return self
+
+    async def _amain(self, ready: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.daemon.run(ready)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self.daemon.request_stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+
+# ---- CLI -------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wrl-serve",
+        description="Persistent instrumentation daemon: dedup, "
+                    "batching, per-tenant cache quotas over a warm "
+                    "worker pool.  wrl-run/wrl-eval connect with "
+                    "--server (or WRL_SERVER).")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help=f"unix socket path (default: $WRL_SERVER "
+                             f"or ./{DEFAULT_SOCKET_NAME})")
+    parser.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="warm worker processes (default: CPUs "
+                             "this process may run on)")
+    parser.add_argument("--batch-window", type=float, default=5.0,
+                        metavar="MS",
+                        help="batching window in milliseconds "
+                             "(default 5)")
+    parser.add_argument("--max-batch", type=int,
+                        default=DEFAULT_MAX_BATCH,
+                        help="max eval cells per batch (default 8)")
+    parser.add_argument("--max-queue", type=int,
+                        default=DEFAULT_MAX_QUEUE,
+                        help="admission cap: queued+executing requests "
+                             "before shedding 'overloaded' (default 64)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root; tenant namespaces live under "
+                             "<root>/tenants/ (default: $WRL_CACHE_DIR "
+                             "or .repro-cache/)")
+    parser.add_argument("--tenant-cap", type=int,
+                        default=DEFAULT_TENANT_CAP,
+                        help="per-tenant cache entry quota "
+                             "(default 256)")
+    parser.add_argument("--tenant-max-bytes", type=int, default=None,
+                        help="per-tenant cache byte quota "
+                             "(default: none)")
+    parser.add_argument("--max-request", type=int,
+                        default=MAX_REQUEST_BYTES,
+                        help="request size limit in bytes; larger "
+                             "requests get a structured 'oversized' "
+                             "error")
+    parser.add_argument("--trace", default=trace_path_from_env(),
+                        metavar="PATH",
+                        help="write a structured trace (spans, serve.* "
+                             "counters/histograms) on exit; default: "
+                             "$WRL_TRACE")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.batch_window < 0:
+        parser.error("--batch-window must be >= 0")
+    if args.max_batch < 1 or args.max_queue < 1:
+        parser.error("--max-batch/--max-queue must be >= 1")
+    if args.max_request < 1024:
+        parser.error("--max-request must be >= 1024")
+    if args.tenant_cap < 1:
+        parser.error("--tenant-cap must be >= 1")
+    if args.tenant_max_bytes is not None and args.tenant_max_bytes < 1:
+        parser.error("--tenant-max-bytes must be >= 1")
+
+    from .protocol import server_path_from_env
+    socket_path = args.socket or server_path_from_env() \
+        or DEFAULT_SOCKET_NAME
+    daemon = Daemon(socket_path, jobs=args.jobs,
+                    batch_window=args.batch_window / 1000.0,
+                    max_batch=args.max_batch, max_queue=args.max_queue,
+                    cache_root=args.cache_dir,
+                    tenant_cap=args.tenant_cap,
+                    tenant_max_bytes=args.tenant_max_bytes,
+                    limit=args.max_request)
+
+    if args.trace:
+        TRACE.reset()
+        TRACE.enable()
+
+    async def _amain() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, daemon.request_stop)
+        ready = asyncio.Event()
+        serving = asyncio.create_task(daemon.run(ready))
+        await ready.wait()
+        print(f"wrl-serve: listening on {daemon.socket_path} "
+              f"(jobs={daemon.jobs}, batch window "
+              f"{daemon.batch_window * 1000:.0f}ms, "
+              f"queue cap {daemon.max_queue})", flush=True)
+        await serving
+
+    try:
+        asyncio.run(_amain())
+    except RuntimeError as exc:
+        print(f"wrl-serve: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if args.trace:
+            TRACE.write(Path(args.trace))
+            TRACE.disable()
+            print(f"wrl-serve: wrote trace to {args.trace}",
+                  file=sys.stderr)
+    doc = daemon.stats_doc()
+    print(f"wrl-serve: served {doc['executed']} request(s), "
+          f"{doc['dedup_hits']} dedup hit(s), "
+          f"{doc['overloaded']} shed; stopping", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

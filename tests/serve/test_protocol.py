@@ -1,0 +1,125 @@
+"""Unit tests for the wrl-serve wire protocol: framing, validation,
+dedup-key identity, and the heartbeat-frame format contract."""
+
+import base64
+import json
+
+import pytest
+
+from repro.eval.parallel import TaskSpec
+from repro.serve import protocol
+from repro.serve.protocol import (ProtocolError, decode_frame,
+                                  encode_frame, error_frame,
+                                  eval_dedup_key, heartbeat_frame,
+                                  run_dedup_key, spec_from_wire,
+                                  spec_to_wire, validate_tenant)
+
+
+def test_frame_roundtrip():
+    frame = {"op": "ping", "id": "abc"}
+    line = encode_frame(frame)
+    assert line.endswith(b"\n") and b"\n" not in line[:-1]
+    assert decode_frame(line) == frame
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError) as exc:
+        decode_frame(b"not json\n")
+    assert exc.value.kind == "bad-request"
+    with pytest.raises(ProtocolError):
+        decode_frame(b"[1, 2, 3]\n")          # not an object
+
+
+def test_error_frame_is_structured():
+    frame = error_frame("id1", "overloaded", "queue full")
+    assert frame["type"] == "error"
+    assert frame["error"] == {"kind": "overloaded",
+                              "message": "queue full"}
+
+
+def test_heartbeat_frame_matches_jsonl_row_shape():
+    """Daemon heartbeats must parse as WRL_HEARTBEAT JSONL rows."""
+    frame = heartbeat_frame("prof:fib:O1:linked", "queued",
+                            queue_depth=3)
+    # The obs JSONL row contract: type/name/cat/ts_ns/dur_ns/pid/args.
+    for key in ("type", "name", "cat", "ts_ns", "dur_ns", "pid",
+                "args"):
+        assert key in frame
+    assert frame["type"] == "span" and frame["name"] == "heartbeat"
+    row = json.loads(encode_frame(frame))
+    assert row["args"]["task"] == "prof:fib:O1:linked"
+    assert row["args"]["phase"] == "queued"
+
+
+def test_spec_wire_roundtrip():
+    spec = TaskSpec(tool="prof", workload="fib", opt="O2",
+                    wl_args=("10",), stdin=b"\x00\xff",
+                    base_max_insts=123, max_insts=456, reps=2,
+                    warmup=True)
+    assert spec_from_wire(spec_to_wire(spec)) == spec
+
+
+@pytest.mark.parametrize("wire, fragment", [
+    ("not a dict", "spec must be an object"),
+    ({"tool": "nope", "workload": "fib"}, "unknown tool"),
+    ({"tool": "prof", "workload": "nope"}, "unknown workload"),
+    ({"tool": "prof", "workload": "fib", "opt": "O9"}, "unknown opt"),
+    ({"tool": "prof", "workload": "fib", "bogus": 1},
+     "unknown spec fields"),
+    ({"tool": "prof", "workload": "fib", "stdin": "!!"}, "base64"),
+    ({"tool": "prof", "workload": "fib", "max_insts": 0},
+     "max_insts"),
+    ({"tool": "prof", "workload": "fib", "max_insts": True},
+     "max_insts"),
+    ({"tool": "prof", "workload": "fib", "wl_args": [1]},
+     "list of strings"),
+])
+def test_spec_from_wire_rejects(wire, fragment):
+    with pytest.raises(ProtocolError) as exc:
+        spec_from_wire(wire)
+    assert exc.value.kind == "bad-request"
+    assert fragment in str(exc.value)
+
+
+def test_validate_tenant():
+    assert validate_tenant(None) == "default"
+    assert validate_tenant("team-a.prod_1") == "team-a.prod_1"
+    for bad in ("", "a/b", "a b", "x" * 65, 42):
+        with pytest.raises(ProtocolError):
+            validate_tenant(bad)
+
+
+def test_eval_dedup_key_identity():
+    spec = TaskSpec(tool="prof", workload="fib", wl_args=("10",))
+    key = eval_dedup_key(spec, "default", True, 1)
+    assert key == eval_dedup_key(spec, "default", True, 1)
+    # Anything that can change the record changes the key.
+    assert key != eval_dedup_key(spec, "other", True, 1)
+    assert key != eval_dedup_key(spec, "default", False, 1)
+    assert key != eval_dedup_key(spec, "default", True, 2)
+    other = TaskSpec(tool="prof", workload="fib", wl_args=("11",))
+    assert key != eval_dedup_key(other, "default", True, 1)
+
+
+def test_run_dedup_key_uses_exe_hash():
+    key = run_dedup_key(b"exe", ("a",), b"", 100, True, True, "t")
+    assert key == run_dedup_key(b"exe", ("a",), b"", 100, True, True,
+                                "t")
+    assert key != run_dedup_key(b"exe2", ("a",), b"", 100, True, True,
+                                "t")
+    assert key != run_dedup_key(b"exe", ("b",), b"", 100, True, True,
+                                "t")
+    assert key != run_dedup_key(b"exe", ("a",), b"x", 100, True, True,
+                                "t")
+    assert key != run_dedup_key(b"exe", ("a",), b"", 101, True, True,
+                                "t")
+    assert key != run_dedup_key(b"exe", ("a",), b"", 100, True, True,
+                                "u")
+
+
+def test_stdin_hashed_not_embedded_in_eval_key():
+    big = bytes(range(256)) * 64
+    spec = TaskSpec(tool="prof", workload="fib", stdin=big)
+    key = eval_dedup_key(spec, "default", True, 1)
+    assert base64.b64encode(big).decode() not in key
+    assert len(key) == 64                     # sha256 hex
