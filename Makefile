@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz check-taint check-serve fuzz-corpus
+.PHONY: check test bench bench-smoke validate-baseline check-bench check-jit check-matrix eval-matrix check-obs check-profile check-fuzz check-taint check-serve check-metrics fuzz-corpus
 
 # Tier-1 gate: full test suite, then a bench smoke run whose report (and
 # the committed baseline, if present) must satisfy the v1 schema.
@@ -120,6 +120,19 @@ check-serve:
 	$(PYTHON) -m pytest -q tests/serve
 	$(PYTHON) -m repro.serve.check --limit 10 --dup 3 \
 	    --min-dedup-rate 0.34 --artifacts $(SERVE_DIR)
+
+# Telemetry lane: metrics-registry + dashboard unit tests, the
+# end-to-end trace/metrics/SLO suite against live daemons (golden
+# Prometheus exposition included), then the metrics overhead budget —
+# a metrics-on daemon must serve pings within 2% of a metrics-off
+# daemon.  On failure the exposition text + stats snapshots land in
+# METRICS_DIR (uploaded as a CI artifact).
+METRICS_DIR ?= /tmp/wrl-metrics-artifacts
+check-metrics:
+	$(PYTHON) -m pytest -q tests/obs/test_metrics.py \
+	    tests/obs/test_top.py tests/serve/test_telemetry.py
+	$(PYTHON) -m repro.serve.overhead --quick \
+	    --out /tmp/serve_overhead.json --artifacts $(METRICS_DIR)
 
 # Regenerate the committed seed corpus (policy in DESIGN.md): only when
 # the generator's output changes deliberately, never to paper over a

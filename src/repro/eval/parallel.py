@@ -42,7 +42,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from ..atom import OptLevel
-from ..obs import TRACE, trace_path_from_env
+from ..obs import (TRACE, mint_trace_id, trace_id_from_env,
+                   trace_path_from_env)
 from ..obs.runtime import ENV_HEARTBEAT
 from ..tools import TOOL_NAMES, get_tool
 from ..workloads import WORKLOAD_NAMES, build_workload
@@ -234,7 +235,8 @@ def _timed(run_fn, *, reps: int, warmup: bool):
 
 
 def execute_task(spec: TaskSpec, cache_spec=None, fuse: bool = True,
-                 trace: bool = False) -> TaskResult:
+                 trace: bool = False,
+                 trace_id: str | None = None) -> TaskResult:
     """Run one cell; never raises — failures become the record status.
 
     ``trace=True`` captures the cell's spans and counters.  When the
@@ -243,19 +245,31 @@ def execute_task(spec: TaskSpec, cache_spec=None, fuse: bool = True,
     either disabled or a fork-inherited copy of the parent's) a fresh
     capture is started and shipped back in ``TaskResult.trace`` for the
     parent to merge.
+
+    ``trace_id`` is the request context this cell executes under: it
+    becomes the ambient :func:`repro.eval.runner.set_trace_id` for the
+    duration and is stamped onto every captured event, so the worker's
+    spans land in the merged trace under the same id as the client's
+    and daemon's spans for that request.
     """
     capture = trace and not TRACE.owned()
     if capture:
         TRACE.reset()
         TRACE.enable()
+    prev_id = runner.current_trace_id()
+    runner.set_trace_id(trace_id)
     try:
         rec = _execute_task(spec, cache_spec, fuse)
     finally:
+        runner.set_trace_id(prev_id)
         if capture:
             rec_trace = TRACE.snapshot()
             TRACE.disable()
             TRACE.reset()
     if capture:
+        if trace_id is not None:
+            for ev in rec_trace.get("events", ()):
+                ev["args"].setdefault("trace_id", trace_id)
         rec.trace = rec_trace
     return rec
 
@@ -282,6 +296,8 @@ def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
     t0 = time.perf_counter()
     task_span = TRACE.span("task", "eval", task=spec.task_id)
     task_span.__enter__()
+    if runner.current_trace_id() is not None:
+        task_span.add(trace_id=runner.current_trace_id())
     heartbeat = _heartbeat(spec)
     if heartbeat is not None:
         heartbeat.emit("start")
@@ -359,7 +375,8 @@ def _execute_task(spec: TaskSpec, cache_spec, fuse: bool) -> TaskResult:
 
 
 def run_with_retries(spec: TaskSpec, cache_spec=None, fuse: bool = True,
-                     retries: int = 1, trace: bool = False) -> TaskResult:
+                     retries: int = 1, trace: bool = False,
+                     trace_id: str | None = None) -> TaskResult:
     """One cell with the serial retry/quarantine semantics.
 
     This is the *contract* the serve daemon's workers share with the
@@ -372,7 +389,7 @@ def run_with_retries(spec: TaskSpec, cache_spec=None, fuse: bool = True,
     attempt = 0
     while True:
         attempt += 1
-        rec = execute_task(spec, cache_spec, fuse, trace)
+        rec = execute_task(spec, cache_spec, fuse, trace, trace_id)
         if rec.status != "error" or attempt > retries:
             break
     rec.attempts = attempt
@@ -394,7 +411,8 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
                retries: int = 1, wall_timeout: float | None = None,
-               num_shards: int = 1, progress=None) -> list[TaskResult]:
+               num_shards: int = 1, progress=None,
+               trace_id: str | None = None) -> list[TaskResult]:
     """Execute every spec; results come back in spec order.
 
     ``jobs=0`` runs inline (the serial reference); ``jobs>=1`` fans out
@@ -437,7 +455,7 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
     if jobs <= 0:
         for idx, spec in enumerate(specs):
             rec = run_with_retries(spec, cache_spec, fuse, retries,
-                                   trace_on)
+                                   trace_on, trace_id)
             finish(idx, rec, rec.attempts)
         return [results[i] for i in range(len(specs))]
 
@@ -473,13 +491,15 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
                 if not inflight:
                     idx, attempt = suspects.popleft()
                     fut = pool.submit(execute_task, specs[idx],
-                                      cache_spec, fuse, trace_on)
+                                      cache_spec, fuse, trace_on,
+                                      trace_id)
                     inflight[fut] = (idx, attempt, time.monotonic())
             else:
                 while pending and len(inflight) < jobs:
                     idx, attempt = pending.popleft()
                     fut = pool.submit(execute_task, specs[idx],
-                                      cache_spec, fuse, trace_on)
+                                      cache_spec, fuse, trace_on,
+                                      trace_id)
                     inflight[fut] = (idx, attempt, time.monotonic())
 
             done, _ = wait(list(inflight), timeout=0.1,
@@ -556,7 +576,8 @@ def run_matrix(specs, *, jobs: int = 0, cache_spec=None, fuse: bool = True,
 
 def run_matrix_via_server(specs, server, *, tenant=None, jobs: int = 4,
                           retries: int = 1, num_shards: int = 1,
-                          progress=None) -> list[TaskResult]:
+                          progress=None,
+                          trace_id: str | None = None) -> list[TaskResult]:
     """Execute every spec through a ``wrl-serve`` daemon (spec order).
 
     The thin-client counterpart of :func:`run_matrix`: each cell becomes
@@ -577,7 +598,7 @@ def run_matrix_via_server(specs, server, *, tenant=None, jobs: int = 4,
         idx, spec = item
         try:
             record = client.eval_task(spec, tenant=tenant,
-                                      retries=retries)
+                                      retries=retries, trace_id=trace_id)
             rec = TaskResult(**record)
         except ServeError as exc:
             rec = TaskResult(tool=spec.tool, workload=spec.workload,
@@ -744,6 +765,11 @@ def main(argv=None) -> int:
                              "(task id, insts retired, insts/sec, cache "
                              "hits) to PATH while the matrix runs; "
                              "default: $WRL_HEARTBEAT")
+    parser.add_argument("--trace-id", default=trace_id_from_env(),
+                        metavar="ID",
+                        help="request trace id stamped on every span of "
+                             "this invocation (server mode mints one "
+                             "when absent; default: $WRL_TRACE_ID)")
     args = parser.parse_args(argv)
 
     tools = tuple(args.tools.split(","))
@@ -785,10 +811,16 @@ def main(argv=None) -> int:
                    else "(disabled by WRL_CACHE=0)"))
     server = args.server or os.environ.get("WRL_SERVER") or None
     tenant = args.tenant or os.environ.get("WRL_TENANT") or "default"
+    trace_id = args.trace_id
+    if server and not trace_id:
+        # Thin clients mint the request context so the daemon's spans,
+        # the workers' spans, and any client-side trace correlate.
+        trace_id = mint_trace_id()
     if server:
         print(f"wrl-eval: {len(selected)}/{len(specs)} cells "
               f"(shard {shard}/{num_shards}) via server {server}, "
-              f"tenant={tenant}, {args.jobs} concurrent requests")
+              f"tenant={tenant}, {args.jobs} concurrent requests, "
+              f"trace_id={trace_id}")
     else:
         print(f"wrl-eval: {len(selected)}/{len(specs)} cells "
               f"(shard {shard}/{num_shards}), jobs={args.jobs}, "
@@ -805,7 +837,7 @@ def main(argv=None) -> int:
         records = run_matrix_via_server(
             selected, server, tenant=tenant, jobs=max(1, args.jobs),
             retries=args.retries, num_shards=num_shards,
-            progress=progress)
+            progress=progress, trace_id=trace_id)
         elapsed = time.perf_counter() - t0
         config = {
             "tools": list(tools), "workloads": list(workloads),
@@ -840,7 +872,8 @@ def main(argv=None) -> int:
                                  cache_spec=cache_spec,
                                  retries=args.retries,
                                  wall_timeout=args.timeout,
-                                 num_shards=num_shards, progress=progress)
+                                 num_shards=num_shards, progress=progress,
+                                 trace_id=trace_id)
     finally:
         if args.trace:
             TRACE.write(Path(args.trace))

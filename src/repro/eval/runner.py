@@ -56,6 +56,30 @@ def _resolve_cache(cache) -> ArtifactCache | None:
     return cache
 
 
+#: The request trace id the current task is executing under (serve
+#: requests propagate theirs into the worker; local CLIs set it from
+#: ``--trace-id``/``WRL_TRACE_ID``).  Every span recorded below tags
+#: itself with it, so one merged trace file can be filtered down to a
+#: single request's compile/instrument/interpret phases.
+_TRACE_ID: str | None = None
+
+
+def set_trace_id(trace_id: str | None) -> None:
+    """Set (or clear, with None) the ambient trace id for this process."""
+    global _TRACE_ID
+    _TRACE_ID = trace_id
+
+
+def current_trace_id() -> str | None:
+    return _TRACE_ID
+
+
+def _tag(sp) -> None:
+    """Tag a live span with the ambient trace id, when one is set."""
+    if _TRACE_ID is not None:
+        sp.add(trace_id=_TRACE_ID)
+
+
 def preload_process() -> None:
     """Pre-import the whole compile/run stack into this process.
 
@@ -93,7 +117,8 @@ def analysis_unit_for(tool: Tool, *, cache=_DEFAULT_CACHE) -> Module:
         if blob is None:
             COMPILE_COUNTS["analysis"] += 1
             with TRACE.span("compile.analysis", "instrument",
-                            tool=tool.name):
+                            tool=tool.name) as sp:
+                _tag(sp)
                 unit = build_analysis_unit([tool.analysis_source],
                                            name=f"{tool.name}-analysis")
             blob = unit.to_bytes()
@@ -161,6 +186,7 @@ def apply_tool(app: Module, tool: Tool, *,
     """
     with TRACE.span("apply_tool", "instrument", tool=tool.name,
                     opt=opt.name) as sp:
+        _tag(sp)
         disk = _resolve_cache(cache)
         key = None
         if disk is not None:
@@ -213,6 +239,7 @@ def _checked_run(module: Module, *, stage: str, args, stdin,
             f"max_insts must be a positive integer, got {max_insts!r}")
     try:
         with TRACE.span(f"interpret.{stage}", "interpret") as sp:
+            _tag(sp)
             result = run_module(module, args=tuple(args), stdin=stdin,
                                 max_insts=max_insts, fuse=fuse, jit=jit,
                                 sampler=sampler)

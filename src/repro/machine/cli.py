@@ -6,7 +6,8 @@ import argparse
 import sys
 
 from ..objfile.module import Module
-from ..obs import TRACE, trace_path_from_env
+from ..obs import TRACE, mint_trace_id, trace_id_from_env, \
+    trace_path_from_env
 from .cpu import MachineError
 from .loader import run_module
 
@@ -56,6 +57,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--tenant", default=None,
                     help="cache namespace on the daemon (default: "
                          "$WRL_TENANT or 'default')")
+    ap.add_argument("--trace-id", default=trace_id_from_env(),
+                    metavar="ID",
+                    help="request trace id stamped on every span "
+                         "(server mode mints one when absent; default: "
+                         "$WRL_TRACE_ID)")
     args = ap.parse_args(argv)
     if args.max_insts <= 0:
         ap.error("--max-insts must be positive")
@@ -88,6 +94,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace:
         TRACE.reset()
         TRACE.enable()
+    if args.trace_id:
+        from ..eval.runner import set_trace_id
+        set_trace_id(args.trace_id)
     try:
         stdin = b""
         if not sys.stdin.isatty():
@@ -155,6 +164,9 @@ def _main_via_server(args, server: str) -> int:
     from ..serve.client import ServeClient
     from ..serve.protocol import ServeError
     tenant = args.tenant or os.environ.get("WRL_TENANT") or "default"
+    # Thin clients mint the request context (v2 protocol); the daemon
+    # tags its queue/execute spans and the worker's spans with it.
+    trace_id = args.trace_id or mint_trace_id()
     exe = open(args.executable, "rb").read()
     try:
         stdin = b""
@@ -166,7 +178,7 @@ def _main_via_server(args, server: str) -> int:
     try:
         reply = client.run_exe(exe, args=tuple(args.args), stdin=stdin,
                                max_insts=args.max_insts, jit=args.jit,
-                               tenant=tenant)
+                               tenant=tenant, trace_id=trace_id)
     except ServeError as exc:
         print(f"wrl-run: {exc}", file=sys.stderr)
         if exc.kind == "machine-error":

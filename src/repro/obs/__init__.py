@@ -46,6 +46,7 @@ from pathlib import Path
 
 TRACE_SCHEMA = "wrl-trace/v1"
 ENV_TRACE = "WRL_TRACE"
+ENV_TRACE_ID = "WRL_TRACE_ID"
 
 
 class _NullSpan:
@@ -223,6 +224,23 @@ def trace_path_from_env() -> str | None:
     return os.environ.get(ENV_TRACE) or None
 
 
+# ---- trace-context ids -------------------------------------------------------
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char request trace id.
+
+    Short enough to read in a terminal, random enough that collisions
+    across a daemon's lifetime are negligible (64 bits).
+    """
+    import uuid
+    return uuid.uuid4().hex[:16]
+
+
+def trace_id_from_env() -> str | None:
+    """The ambient ``WRL_TRACE_ID``, or None when unset."""
+    return os.environ.get(ENV_TRACE_ID) or None
+
+
 # ---- histogram summaries ---------------------------------------------------
 
 def percentile(sorted_values, q: float):
@@ -244,7 +262,9 @@ def hist_summary(values) -> dict:
 
     Always returns every key — empty and single-element inputs yield
     zeros / the lone value — so consumers can render a summary without
-    guarding each field.
+    guarding each field.  All percentiles are nearest-rank via
+    :func:`percentile`, including p50: an interpolated median here would
+    disagree with every other pXX the system reports on the same data.
     """
     vs = sorted(values)
     n = len(vs)
@@ -256,7 +276,7 @@ def hist_summary(values) -> dict:
         "min": vs[0],
         "max": vs[-1],
         "mean": sum(vs) / n,
-        "p50": vs[n // 2] if n % 2 else (vs[n // 2 - 1] + vs[n // 2]) / 2,
+        "p50": percentile(vs, 0.50),
         "p90": percentile(vs, 0.90),
     }
 
@@ -383,8 +403,9 @@ def load_trace(path: Path | str) -> dict:
 
 
 __all__ = [
-    "TRACE", "TRACE_SCHEMA", "ENV_TRACE", "Tracer",
+    "TRACE", "TRACE_SCHEMA", "ENV_TRACE", "ENV_TRACE_ID", "Tracer",
     "span", "count", "observe", "enabled", "trace_path_from_env",
+    "mint_trace_id", "trace_id_from_env",
     "hist_summary", "percentile", "chrome_events", "to_chrome",
     "write_chrome", "write_jsonl", "read_jsonl", "load_trace",
 ]

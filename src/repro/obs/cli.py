@@ -6,6 +6,11 @@ Three subcommands:
   total/mean/max duration; then counters and histogram summaries.
   ``--top N`` ranks spans/counters/histograms by total time (or
   value/count) and shows only the N largest of each.
+  ``--trace-id ID`` instead reconstructs ONE request's chronological
+  timeline from a merged trace: every event stamped with (or linked
+  to) that id, ordered by timestamp — the client span, the daemon's
+  queue/execute spans, and the worker's compile/interpret spans line
+  up on the shared monotonic clock.
 * ``convert IN OUT`` — re-emit a trace in the format selected by the
   output suffix (``.jsonl`` for JSONL, anything else for Chrome
   trace-event JSON).
@@ -46,6 +51,48 @@ def span_rows(snap: dict) -> list[tuple[str, list[int]]]:
                for (cat, name), durs in rows.items()]
     labeled.sort(key=lambda kv: (-sum(kv[1]), kv[0]))
     return labeled
+
+
+def request_events(snap: dict, trace_id: str) -> list[dict]:
+    """Every event of one request, chronological.
+
+    Matches events whose ``args.trace_id`` is the id *or* whose
+    ``args.linked_to`` is (dedup-follower markers pointing at the
+    executing request), so the timeline shows coalesced requests too.
+    """
+    picked = [ev for ev in snap.get("events", ())
+              if ev.get("args", {}).get("trace_id") == trace_id
+              or ev.get("args", {}).get("linked_to") == trace_id]
+    picked.sort(key=lambda ev: (ev["ts_ns"], -ev["dur_ns"]))
+    return picked
+
+
+def timeline(snap: dict, trace_id: str, out=None) -> int:
+    """Print one request's client→queue→batch→worker timeline; returns
+    the number of events shown (0 = id not present in the trace)."""
+    out = out if out is not None else sys.stdout
+    events = request_events(snap, trace_id)
+    if not events:
+        print(f"no events for trace id {trace_id}", file=out)
+        return 0
+    t0 = events[0]["ts_ns"]
+    pids = {ev["pid"] for ev in events}
+    print(f"trace {trace_id}: {len(events)} event(s) across "
+          f"{len(pids)} process(es)", file=out)
+    print(f"  {'offset':>10} {'dur':>10} {'pid':>7} "
+          f"{'cat/name':<28} detail", file=out)
+    for ev in events:
+        cat = ev.get("cat", "")
+        label = f"{cat}/{ev['name']}" if cat else ev["name"]
+        args = ev.get("args", {})
+        detail = " ".join(
+            f"{k}={v}" for k, v in sorted(args.items())
+            if k not in ("trace_id",) and isinstance(v, (str, int, float,
+                                                         bool)))
+        print(f"  {_fmt_ns(ev['ts_ns'] - t0):>10} "
+              f"{_fmt_ns(ev['dur_ns']):>10} {ev['pid']:>7} "
+              f"{label:<28} {detail}", file=out)
+    return len(events)
 
 
 def summarize(snap: dict, out=None, top: int | None = None) -> None:
@@ -99,6 +146,10 @@ def main(argv=None) -> int:
                        help="show only the N largest spans/counters/"
                             "histograms (ranked by total time, value, "
                             "and count)")
+    p_sum.add_argument("--trace-id", default=None, metavar="ID",
+                       help="print the chronological timeline of one "
+                            "request (events stamped with or linked to "
+                            "ID) instead of the aggregate view")
     p_conv = sub.add_parser("convert",
                             help="rewrite a trace in another format")
     p_conv.add_argument("input")
@@ -118,6 +169,9 @@ def main(argv=None) -> int:
         if args.cmd == "summary":
             if args.top is not None and args.top < 1:
                 parser.error("--top must be >= 1")
+            if args.trace_id:
+                shown = timeline(load_trace(args.trace), args.trace_id)
+                return 0 if shown else 1
             summarize(load_trace(args.trace), top=args.top)
         elif args.cmd == "profile":
             from .runtime import load_profile, render_profile, \

@@ -17,7 +17,11 @@ harness enforces it end to end:
 4. replay a few eval matrix cells and compare the daemon's records
    against serial ``run_with_retries`` references on the
    ``TaskResult.identity()`` contract;
-5. assert the daemon's measured dedup hit rate clears a floor, and
+5. replay one run as a raw v1 client (no ``trace_id``) and as a v2
+   client — the terminal frames must be byte-identical — and assert
+   the ``metrics`` op emits parseable Prometheus text covering the
+   core serving signals;
+6. assert the daemon's measured dedup hit rate clears a floor, and
    that shutdown reaps the socket.
 
 On failure the daemon trace and a failures report land in
@@ -97,6 +101,67 @@ def _served_fingerprint(client: ServeClient, exe: bytes,
         "cycles": reply.cycles,
         "insts": reply.insts,
     }
+
+
+def _raw_terminal_frame(sock_path, request: dict) -> bytes:
+    """Speak the wire protocol by hand (no ServeClient): send one
+    request frame, return the terminal frame's exact bytes."""
+    import socket as socketlib
+
+    from .protocol import TERMINAL_TYPES, decode_frame, encode_frame
+    sock = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    sock.settimeout(300.0)
+    try:
+        sock.connect(str(sock_path))
+        sock.sendall(encode_frame(request))
+        with sock.makefile("rb") as stream:
+            for line in stream:
+                if decode_frame(line).get("type") in TERMINAL_TYPES:
+                    return line
+    finally:
+        sock.close()
+    raise RuntimeError("no terminal frame")
+
+
+def _check_v1_compat(sock_path, exe: bytes, max_insts: int) -> list[dict]:
+    """v1 clients (no ``trace_id``) must get byte-identical terminal
+    frames to v2 clients for the same request — the trace context may
+    ride only on heartbeats and in the trace, never in results."""
+    # jit=False keeps the reply fully repeatable: JIT code-cache
+    # counters depend on warm-worker history (hits vs compiles).
+    base = {"op": "run", "id": "v1compat",
+            "exe": base64.b64encode(exe).decode(),
+            "args": [], "max_insts": max_insts,
+            "fuse": True, "jit": False}
+    v1_frame = _raw_terminal_frame(sock_path, dict(base))
+    v2_frame = _raw_terminal_frame(
+        sock_path, dict(base, trace_id="checkserve-v2"))
+    if v1_frame != v2_frame:
+        return [{"error": "v1/v2 terminal frames differ",
+                 "v1": v1_frame.decode(errors="replace"),
+                 "v2": v2_frame.decode(errors="replace")}]
+    return []
+
+
+def _check_metrics_op(client: ServeClient) -> list[dict]:
+    """The ``metrics`` op must emit parseable Prometheus text covering
+    the core serving signals."""
+    from ..obs.metrics import parse_text
+    reply = client.metrics()
+    if not reply["enabled"]:
+        return [{"error": "metrics op reports disabled registry"}]
+    try:
+        families = parse_text(reply["text"])
+    except ValueError as exc:
+        return [{"error": f"metrics exposition unparseable: {exc}"}]
+    missing = [name for name in
+               ("wrl_requests_total", "wrl_request_latency_ms",
+                "wrl_queue_depth", "wrl_dedup_hits_total",
+                "wrl_tenant_cache_bytes")
+               if name not in families]
+    if missing:
+        return [{"error": f"metrics exposition missing {missing}"}]
+    return []
 
 
 def _wait_ready(client: ServeClient, proc, deadline: float) -> None:
@@ -208,6 +273,11 @@ def main(argv: list[str] | None = None) -> int:
                     "got": [served.attempts, served.quarantined],
                 })
 
+        first_exe = exes[sorted(exes)[0]]
+        failures.extend(_check_v1_compat(sock, first_exe,
+                                         args.max_insts))
+        failures.extend(_check_metrics_op(client))
+
         stats = client.stats()
         rate = stats["dedup_rate"]
         if rate < args.min_dedup_rate:
@@ -216,7 +286,7 @@ def main(argv: list[str] | None = None) -> int:
                          f"{args.min_dedup_rate}",
                 "stats": stats})
         print(f"check-serve: {len(jobs)} run + {len(EVAL_CELLS)} eval "
-              f"requests, dedup rate {rate}, "
+              f"requests (+v1 compat, +metrics), dedup rate {rate}, "
               f"p99 latency {stats['latency_ms']['p99']}ms", flush=True)
     finally:
         try:

@@ -19,6 +19,7 @@ import socket
 import uuid
 from dataclasses import dataclass
 
+from ..obs import TRACE
 from .protocol import (DEFAULT_SOCKET_NAME, ServeError, decode_frame,
                        encode_frame, server_path_from_env, spec_to_wire)
 
@@ -49,8 +50,22 @@ class ServeClient:
 
     # ---- transport ---------------------------------------------------------
 
-    def _roundtrip(self, request: dict, on_heartbeat=None) -> dict:
+    def _roundtrip(self, request: dict, on_heartbeat=None,
+                   trace_id: str | None = None) -> dict:
         request.setdefault("id", uuid.uuid4().hex[:12])
+        if trace_id is not None:
+            request["trace_id"] = trace_id
+        # The client half of the request timeline: one span covering
+        # connect -> terminal frame, under the same trace id the daemon
+        # and workers stamp their spans with.  Free when tracing is off
+        # (the span call returns the shared null span).
+        with TRACE.span("serve.client", "serve", op=request.get("op"),
+                        request_id=request["id"]) as sp:
+            if trace_id is not None:
+                sp.add(trace_id=trace_id)
+            return self._exchange(request, on_heartbeat)
+
+    def _exchange(self, request: dict, on_heartbeat=None) -> dict:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         sock.settimeout(self.timeout)
         try:
@@ -95,19 +110,27 @@ class ServeClient:
     def stats(self) -> dict:
         return self._roundtrip({"op": "stats"})["stats"]
 
+    def metrics(self) -> dict:
+        """The daemon's metrics exposition: ``{"text": <Prometheus
+        text>, "metrics": <JSON doc>, "enabled": bool}``."""
+        frame = self._roundtrip({"op": "metrics"})
+        return {"text": frame.get("text", ""),
+                "metrics": frame.get("metrics", {}),
+                "enabled": frame.get("enabled", False)}
+
     def shutdown(self) -> dict:
         return self._roundtrip({"op": "shutdown"})
 
     def eval_task(self, spec, *, tenant: str | None = None,
                   fuse: bool = True, retries: int = 1,
-                  on_heartbeat=None) -> dict:
+                  on_heartbeat=None, trace_id: str | None = None) -> dict:
         """Evaluate one matrix cell; returns the TaskResult record as a
         plain dict (the daemon strips the trace)."""
         request = {"op": "eval", "spec": spec_to_wire(spec),
                    "fuse": fuse, "retries": retries}
         if tenant is not None:
             request["tenant"] = tenant
-        frame = self._roundtrip(request, on_heartbeat)
+        frame = self._roundtrip(request, on_heartbeat, trace_id)
         record = frame.get("record")
         if not isinstance(record, dict):
             raise ServeError("internal",
@@ -117,7 +140,7 @@ class ServeClient:
     def run_exe(self, exe: bytes, *, args=(), stdin: bytes = b"",
                 max_insts: int = 500_000_000, fuse: bool = True,
                 jit: bool = True, tenant: str | None = None,
-                on_heartbeat=None) -> RunReply:
+                on_heartbeat=None, trace_id: str | None = None) -> RunReply:
         """Run an executable uninstrumented — the wrl-run hot path."""
         request = {"op": "run",
                    "exe": base64.b64encode(exe).decode(),
@@ -127,7 +150,7 @@ class ServeClient:
             request["stdin"] = base64.b64encode(stdin).decode()
         if tenant is not None:
             request["tenant"] = tenant
-        frame = self._roundtrip(request, on_heartbeat)
+        frame = self._roundtrip(request, on_heartbeat, trace_id)
         payload = frame.get("run")
         if not isinstance(payload, dict):
             raise ServeError("internal",

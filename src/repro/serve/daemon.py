@@ -23,7 +23,13 @@ behind a unix-domain socket speaking the newline-JSON protocol of
   latency percentiles are kept as counters/histograms (mirrored into
   :data:`repro.obs.TRACE` when tracing) and served by the ``stats`` op;
   progress streams as heartbeat frames in the ``WRL_HEARTBEAT`` JSONL
-  row format.
+  row format.  A :class:`repro.obs.metrics.MetricsRegistry` additionally
+  keeps labeled rolling-window instruments served by the ``metrics`` op
+  (Prometheus text + JSON), every request carries a ``trace_id``
+  (client-minted or server-assigned) stamped on its daemon spans,
+  heartbeats, and worker trace snapshot, and an optional SLO watchdog
+  (``--slo-p99-ms``/``--slo-error-rate``) emits structured breach
+  events.
 
 Execution inside a worker goes through the very same
 :func:`repro.eval.parallel.run_with_retries` /
@@ -52,12 +58,14 @@ from pathlib import Path
 
 from ..eval import runner
 from ..eval.parallel import TaskResult, default_jobs, run_with_retries
-from ..obs import TRACE, hist_summary, percentile, trace_path_from_env
+from ..obs import (TRACE, hist_summary, mint_trace_id, percentile,
+                   trace_path_from_env)
+from ..obs.metrics import MetricsRegistry
 from .protocol import (DEFAULT_SOCKET_NAME, MAX_REQUEST_BYTES, OPS,
                        SERVE_SCHEMA, ProtocolError, decode_frame,
                        encode_frame, error_frame, eval_dedup_key,
                        heartbeat_frame, run_dedup_key, spec_from_wire,
-                       validate_tenant)
+                       validate_tenant, validate_trace_id)
 from .quota import DEFAULT_TENANT_CAP, TenantCaches
 
 DEFAULT_BATCH_WINDOW = 0.005          # seconds
@@ -72,50 +80,81 @@ def _warm_worker() -> None:
     runner.preload_process()
 
 
-def _execute_eval_batch(items, fuse: bool) -> list[dict]:
+def _execute_eval_batch(items, fuse: bool, trace: bool = False) -> list[dict]:
     """Run a shard-aware batch of eval cells serially in one worker.
 
-    ``items`` is ``[(spec, cache_spec, retries), ...]`` — all cells of a
-    batch share a workload, so after the first the worker's memoized
-    uninstrumented baseline makes the rest instrumentation-only.
-    Records use the exact serial retry/quarantine semantics
-    (:func:`run_with_retries`), shipped back as plain dicts.
+    ``items`` is ``[(spec, cache_spec, retries, trace_id), ...]`` — all
+    cells of a batch share a workload, so after the first the worker's
+    memoized uninstrumented baseline makes the rest
+    instrumentation-only.  Records use the exact serial
+    retry/quarantine semantics (:func:`run_with_retries`), shipped back
+    as plain dicts.  With ``trace``, each record carries the worker's
+    captured span snapshot (stamped with the request's trace id) for
+    the daemon to merge; it never reaches the wire.
     """
     out = []
-    for spec, cache_spec, retries in items:
-        rec = run_with_retries(spec, cache_spec, fuse, retries)
+    for spec, cache_spec, retries, trace_id in items:
+        rec = run_with_retries(spec, cache_spec, fuse, retries,
+                               trace, trace_id)
         doc = asdict(rec)
-        doc["trace"] = None
+        if not trace:
+            doc["trace"] = None
         out.append(doc)
     return out
 
 
 def _execute_run(exe: bytes, args: tuple[str, ...], stdin: bytes,
-                 max_insts: int, fuse: bool, jit: bool) -> dict:
-    """One uninstrumented execution — the daemon half of ``wrl-run``."""
+                 max_insts: int, fuse: bool, jit: bool,
+                 trace: bool = False, trace_id: str | None = None) -> dict:
+    """One uninstrumented execution — the daemon half of ``wrl-run``.
+
+    With ``trace``, the worker captures its interpret spans under
+    ``trace_id`` and ships them back in the reply's ``trace`` key; the
+    daemon merges and strips it before the result frame hits the wire.
+    """
     from ..eval.errors import EvalTimeout
     from ..machine.cpu import MachineError
     from ..objfile.module import Module, ObjError
+    capture = trace and not TRACE.owned()
+    if capture:
+        TRACE.reset()
+        TRACE.enable()
+    prev_id = runner.current_trace_id()
+    runner.set_trace_id(trace_id)
     try:
-        module = Module.from_bytes(exe)
-        result = runner.run_uninstrumented(
-            module, args=args, stdin=stdin, max_insts=max_insts,
-            fuse=fuse, jit=jit)
-    except EvalTimeout as exc:
-        return {"timeout": True, "message": str(exc)}
-    except (MachineError, ObjError) as exc:
-        return {"fault": str(exc)}
-    return {
-        "timeout": False,
-        "status": result.status,
-        "stdout": base64.b64encode(result.stdout).decode(),
-        "stderr": base64.b64encode(result.stderr).decode(),
-        "files": {name: base64.b64encode(data).decode()
-                  for name, data in sorted(result.files.items())},
-        "cycles": result.cycles,
-        "insts": result.inst_count,
-        "jit_stats": result.jit_stats,
-    }
+        try:
+            module = Module.from_bytes(exe)
+            result = runner.run_uninstrumented(
+                module, args=args, stdin=stdin, max_insts=max_insts,
+                fuse=fuse, jit=jit)
+        except EvalTimeout as exc:
+            reply = {"timeout": True, "message": str(exc)}
+        except (MachineError, ObjError) as exc:
+            reply = {"fault": str(exc)}
+        else:
+            reply = {
+                "timeout": False,
+                "status": result.status,
+                "stdout": base64.b64encode(result.stdout).decode(),
+                "stderr": base64.b64encode(result.stderr).decode(),
+                "files": {name: base64.b64encode(data).decode()
+                          for name, data in sorted(result.files.items())},
+                "cycles": result.cycles,
+                "insts": result.inst_count,
+                "jit_stats": result.jit_stats,
+            }
+    finally:
+        runner.set_trace_id(prev_id)
+        if capture:
+            snap = TRACE.snapshot()
+            TRACE.disable()
+            TRACE.reset()
+    if capture:
+        if trace_id is not None:
+            for ev in snap.get("events", ()):
+                ev["args"].setdefault("trace_id", trace_id)
+        reply["trace"] = snap
+    return reply
 
 
 # ---- daemon-side request bookkeeping ---------------------------------------
@@ -133,10 +172,11 @@ class _Entry:
     """One unit of in-flight work; N deduped subscribers share it."""
 
     __slots__ = ("key", "op", "label", "payload", "tenant", "retries",
-                 "attempts", "subs", "t0")
+                 "attempts", "subs", "t0", "trace_id", "t0_ns",
+                 "t_dispatch_ns")
 
     def __init__(self, key: str, op: str, label: str, payload,
-                 tenant: str, retries: int):
+                 tenant: str, retries: int, trace_id: str):
         self.key = key
         self.op = op                  # "eval" | "run"
         self.label = label
@@ -146,6 +186,12 @@ class _Entry:
         self.attempts = 1             # pool-break resubmission counter
         self.subs: list[_Sub] = []
         self.t0 = time.monotonic()
+        #: Request trace context: the executing client's id (or a
+        #: server-minted one); every span/heartbeat of this entry and
+        #: its worker execution is stamped with it.
+        self.trace_id = trace_id
+        self.t0_ns = time.monotonic_ns()
+        self.t_dispatch_ns: int | None = None
 
     def publish(self, frame: dict) -> None:
         for sub in list(self.subs):
@@ -165,9 +211,97 @@ class ServeStats:
         self.errors = 0
         self.batches = 0
         self.pool_rebuilds = 0
+        self.slo_breaches: dict[str, int] = {}
         self.batch_sizes: deque = deque(maxlen=4096)
         self.queue_depths: deque = deque(maxlen=4096)
         self.latencies_ms: deque = deque(maxlen=4096)
+        #: Per-op latency samples ("run" vs "eval"), so slow evals
+        #: cannot hide behind fast run/ping traffic in the percentiles.
+        self.latencies_by_op: dict[str, deque] = {
+            "eval": deque(maxlen=4096), "run": deque(maxlen=4096)}
+
+
+def _lat_summary(latencies) -> dict:
+    """count/mean/max plus nearest-rank p50/p90/p99 (zeros when empty)."""
+    lats = sorted(latencies)
+    n = len(lats)
+    return {
+        "count": n,
+        "mean": round(sum(lats) / n, 3) if n else 0.0,
+        "max": round(lats[-1], 3) if n else 0.0,
+        "p50": round(percentile(lats, 0.50), 3),
+        "p90": round(percentile(lats, 0.90), 3),
+        "p99": round(percentile(lats, 0.99), 3),
+    }
+
+
+class ServeMetrics:
+    """The daemon's labeled rolling-window instruments.
+
+    A thin façade over :class:`repro.obs.metrics.MetricsRegistry`: one
+    attribute per instrument so hot-path call sites read as intent
+    (``metrics.dedup_hits.inc()``), and gauges whose truth lives
+    elsewhere (tenant cache usage) are refreshed at exposition time
+    rather than sampled on the request path.
+    """
+
+    def __init__(self, enabled: bool = True):
+        reg = MetricsRegistry(enabled=enabled)
+        self.registry = reg
+        self.enabled = enabled
+        self.requests = reg.counter(
+            "wrl_requests_total", "Requests received, by op", ("op",))
+        self.tenant_requests = reg.counter(
+            "wrl_tenant_requests_total",
+            "Work (eval/run) requests admitted, by tenant", ("tenant",))
+        self.latency = reg.histogram(
+            "wrl_request_latency_ms",
+            "End-to-end request latency in milliseconds, by op", ("op",))
+        self.queue_depth = reg.gauge(
+            "wrl_queue_depth", "Requests queued or executing right now")
+        self.dedup_hits = reg.counter(
+            "wrl_dedup_hits_total",
+            "Requests coalesced onto an in-flight identical entry")
+        self.overloaded = reg.counter(
+            "wrl_overloaded_total", "Requests shed by admission control")
+        self.cancelled = reg.counter(
+            "wrl_cancelled_total",
+            "Subscriptions cancelled by client disconnect")
+        self.errors = reg.counter(
+            "wrl_request_errors_total", "Requests finished with an error")
+        self.executed = reg.counter(
+            "wrl_executed_total", "Requests finished with a result")
+        self.batches = reg.counter(
+            "wrl_batches_total", "Batches shipped to the worker pool")
+        self.batch_occupancy = reg.histogram(
+            "wrl_batch_occupancy", "Entries per dispatched batch",
+            buckets=(1, 2, 4, 8, 16, 32))
+        self.pool_rebuilds = reg.counter(
+            "wrl_pool_rebuilds_total",
+            "Worker-pool rebuilds after a pool break")
+        self.cache_results = reg.counter(
+            "wrl_cache_results_total",
+            "Instrument-artifact cache outcomes of eval cells", ("kind",))
+        self.cache_blobs = reg.gauge(
+            "wrl_tenant_cache_blobs",
+            "Cached artifacts in the tenant's namespace", ("tenant",))
+        self.cache_bytes = reg.gauge(
+            "wrl_tenant_cache_bytes",
+            "Bytes cached in the tenant's namespace", ("tenant",))
+        self.slo_breaches = reg.counter(
+            "wrl_slo_breaches_total", "SLO watchdog breaches, by metric",
+            ("metric",))
+        # The request counter sits on every op's dispatch path, so its
+        # per-op children are pre-bound: the hot path is one inc(), not
+        # a label coercion + child lookup per request (the check-metrics
+        # overhead gate measures exactly this on pings).
+        self.requests_by_op = {op: self.requests.labels(op)
+                               for op in OPS}
+
+    def refresh_tenant_gauges(self, usage_all: dict) -> None:
+        for tenant, usage in usage_all.items():
+            self.cache_blobs.labels(tenant).set(usage.get("blobs", 0))
+            self.cache_bytes.labels(tenant).set(usage.get("bytes", 0))
 
 
 class Daemon:
@@ -182,7 +316,10 @@ class Daemon:
                  cache_root=None,
                  tenant_cap: int = DEFAULT_TENANT_CAP,
                  tenant_max_bytes: int | None = None,
-                 limit: int = MAX_REQUEST_BYTES):
+                 limit: int = MAX_REQUEST_BYTES,
+                 metrics: bool = True,
+                 slo_p99_ms: float | None = None,
+                 slo_error_rate: float | None = None):
         self.socket_path = Path(socket_path or DEFAULT_SOCKET_NAME)
         self.jobs = jobs if jobs else default_jobs()
         self.batch_window = batch_window
@@ -193,6 +330,15 @@ class Daemon:
         self.tenants = TenantCaches(cache_root, cap=tenant_cap,
                                     max_bytes=tenant_max_bytes)
         self.stats = ServeStats()
+        self.slo_p99_ms = slo_p99_ms
+        self.slo_error_rate = slo_error_rate
+        slo_configured = slo_p99_ms is not None \
+            or slo_error_rate is not None
+        # The watchdog needs the rolling windows, so configuring an SLO
+        # force-enables the registry even under --no-metrics.
+        self.metrics = ServeMetrics(enabled=metrics or slo_configured)
+        self._slo_last_breach: dict | None = None
+        self._slo_last_emit: dict[str, float] = {}
         self.pool: ProcessPoolExecutor | None = None
         self._inflight: dict[str, _Entry] = {}
         self._batch_buf: list[_Entry] = []
@@ -263,6 +409,7 @@ class Daemon:
             max_workers=self.jobs, initializer=_warm_worker)
         self.stats.pool_rebuilds += 1
         TRACE.count("serve.pool_rebuilds")
+        self.metrics.pool_rebuilds.inc()
         if dead is not None:
             for proc in list(getattr(dead, "_processes", {}).values()):
                 with contextlib.suppress(OSError):
@@ -300,6 +447,7 @@ class Daemon:
                 self.stats.requests[op] = \
                     self.stats.requests.get(op, 0) + 1
                 TRACE.count(f"serve.requests.{op}")
+                self.metrics.requests_by_op[op].inc()
                 if op == "ping":
                     await self._send(writer, {"type": "pong",
                                               "id": req_id,
@@ -309,6 +457,9 @@ class Daemon:
                     await self._send(writer, {"type": "stats",
                                               "id": req_id,
                                               "stats": self.stats_doc()})
+                    return
+                if op == "metrics":
+                    await self._send(writer, self.metrics_frame(req_id))
                     return
                 if op == "shutdown":
                     await self._send(writer, {"type": "ok",
@@ -369,11 +520,16 @@ class Daemon:
             entry.subs.remove(sub)
         self.stats.cancelled += 1
         TRACE.count("serve.cancelled")
+        self.metrics.cancelled.inc()
 
     # ---- admission, dedup, batching ----------------------------------------
 
     def _register(self, op: str, req: dict) -> tuple[_Entry, _Sub]:
         tenant = validate_tenant(req.get("tenant"))
+        # v2 trace context: accept the client's id, mint one for v1
+        # requests so every entry is correlatable either way.
+        trace_id = validate_trace_id(req.get("trace_id")) \
+            or mint_trace_id()
         fuse = req.get("fuse", True)
         if not isinstance(fuse, bool):
             raise ProtocolError("bad-request", "fuse must be a boolean")
@@ -432,29 +588,41 @@ class Daemon:
         if entry is not None:
             self.stats.dedup_hits += 1
             TRACE.count("serve.dedup_hits")
+            self.metrics.dedup_hits.inc()
             sub = _Sub()
             entry.subs.append(sub)
+            # The follower keeps its own trace id but is linked to the
+            # executing entry's, so `wrl-trace summary --trace-id` on
+            # either id surfaces the relationship.
+            TRACE.instant("serve.dedup", "serve", trace_id=trace_id,
+                          linked_to=entry.trace_id, task=entry.label)
             sub.queue.put_nowait(heartbeat_frame(
-                entry.label, "deduped", subscribers=len(entry.subs)))
+                entry.label, "deduped", subscribers=len(entry.subs),
+                trace_id=trace_id, linked_to=entry.trace_id))
             return entry, sub
 
         depth = len(self._batch_buf) + self._dispatched
         if depth >= self.max_queue:
             self.stats.overloaded += 1
             TRACE.count("serve.overloaded")
+            self.metrics.overloaded.inc()
             raise ProtocolError(
                 "overloaded",
                 f"{depth} requests in flight (max {self.max_queue}); "
                 f"retry later")
-        entry = _Entry(key, op, label, payload, tenant, retries)
+        entry = _Entry(key, op, label, payload, tenant, retries,
+                       trace_id)
         self._inflight[key] = entry
         sub = _Sub()
         entry.subs.append(sub)
         self._batch_buf.append(entry)
         self.stats.queue_depths.append(depth + 1)
         TRACE.observe("serve.queue_depth", depth + 1)
+        self.metrics.tenant_requests.labels(tenant).inc()
+        self.metrics.queue_depth.set(depth + 1)
         entry.publish(heartbeat_frame(label, "queued",
-                                      queue_depth=depth + 1))
+                                      queue_depth=depth + 1,
+                                      trace_id=trace_id))
         self._schedule_flush()
         return entry, sub
 
@@ -492,22 +660,42 @@ class Daemon:
         self.stats.batch_sizes.append(len(batch))
         TRACE.count("serve.batches")
         TRACE.observe("serve.batch_size", len(batch))
+        self.metrics.batches.inc()
+        self.metrics.batch_occupancy.observe(len(batch))
+        now_ns = time.monotonic_ns()
         for entry in batch:
+            entry.t_dispatch_ns = now_ns
+            self._record_span("serve.queue", entry.t0_ns, now_ns, entry,
+                              batch=len(batch))
             entry.publish(heartbeat_frame(entry.label, "dispatch",
-                                          batch=len(batch)))
+                                          batch=len(batch),
+                                          trace_id=entry.trace_id))
         if batch[0].op == "run":
             fut = loop.run_in_executor(self.pool, _execute_run,
-                                       *batch[0].payload)
+                                       *batch[0].payload, TRACE.enabled,
+                                       batch[0].trace_id)
             fut.add_done_callback(
                 lambda f, b=batch: self._on_run_done(b, f))
         else:
             items = [(entry.payload,
                       self.tenants.cache_spec(entry.tenant),
-                      entry.retries) for entry in batch]
+                      entry.retries, entry.trace_id) for entry in batch]
             fut = loop.run_in_executor(self.pool, _execute_eval_batch,
-                                       items, self.fuse)
+                                       items, self.fuse, TRACE.enabled)
             fut.add_done_callback(
                 lambda f, b=batch: self._on_eval_done(b, f))
+
+    def _record_span(self, name: str, t0_ns: int, t1_ns: int,
+                     entry: _Entry, **extra) -> None:
+        """Record a request-lifecycle span onto the ambient tracer.
+
+        Entry lifetimes are event-driven, not lexical, so the span
+        context manager does not fit; this writes the finished span
+        directly (guarded, so disabled tracing stays free)."""
+        if TRACE.enabled:
+            TRACE._record(name, "serve", t0_ns, t1_ns,
+                          {"task": entry.label, "op": entry.op,
+                           "trace_id": entry.trace_id, **extra})
 
     # ---- completion --------------------------------------------------------
 
@@ -526,6 +714,15 @@ class Daemon:
                                    f"{type(exc).__name__}: {exc}")
             return
         for entry, record in zip(batch, records):
+            # The worker's span snapshot is merged into the daemon's
+            # trace under the request's id, then stripped: result
+            # frames stay byte-identical whether or not tracing is on.
+            snap = record.get("trace")
+            record["trace"] = None
+            if snap and TRACE.enabled:
+                TRACE.merge(snap)
+            kind = "miss" if record.get("instr_compiled") else "hit"
+            self.metrics.cache_results.labels(kind).inc()
             self._finish_result(entry, {"type": "result",
                                         "record": record})
 
@@ -543,6 +740,9 @@ class Daemon:
             self._finish_error(entry, "internal",
                                f"{type(exc).__name__}: {exc}")
             return
+        snap = reply.pop("trace", None)
+        if snap and TRACE.enabled:
+            TRACE.merge(snap)
         if "fault" in reply:
             self._finish_error(entry, "machine-error", reply["fault"])
             return
@@ -560,7 +760,8 @@ class Daemon:
                     continue
                 entry.attempts += 1
             entry.publish(heartbeat_frame(entry.label, "probe",
-                                          attempt=entry.attempts))
+                                          attempt=entry.attempts,
+                                          trace_id=entry.trace_id))
             self._submit([entry])
 
     def _finish_dead(self, entry: _Entry) -> None:
@@ -581,26 +782,106 @@ class Daemon:
         self._inflight.pop(entry.key, None)
         self.stats.executed += 1
         TRACE.count("serve.executed")
+        now_ns = time.monotonic_ns()
         latency = (time.monotonic() - entry.t0) * 1000.0
         self.stats.latencies_ms.append(latency)
+        if entry.op in self.stats.latencies_by_op:
+            self.stats.latencies_by_op[entry.op].append(latency)
         TRACE.observe("serve.latency_ms", latency)
+        if entry.t_dispatch_ns is not None:
+            self._record_span("serve.execute", entry.t_dispatch_ns,
+                              now_ns, entry)
+        self._record_span("serve.request", entry.t0_ns, now_ns, entry,
+                          latency_ms=round(latency, 3),
+                          subscribers=len(entry.subs))
+        self.metrics.executed.inc()
+        self.metrics.latency.labels(entry.op).observe(latency)
+        self.metrics.queue_depth.set(
+            len(self._batch_buf) + self._dispatched)
         entry.publish(frame)
+        self._check_slo()
 
     def _finish_error(self, entry: _Entry, kind: str,
                       message: str) -> None:
         self._inflight.pop(entry.key, None)
         self.stats.errors += 1
         TRACE.count("serve.request_errors")
+        self._record_span("serve.request", entry.t0_ns,
+                          time.monotonic_ns(), entry, error=kind)
+        self.metrics.errors.inc()
+        self.metrics.queue_depth.set(
+            len(self._batch_buf) + self._dispatched)
         entry.publish(error_frame(None, kind, message))
+        self._check_slo()
+
+    # ---- SLO watchdog ------------------------------------------------------
+
+    def _slo_window(self) -> dict:
+        """Current 60s-window p99 latency and error rate (the
+        watchdog's view; zeros while the window is empty)."""
+        lats = sorted(self.metrics.latency.window_values(60))
+        err = self.metrics.errors.rate(60)
+        done = self.metrics.executed.rate(60)
+        total = err + done
+        return {
+            "p99_ms": round(percentile(lats, 0.99), 3),
+            "error_rate": round(err / total, 4) if total else 0.0,
+            "samples": len(lats),
+        }
+
+    def _check_slo(self) -> None:
+        """Compare the rolling 60s window against the configured
+        thresholds; called on every terminal completion."""
+        if self.slo_p99_ms is None and self.slo_error_rate is None:
+            return
+        window = self._slo_window()
+        if self.slo_p99_ms is not None and window["samples"] \
+                and window["p99_ms"] > self.slo_p99_ms:
+            self._breach("p99_ms", window["p99_ms"], self.slo_p99_ms)
+        if self.slo_error_rate is not None \
+                and window["error_rate"] > self.slo_error_rate:
+            self._breach("error_rate", window["error_rate"],
+                         self.slo_error_rate)
+
+    def _breach(self, metric: str, value: float,
+                threshold: float) -> None:
+        self.stats.slo_breaches[metric] = \
+            self.stats.slo_breaches.get(metric, 0) + 1
+        self.metrics.slo_breaches.labels(metric).inc()
+        self._slo_last_breach = {
+            "metric": metric, "value": value, "threshold": threshold,
+            "uptime_s": round(time.monotonic() - self.stats.started, 3),
+        }
+        # Structured breach events are rate-limited to one per second
+        # per metric: a sustained breach shouldn't flood the trace with
+        # one event per completed request.
+        now = time.monotonic()
+        if now - self._slo_last_emit.get(metric, -1e9) >= 1.0:
+            self._slo_last_emit[metric] = now
+            TRACE.instant("slo.breach", "serve", metric=metric,
+                          value=value, threshold=threshold)
 
     # ---- stats -------------------------------------------------------------
+
+    def metrics_frame(self, req_id) -> dict:
+        """The terminal frame of the ``metrics`` op: Prometheus text
+        plus the JSON document, gauges refreshed at exposition time."""
+        if self.metrics.enabled:
+            self.metrics.queue_depth.set(
+                len(self._batch_buf) + self._dispatched)
+            self.metrics.refresh_tenant_gauges(self.tenants.usage_all())
+        return {"type": "metrics", "id": req_id,
+                "enabled": self.metrics.enabled,
+                "text": self.metrics.registry.render_text(),
+                "metrics": self.metrics.registry.render_doc()}
 
     def stats_doc(self) -> dict:
         """The SLO view served by the ``stats`` op."""
         stats = self.stats
-        lats = sorted(stats.latencies_ms)
         eligible = sum(stats.requests.get(op, 0)
                        for op in ("eval", "run"))
+        slo_configured = self.slo_p99_ms is not None \
+            or self.slo_error_rate is not None
         return {
             "schema": SERVE_SCHEMA,
             "uptime_s": round(time.monotonic() - stats.started, 3),
@@ -620,12 +901,22 @@ class Daemon:
             "pool_rebuilds": stats.pool_rebuilds,
             "batch_size": hist_summary(stats.batch_sizes),
             "queue_depth_seen": hist_summary(stats.queue_depths),
-            "latency_ms": {
-                "count": len(lats),
-                "p50": round(percentile(lats, 0.50), 3),
-                "p90": round(percentile(lats, 0.90), 3),
-                "p99": round(percentile(lats, 0.99), 3),
+            "latency_ms": _lat_summary(stats.latencies_ms),
+            "latency_ms_by_op": {
+                op: _lat_summary(samples)
+                for op, samples in sorted(stats.latencies_by_op.items())
             },
+            "slo": {
+                "configured": slo_configured,
+                "p99_ms": self.slo_p99_ms,
+                "error_rate": self.slo_error_rate,
+                "window_s": 60,
+                "breaches": dict(stats.slo_breaches),
+                "last_breach": self._slo_last_breach,
+                "current": self._slo_window() if self.metrics.enabled
+                else {"p99_ms": 0.0, "error_rate": 0.0, "samples": 0},
+            },
+            "metrics_enabled": self.metrics.enabled,
             "tenants": self.tenants.usage_all(),
         }
 
@@ -737,6 +1028,20 @@ def main(argv=None) -> int:
                         help="write a structured trace (spans, serve.* "
                              "counters/histograms) on exit; default: "
                              "$WRL_TRACE")
+    parser.add_argument("--metrics", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="keep the rolling-window metrics registry "
+                             "serving the 'metrics' op (default on; "
+                             "--no-metrics makes every hook a no-op)")
+    parser.add_argument("--slo-p99-ms", type=float, default=None,
+                        metavar="MS",
+                        help="SLO watchdog: breach when rolling-60s p99 "
+                             "latency exceeds MS (implies metrics)")
+    parser.add_argument("--slo-error-rate", type=float, default=None,
+                        metavar="FRACTION",
+                        help="SLO watchdog: breach when rolling-60s "
+                             "error rate exceeds FRACTION (0..1; "
+                             "implies metrics)")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -750,6 +1055,11 @@ def main(argv=None) -> int:
         parser.error("--tenant-cap must be >= 1")
     if args.tenant_max_bytes is not None and args.tenant_max_bytes < 1:
         parser.error("--tenant-max-bytes must be >= 1")
+    if args.slo_p99_ms is not None and args.slo_p99_ms <= 0:
+        parser.error("--slo-p99-ms must be > 0")
+    if args.slo_error_rate is not None \
+            and not 0 < args.slo_error_rate <= 1:
+        parser.error("--slo-error-rate must be in (0, 1]")
 
     from .protocol import server_path_from_env
     socket_path = args.socket or server_path_from_env() \
@@ -760,7 +1070,10 @@ def main(argv=None) -> int:
                     cache_root=args.cache_dir,
                     tenant_cap=args.tenant_cap,
                     tenant_max_bytes=args.tenant_max_bytes,
-                    limit=args.max_request)
+                    limit=args.max_request,
+                    metrics=args.metrics,
+                    slo_p99_ms=args.slo_p99_ms,
+                    slo_error_rate=args.slo_error_rate)
 
     if args.trace:
         TRACE.reset()

@@ -21,12 +21,22 @@ Requests::
     {"op": "run", "id": "...", "tenant": "t", "exe": "<base64 WOF>",
      "args": [...], "stdin": "<base64>", "max_insts": N,
      "fuse": true, "jit": true}
-    {"op": "stats"} | {"op": "ping"} | {"op": "shutdown"}
+    {"op": "stats"} | {"op": "metrics"} | {"op": "ping"}
+    {"op": "shutdown"}
 
 Errors are always structured: ``{"type": "error", "error": {"kind":
 ..., "message": ...}}`` with ``kind`` drawn from :data:`ERROR_KINDS` —
 ``overloaded`` is the admission-control shed signal clients can back
 off on, never an exception stack.
+
+**v2 (trace context).**  Requests may carry an optional ``trace_id``
+(client-minted, validated by :func:`validate_trace_id`); the daemon
+tags every span and heartbeat for that request with it, threads it into
+the worker's trace capture, and links deduplicated followers to the
+executing request's id.  v1 requests (no ``trace_id``) are still
+accepted — the daemon mints a server-side id — and their *terminal*
+frames are byte-identical to v1's, since trace ids ride only on
+heartbeat frames and in the trace itself, never in result frames.
 """
 
 from __future__ import annotations
@@ -45,7 +55,8 @@ from ..workloads import WORKLOAD_NAMES
 from .. import __version__ as _REPRO_VERSION
 from ..eval.parallel import TaskSpec
 
-SERVE_SCHEMA = f"wrl-serve/v1/{_REPRO_VERSION}"
+SERVE_SCHEMA = f"wrl-serve/v2/{_REPRO_VERSION}"
+SERVE_SCHEMA_V1 = f"wrl-serve/v1/{_REPRO_VERSION}"
 
 ENV_SERVER = "WRL_SERVER"
 ENV_TENANT = "WRL_TENANT"
@@ -57,12 +68,13 @@ DEFAULT_SOCKET_NAME = ".repro-serve.sock"
 #: limit guarantees the bytes are never buffered past ~2x this).
 MAX_REQUEST_BYTES = 4 * 1024 * 1024
 
-OPS = ("eval", "run", "stats", "ping", "shutdown")
+OPS = ("eval", "run", "stats", "metrics", "ping", "shutdown")
 
 ERROR_KINDS = ("bad-request", "oversized", "unknown-op", "overloaded",
                "worker-died", "machine-error", "internal", "shutting-down")
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 class ProtocolError(Exception):
@@ -115,7 +127,7 @@ def heartbeat_frame(task: str, phase: str, **fields) -> dict:
             "args": {"task": task, "phase": phase, **fields}}
 
 
-TERMINAL_TYPES = ("result", "stats", "pong", "ok", "error")
+TERMINAL_TYPES = ("result", "stats", "metrics", "pong", "ok", "error")
 
 
 # ---- request validation ----------------------------------------------------
@@ -131,6 +143,21 @@ def validate_tenant(tenant) -> str:
     _need(isinstance(tenant, str) and _TENANT_RE.match(tenant),
           f"bad tenant {tenant!r} (want [A-Za-z0-9._-]{{1,64}})")
     return tenant
+
+
+def validate_trace_id(trace_id) -> str | None:
+    """A client-supplied trace id, or None when absent (v1 request).
+
+    Absence is not an error — the daemon mints a server-side id — but a
+    present-and-malformed id is rejected rather than silently dropped,
+    so a typo'd ``--trace-id`` fails loudly instead of producing an
+    uncorrelatable trace.
+    """
+    if trace_id is None:
+        return None
+    _need(isinstance(trace_id, str) and _TRACE_ID_RE.match(trace_id),
+          f"bad trace_id {trace_id!r} (want [A-Za-z0-9._-]{{1,64}})")
+    return trace_id
 
 
 def _b64_field(obj: dict, key: str, default: bytes = b"") -> bytes:

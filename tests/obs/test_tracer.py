@@ -80,7 +80,10 @@ def test_hist_summary_percentiles():
     assert s["count"] == 10 and s["min"] == 1 and s["max"] == 10
     # Nearest-rank p90 of ten values is the 9th, not the max (the old
     # index was biased one rank high and pinned p90 to max for n <= 10).
-    assert s["mean"] == 5.5 and s["p50"] == 5.5 and s["p90"] == 9
+    # p50 is nearest-rank too — the 5th value, not the interpolated
+    # median — so it agrees with percentile(vs, 0.50) everywhere it is
+    # reported (stats op, wrl-trace, metrics exposition).
+    assert s["mean"] == 5.5 and s["p50"] == 5 and s["p90"] == 9
 
 
 def test_hist_summary_empty_and_singleton_have_every_key():

@@ -12,7 +12,8 @@ from repro.serve.protocol import (ProtocolError, decode_frame,
                                   encode_frame, error_frame,
                                   eval_dedup_key, heartbeat_frame,
                                   run_dedup_key, spec_from_wire,
-                                  spec_to_wire, validate_tenant)
+                                  spec_to_wire, validate_tenant,
+                                  validate_trace_id)
 
 
 def test_frame_roundtrip():
@@ -87,6 +88,26 @@ def test_validate_tenant():
     for bad in ("", "a/b", "a b", "x" * 65, 42):
         with pytest.raises(ProtocolError):
             validate_tenant(bad)
+
+
+def test_validate_trace_id_accepts_v1_absence_and_v2_ids():
+    # v1 requests carry no trace_id: None passes through so the daemon
+    # knows to mint a server-side id.
+    assert validate_trace_id(None) is None
+    # v2 ids: same alphabet as tenants.
+    assert validate_trace_id("a3f0c1d2e4b59876") == "a3f0c1d2e4b59876"
+    assert validate_trace_id("req-1.retry_2") == "req-1.retry_2"
+    for bad in ("", "a b", "id/with/slash", "x" * 65, 42, ["id"]):
+        with pytest.raises(ProtocolError) as exc:
+            validate_trace_id(bad)
+        assert exc.value.kind == "bad-request"
+
+
+def test_schema_is_v2_and_ops_include_metrics():
+    assert protocol.SERVE_SCHEMA.startswith("wrl-serve/v2/")
+    assert protocol.SERVE_SCHEMA_V1.startswith("wrl-serve/v1/")
+    assert "metrics" in protocol.OPS
+    assert "metrics" in protocol.TERMINAL_TYPES
 
 
 def test_eval_dedup_key_identity():
